@@ -1,0 +1,21 @@
+"""Figure 3: normalized compute time vs cores, LOCAL allocation.
+
+Paper claim: "the normalized compute time for Pthreads and Samhita are very
+similar. In the absence of false sharing the time spent in computation for
+Samhita is very similar to the equivalent Pthread implementation, even for a
+relatively small amount of computation (small M)."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig03_local_allocation(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig03))
+    for M in (1, 10, 100):
+        smh = fr.series[f"smh, M={M}"]
+        # Samhita tracks Pthreads closely at every thread count.
+        for cores in smh.xs:
+            assert smh.y_at(cores) < 1.6, (M, cores, smh.y_at(cores))
+    # And exactly matches at one thread.
+    assert abs(fr.series["smh, M=100"].y_at(1) - 1.0) < 0.1

@@ -1,0 +1,18 @@
+"""Figure 4: normalized compute time vs cores, GLOBAL allocation.
+
+Paper claim: "when the amount of compute performed is low the added penalty
+incurred by Samhita due to false sharing and other overheads is noticeable.
+However, as we increase the amount of compute this cost is amortized."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig04_global_allocation(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig04))
+    # Noticeable penalty at M=1 beyond one thread...
+    assert fr.series["smh, M=1"].y_at(8) > 1.5
+    # ...amortized by increasing compute.
+    assert fr.series["smh, M=100"].y_at(8) < fr.series["smh, M=1"].y_at(8)
+    assert fr.series["smh, M=100"].y_at(32) < fr.series["smh, M=1"].y_at(32)

@@ -1,0 +1,20 @@
+"""Figure 5: normalized compute time vs cores, GLOBAL STRIDED access.
+
+Paper claim: "when the amount of computation performed is relatively small
+there is a higher penalty compared to the global allocation case. However,
+once again this cost can be amortized by increasing the amount of compute."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig05_global_strided(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig05))
+    strided_m1 = fr.series["smh, M=1"].y_at(8)
+    # Higher penalty than the global case at small M...
+    global_m1 = figures.fig04(smh_cores=(8,), m_values=(1,),
+                              pth_cores=(1,)).series["smh, M=1"].y_at(8)
+    assert strided_m1 > global_m1
+    # ...amortized by compute.
+    assert fr.series["smh, M=100"].y_at(8) < strided_m1

@@ -1,0 +1,20 @@
+"""Figure 6: compute time vs cores for S in {1,2,4,8}, LOCAL allocation.
+
+Paper claim: "computation time increases with the amount of work and amount
+of data accessed in the ordinary region ... However, compute time per thread
+does not increase as the number of threads increases" (no false sharing =>
+no extra penalty).
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig06_local_s_sweep(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig06))
+    # Stacked in S: double the rows, double the compute time.
+    assert fr.series["S = 8"].y_at(1) > 3 * fr.series["S = 2"].y_at(1)
+    # Flat in cores for every S.
+    for S in (1, 2, 4, 8):
+        series = fr.series[f"S = {S}"]
+        assert series.y_at(32) < 1.25 * series.y_at(1)

@@ -1,0 +1,18 @@
+"""Figure 8: compute time vs cores for S in {1,2,4,8}, GLOBAL STRIDED.
+
+Paper claim: "due to the access pattern which increases false sharing, we
+see that there is a higher penalty incurred in the compute time. This
+penalty increases as the amount of data increases."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig08_strided_s_sweep(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig08))
+    # Penalty grows with cores.
+    assert fr.series["S = 4"].y_at(32) > 2 * fr.series["S = 4"].y_at(1)
+    # Higher penalty than the global case at the same point.
+    glob = figures.fig07(smh_cores=(16,), s_values=(4,)).series["S = 4"].y_at(16)
+    assert fr.series["S = 4"].y_at(16) > glob

@@ -1,0 +1,19 @@
+"""Figure 9: compute time vs ordinary-region size (S) at P=16.
+
+Paper claim: "as the size of the ordinary region grows, the compute time
+increases as expected, and the penalty incurred in compute time increases
+based on the amount of false sharing."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig09_ordinary_region_compute(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig09))
+    for label in ("local", "global", "stride"):
+        series = fr.series[label]
+        assert series.y_at(8) > series.y_at(1)  # grows with S
+    # Penalty ordered by false-sharing intensity at the largest S.
+    assert (fr.series["local"].y_at(8) < fr.series["global"].y_at(8)
+            <= fr.series["stride"].y_at(8))

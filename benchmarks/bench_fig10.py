@@ -1,0 +1,19 @@
+"""Figure 10: synchronization time vs ordinary-region size (S) at P=16.
+
+Paper claim: "when there is no false sharing (local allocation) the increase
+in synchronization cost is hardly noticeable. False sharing does have an
+impact ... [but] even with increased false sharing the increase in
+synchronization cost is not dramatic."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig10_ordinary_region_sync(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig10))
+    local_growth = fr.series["local"].y_at(8) / fr.series["local"].y_at(1)
+    stride_growth = fr.series["stride"].y_at(8) / fr.series["stride"].y_at(1)
+    assert local_growth < 1.3          # hardly noticeable
+    assert stride_growth > local_growth  # false sharing has an impact
+    assert stride_growth < 4.0         # but not dramatic

@@ -1,0 +1,23 @@
+"""Figure 11: synchronization time (log scale) vs cores, both systems.
+
+Paper claim: "Samhita does incur an increased cost for synchronization ...
+[but it] is not exceptionally high when compared to Pthreads, and the
+increase with the number of threads is not dramatic."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig11_sync_time_both_systems(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig11))
+    # DSM synchronization sits orders of magnitude above hardware sync
+    # (it performs memory-consistency work), on a log plot: 1-3 decades.
+    for label in ("local", "global", "stride"):
+        ratio = fr.series[f"smh_{label}"].y_at(8) / fr.series[f"pth_{label}"].y_at(8)
+        assert 5 < ratio < 5000, (label, ratio)
+    # Growth with threads is not dramatic (sub-quadratic over 32x threads).
+    growth = fr.series["smh_local"].y_at(32) / fr.series["smh_local"].y_at(1)
+    assert growth < 64
+    # False sharing costs extra sync time.
+    assert fr.series["smh_stride"].y_at(16) > fr.series["smh_local"].y_at(16)

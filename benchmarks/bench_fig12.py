@@ -1,0 +1,23 @@
+"""Figure 12: Jacobi strong-scaling speedup, Pthreads vs Samhita.
+
+Paper claim: "the Samhita implementation shows good speedup up to 16
+processors. And within a node Samhita tracks the Pthread implementation
+very well."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig12_jacobi_speedup(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig12))
+    pth, smh = fr.series["pthreads"], fr.series["samhita"]
+    # Pthreads baseline is near-linear on one node.
+    assert pth.y_at(8) > 6.0
+    # Samhita tracks Pthreads within a node.
+    assert smh.y_at(2) > 0.8 * pth.y_at(2)
+    assert smh.y_at(8) > 0.55 * pth.y_at(8)
+    # Good speedup up to 16...
+    assert smh.y_at(16) > smh.y_at(8) > smh.y_at(4) > smh.y_at(2)
+    # ...then the nearest-neighbour communication stops it scaling.
+    assert smh.y_at(32) < 1.3 * smh.y_at(16)

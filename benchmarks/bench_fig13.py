@@ -1,0 +1,21 @@
+"""Figure 13: molecular-dynamics strong-scaling speedup.
+
+Paper claim: "the Samhita implementation tracks the Pthread implementation
+very closely within a node and continues to scale very well up to 32 cores
+... applications that are computationally intensive (the computation per
+particle is O(n)) can easily mask the synchronization overhead."
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import figures
+
+
+def test_fig13_md_speedup(benchmark, archive):
+    fr = archive(run_figure(benchmark, figures.fig13))
+    pth, smh = fr.series["pthreads"], fr.series["samhita"]
+    # Tracks Pthreads very closely within the node.
+    for cores in (2, 4, 8):
+        assert smh.y_at(cores) > 0.9 * pth.y_at(cores)
+    # Continues to scale very well up to 32 cores.
+    assert smh.y_at(16) > 12
+    assert smh.y_at(32) > 20

@@ -1,0 +1,75 @@
+"""Sensitivity benches: do the paper's shapes survive calibration swings?
+
+Complements bench_ablations.py: ablations toggle *mechanisms*, these sweeps
+perturb *timing constants* and check the orderings the figures rely on.
+Results land in benchmarks/results/sensitivity_*.txt.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.report import format_figure
+from repro.experiments.sensitivity import (
+    config_sensitivity,
+    link_sensitivity,
+    ordering_robust,
+)
+from repro.interconnect import ib_ddr, ib_fdr, ib_qdr, ib_sdr
+from repro.kernels import Allocation, MicrobenchParams, spawn_microbench
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+LOCAL = MicrobenchParams(N=6, M=4, S=2, B=256, allocation=Allocation.LOCAL)
+GLOBAL = MicrobenchParams(N=6, M=4, S=2, B=256, allocation=Allocation.GLOBAL)
+STRIDED = MicrobenchParams(N=6, M=4, S=2, B=256,
+                           allocation=Allocation.GLOBAL_STRIDED)
+
+
+def _archive(name, fr):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = format_figure(fr)
+    (RESULTS_DIR / f"sensitivity_{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return fr
+
+
+def test_manager_service_time(benchmark):
+    """Figure 11's manager-contention story holds across a 10x swing."""
+    fr = benchmark.pedantic(
+        lambda: config_sensitivity("manager_service_time",
+                                   [0.5e-6, 1.5e-6, 5e-6],
+                                   spawn_microbench, STRIDED, n_threads=8),
+        rounds=1, iterations=1)
+    _archive("manager_service", fr)
+    sync = fr.series["sync"]
+    assert sync.ys == sorted(sync.ys)  # monotone in the constant
+
+
+def test_interconnect_generations(benchmark):
+    """Each InfiniBand generation shaves the same workload's times --
+    and the compute/sync split stays shaped the same."""
+    links = {"sdr": ib_sdr(), "ddr": ib_ddr(), "qdr": ib_qdr(), "fdr": ib_fdr()}
+    fr = benchmark.pedantic(
+        lambda: link_sensitivity(links, spawn_microbench, STRIDED, n_threads=8),
+        rounds=1, iterations=1)
+    _archive("ib_generations", fr)
+    compute = fr.series["compute"].ys
+    assert compute == sorted(compute, reverse=True)  # faster fabric, less stall
+
+
+def test_allocation_ordering_is_calibration_robust(benchmark):
+    """local <= global <= strided compute time at every plausible value of
+    the least-certain constant (the fault-handler cost)."""
+    robust = benchmark.pedantic(
+        lambda: ordering_robust(
+            "fault_handler_time", [0.3e-6, 1e-6, 3e-6],
+            spawn_microbench,
+            {"a_local": LOCAL, "b_global": GLOBAL, "c_strided": STRIDED},
+            n_threads=8),
+        rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sensitivity_ordering.txt").write_text(
+        f"local/global/strided compute ordering robust across "
+        f"fault_handler_time sweep: {robust}\n")
+    assert robust

@@ -1,0 +1,42 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_figNN.py`` regenerates one paper figure at full paper-scale
+parameters, asserts the qualitative shape the paper reports, and archives
+the rendered table under ``benchmarks/results/`` (EXPERIMENTS.md quotes
+those files).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import format_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Returns a function that renders + saves + prints a FigureResult."""
+
+    def _archive(fr):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_figure(fr)
+        (RESULTS_DIR / f"{fr.figure}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return fr
+
+    return _archive
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Execute a figure sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(lambda: figure_fn(**kwargs), rounds=1,
+                              iterations=1)

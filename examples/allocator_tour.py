@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Tour of Samhita's three-strategy memory allocator (§II).
+
+Shows where allocations of different sizes land (thread arena, shared zone,
+striped across memory servers), what each strategy costs in manager traffic,
+and why the arena strategy eliminates inter-thread false sharing for
+"local" allocation patterns.
+
+Run:  python examples/allocator_tour.py
+"""
+
+from repro.core import SamhitaConfig, SamhitaSystem
+from repro.core.allocator import AllocationKind
+
+
+def main():
+    config = SamhitaConfig(n_memory_servers=3, functional=False)
+    system = SamhitaSystem.cluster(n_threads=2, config=config)
+    t0 = system.add_thread()
+    t1 = system.add_thread()
+    layout = config.layout
+
+    def describe(addr, label):
+        alloc = system.allocator.allocation_at(addr)
+        pages = layout.pages_spanning(addr, alloc.size)
+        homes = sorted({system.allocator.home_of_page(p) for p in pages})
+        print(f"  {label:28s} addr={addr:#10x} kind={alloc.kind.value:12s} "
+              f"pages={len(pages):5d} memory-servers={homes}")
+        return alloc
+
+    def program():
+        print("Thread 0 allocates:")
+        rpc_before = system.manager.stats.get("allocs")
+        a = yield from system.malloc(t0, 1 << 10)       # 1 KiB
+        b = yield from system.malloc(t0, 16 << 10)      # 16 KiB
+        rpcs_small = system.manager.stats.get("allocs") - rpc_before
+        a1 = describe(a, "1 KiB (arena)")
+        describe(b, "16 KiB (arena)")
+        print(f"  -> {rpcs_small} manager RPC total: one refill buys the whole arena chunk")
+
+        c = yield from system.malloc(t0, 256 << 10)     # 256 KiB
+        describe(c, "256 KiB (shared zone)")
+        d = yield from system.malloc(t0, 8 << 20)       # 8 MiB
+        d1 = describe(d, "8 MiB (striped)")
+        assert d1.kind is AllocationKind.STRIPED
+
+        print("\nThread 1 allocates from its own arena:")
+        e = yield from system.malloc(t1, 1 << 10)
+        describe(e, "1 KiB (arena, thread 1)")
+        p0 = layout.page_of(a)
+        p1 = layout.page_of(e)
+        print(f"\n  thread 0's and thread 1's small allocations live on pages "
+              f"{p0} and {p1}:")
+        print("  different pages -> no inter-thread false sharing for local "
+              "allocation,")
+        print("  exactly the guarantee the micro-benchmark's 'local' mode "
+              "relies on.")
+        assert p0 != p1
+        assert a1.kind is AllocationKind.ARENA
+
+    system.process(program(), name="tour")
+    system.run()
+
+    stats = system.allocator.stats
+    print(f"\nAllocator counters: {dict(stats.counters)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Molecular dynamics on virtual shared memory (the Figure 13 workload).
+
+Velocity-Verlet n-body integration with an all-pairs harmonic potential.
+Demonstrates the paper's headline for compute-intensive applications: the
+O(n) work per particle masks the DSM synchronization overhead, so Samhita
+speedups track Pthreads closely.
+
+Run:  python examples/molecular_dynamics.py
+"""
+
+from repro.kernels import MDParams, md_reference, spawn_md
+from repro.runtime import Runtime
+
+PARAMS = MDParams(n_particles=96, steps=40, dt=1e-3)
+
+
+def main():
+    ref = md_reference(PARAMS)
+    print(f"Velocity-Verlet MD: {PARAMS.n_particles} particles, "
+          f"{PARAMS.steps} steps\n")
+
+    for backend, threads in (("pthreads", 4), ("samhita", 4), ("samhita", 8)):
+        rt = Runtime(backend, n_threads=threads)
+        spawn_md(rt, PARAMS)
+        result = rt.run()
+        energies = result.value_of(0)
+        drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+        assert abs(energies[-1] - ref[-1]) < 1e-6 * abs(ref[-1])
+        print(f"[{backend:8s} P={threads}] "
+              f"E0={energies[0]:.4f} E_end={energies[-1]:.4f} "
+              f"drift={drift:.2e} "
+              f"compute={result.mean_compute_time * 1e3:.2f}ms "
+              f"sync={result.mean_sync_time * 1e3:.2f}ms")
+
+    print("\nEnergy is conserved (velocity Verlet is symplectic) and every")
+    print("backend produces the identical trajectory. At this demo size the")
+    print("DSM sync cost is visible; Figure 13 uses n=8192, where the O(n)")
+    print("work per particle masks it entirely and Samhita scales to 32 cores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""A bounded producer/consumer queue over virtual shared memory.
+
+The canonical Pthreads pattern -- ring buffer + mutex + two condition
+variables -- running unchanged on the DSM. Under RegC every control-word
+update is a consistency-region store, so it propagates as a few bytes of
+fine-grained updates at each unlock rather than as whole-page traffic.
+
+Run:  python examples/pipeline_queue.py
+"""
+
+from repro.kernels import PipelineParams, spawn_pipeline
+from repro.runtime import Runtime
+
+PARAMS = PipelineParams(items=48, capacity=4, producers=1, work_per_item=2000)
+
+
+def main():
+    print(f"Pipeline: {PARAMS.items} items through a {PARAMS.capacity}-slot "
+          f"ring buffer\n")
+    for backend, threads in (("pthreads", 4), ("samhita", 4)):
+        rt = Runtime(backend, n_threads=threads)
+        spawn_pipeline(rt, PARAMS)
+        result = rt.run()
+        produced = result.value_of(0)
+        consumed = sorted(x for t in range(1, threads)
+                          for x in result.value_of(t))
+        per_consumer = [len(result.value_of(t)) for t in range(1, threads)]
+        assert consumed == list(range(PARAMS.items)), "items lost or duplicated"
+        print(f"[{backend:8s}] produced={produced} consumed={len(consumed)} "
+              f"split={per_consumer} "
+              f"sync={result.mean_sync_time * 1e3:.3f}ms")
+        if backend == "samhita":
+            fabric = result.stats["fabric"]
+            print(f"            fine-grained CR updates: "
+                  f"{fabric.get('bytes.fine_grain', 0)} bytes total "
+                  f"(ring indices travel as bytes, not pages)")
+    print("\nEvery item arrives exactly once on both machines; the DSM ships")
+    print("only the changed control words at each unlock thanks to RegC's")
+    print("store instrumentation.")
+
+
+if __name__ == "__main__":
+    main()

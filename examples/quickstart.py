@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: one threaded program, two machines.
+
+Writes a Pthreads-style kernel once and runs it unchanged on (a) a simulated
+cache-coherent SMP and (b) the Samhita distributed shared memory system --
+the paper's core programmability claim. The kernel increments a shared
+counter under a mutex and builds a shared array cooperatively.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.runtime import Runtime, SharedArray
+
+N_THREADS = 4
+ROUNDS = 5
+
+
+def kernel(ctx, shared, lock, bar):
+    """Each thread fills its slice of a shared array and bumps a counter."""
+    # Thread 0 allocates; everyone else picks the handles up after the
+    # barrier (exactly how a Pthreads program shares a malloc'd buffer).
+    if ctx.tid == 0:
+        shared["counter"] = yield from ctx.malloc_shared(64)
+        shared["array"] = yield from SharedArray.allocate(
+            ctx, rows=ctx.nthreads, cols=16)
+    yield from ctx.barrier(bar)
+
+    arr = shared["array"].view(ctx)
+    yield from arr.write_rows(ctx.tid,
+                              np.full(16, float(ctx.tid + 1), np.float64))
+
+    for _ in range(ROUNDS):
+        yield from ctx.compute(1000)          # ...do some work...
+        yield from ctx.lock(lock)             # enter a consistency region
+        raw = yield from ctx.read(shared["counter"], 8)
+        value = int(raw.view(np.int64)[0]) + 1
+        payload = np.frombuffer(np.int64(value).tobytes(), np.uint8)
+        yield from ctx.write(shared["counter"], 8, payload)
+        yield from ctx.unlock(lock)           # fine-grained update ships here
+    yield from ctx.barrier(bar)               # global consistency point
+
+    total = yield from arr.read_all()         # read everyone's rows
+    raw = yield from ctx.read(shared["counter"], 8)
+    return int(raw.view(np.int64)[0]), float(total.sum())
+
+
+def run_on(backend_name):
+    rt = Runtime(backend_name, n_threads=N_THREADS)
+    lock, bar = rt.create_lock(), rt.create_barrier()
+    shared = {}
+    rt.spawn_all(kernel, shared, lock, bar)
+    result = rt.run()
+    counter, checksum = result.value_of(0)
+    print(f"[{backend_name:8s}] counter={counter} checksum={checksum:.1f} "
+          f"virtual-time={result.elapsed * 1e6:.1f}us "
+          f"(compute={result.mean_compute_time * 1e6:.1f}us, "
+          f"sync={result.mean_sync_time * 1e6:.1f}us)")
+    return counter, checksum
+
+
+def main():
+    expected = N_THREADS * ROUNDS
+    print(f"{N_THREADS} threads x {ROUNDS} rounds -> counter should be {expected}\n")
+    for backend in ("pthreads", "samhita"):
+        counter, checksum = run_on(backend)
+        assert counter == expected, "mutex-protected counter must be exact"
+        assert checksum == 16 * sum(range(1, N_THREADS + 1))
+    print("\nSame program, same answers; only the (virtual) timings differ --")
+    print("the DSM pays for synchronization because every sync operation is")
+    print("also a memory-consistency operation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Why Regional Consistency: RegC vs a 1990s eager write-invalidate DSM.
+
+Runs the strided micro-benchmark (maximum false sharing) under both
+coherence protocols on identical hardware. The IVY-style protocol
+ping-pongs whole pages between writers on every store; RegC lets writers
+proceed on private twins and merges byte diffs at the barrier.
+
+Run:  python examples/regc_vs_ivy.py
+"""
+
+from repro.core import SamhitaConfig
+from repro.kernels import Allocation, MicrobenchParams, spawn_microbench
+from repro.runtime import Runtime
+
+PARAMS = MicrobenchParams(N=6, M=4, S=2, B=256,
+                          allocation=Allocation.GLOBAL_STRIDED)
+THREADS = 8
+
+
+def run(coherence):
+    rt = Runtime("samhita", n_threads=THREADS,
+                 config=SamhitaConfig(coherence=coherence, functional=False))
+    spawn_microbench(rt, PARAMS)
+    result = rt.run()
+    fabric = result.stats["fabric"]
+    servers = result.stats["memory_servers"]
+    print(f"[{coherence:4s}] compute={result.mean_compute_time * 1e3:8.3f}ms "
+          f"sync={result.mean_sync_time * 1e3:7.3f}ms")
+    print(f"       page traffic={fabric.get('bytes.page', 0) / 1024:8.0f} KiB  "
+          f"upgrade traffic={fabric.get('bytes.upgrade_data', 0) / 1024:6.0f} KiB  "
+          f"barrier diffs={fabric.get('bytes.barrier_diff', 0) / 1024:4.0f} KiB")
+    print(f"       upgrades={servers.get('upgrades', 0)}  "
+          f"recalls={servers.get('recalls', 0)}")
+    return result
+
+
+def main():
+    print(f"Strided micro-benchmark, {THREADS} threads, maximum false "
+          f"sharing:\n")
+    regc = run("regc")
+    ivy = run("ivy")
+    factor = (ivy.mean_compute_time + ivy.mean_sync_time) / (
+        regc.mean_compute_time + regc.mean_sync_time)
+    print(f"\nThe eager protocol is {factor:.1f}x slower end to end: every")
+    print("store to a shared page invalidates all other copies and drags the")
+    print("page across the network; RegC's multiple-writer twins turn the")
+    print("same sharing into byte-sized diffs merged once per barrier --")
+    print("the design argument of the paper, measured.")
+    assert factor > 3
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Samhita/RegC reproduction: virtual shared memory for non-cache-coherent systems.
+
+This package reproduces, as an executable functional simulation, the system
+described in *Towards Virtual Shared Memory for Non-Cache-Coherent Multicore
+Systems* (Ramesh, Ribbens, Varadarajan; IPDPS Workshops 2013): the Samhita
+distributed shared memory runtime, the Regional Consistency (RegC) memory
+model, the interconnect and hardware substrates it runs on, the paper's
+micro-benchmark / Jacobi / molecular-dynamics workloads, and the full
+evaluation harness regenerating Figures 3-13.
+
+Public entry points:
+
+* :mod:`repro.runtime.api` -- the Pthreads-like programming API.
+* :class:`repro.core.system.SamhitaSystem` -- a fully wired DSM machine.
+* :mod:`repro.experiments.figures` -- one callable per paper figure.
+"""
+
+from repro._version import __version__
+
+# Convenience top-level exports: the objects 90% of users need.
+from repro.core import PlacementPolicy, SamhitaConfig, SamhitaSystem
+from repro.runtime import Runtime, SharedArray
+
+__all__ = [
+    "PlacementPolicy",
+    "Runtime",
+    "SamhitaConfig",
+    "SamhitaSystem",
+    "SharedArray",
+    "__version__",
+]

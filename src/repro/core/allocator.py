@@ -1,0 +1,209 @@
+"""The three-strategy Samhita memory allocator (§II).
+
+1. **Arena** -- small allocations are served thread-locally from per-thread
+   arenas, with no manager round-trip and no inter-thread false sharing
+   (arena chunks are page-aligned and owned by one thread).
+2. **Shared zone** -- medium allocations go through the manager and are
+   carved page-aligned out of a shared zone on one memory server.
+3. **Striped** -- large allocations are striped, cache-line by cache-line,
+   across all memory servers "for reducing hot spots".
+
+The allocator is pure state; communication costs (the RPC for strategies 2/3
+and arena refills) are charged by the caller (compute server -> manager).
+Addresses never recycle (bump allocation); ``free`` validates and records.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import AllocationError, MemoryError_
+from repro.core.params import SamhitaConfig
+from repro.sim.stats import StatSet
+
+
+class AllocationKind(Enum):
+    ARENA = "arena"
+    SHARED_ZONE = "shared_zone"
+    STRIPED = "striped"
+
+
+@dataclass
+class Allocation:
+    addr: int
+    size: int
+    kind: AllocationKind
+    tid: int | None  # owning thread for arena allocations
+    freed: bool = False
+
+
+@dataclass
+class _Region:
+    """A page-aligned extent with a home-assignment rule."""
+
+    start_page: int
+    n_pages: int
+    striped: bool
+    server: int          # fixed home when not striped
+    n_servers: int       # stripe width when striped
+    base_line: int       # first line index, for stripe arithmetic
+
+    def home_of(self, page: int, pages_per_line: int) -> int:
+        if not self.striped:
+            return self.server
+        line = page // pages_per_line
+        return (line - self.base_line) % self.n_servers
+
+
+class _Arena:
+    """One thread's local allocation arena."""
+
+    __slots__ = ("base", "capacity", "used")
+
+    def __init__(self, base: int, capacity: int):
+        self.base = base
+        self.capacity = capacity
+        self.used = 0
+
+    def try_alloc(self, size: int, align: int = 8) -> int | None:
+        offset = (self.used + align - 1) & ~(align - 1)
+        if offset + size > self.capacity:
+            return None
+        self.used = offset + size
+        return self.base + offset
+
+
+class SamhitaAllocator:
+    """Global-address-space allocator living at the manager."""
+
+    def __init__(self, config: SamhitaConfig):
+        self.config = config
+        self.layout = config.layout
+        self._next_page = 1  # page 0 reserved (null-pointer analogue)
+        self._arenas: dict[int, _Arena] = {}
+        self._regions: list[_Region] = []
+        self._region_starts: list[int] = []
+        self.allocations: dict[int, Allocation] = {}
+        self._zone_rr = 0
+        self.stats = StatSet("allocator")
+
+    # ------------------------------------------------------------------
+    # strategy selection
+    # ------------------------------------------------------------------
+    def classify(self, size: int) -> AllocationKind:
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        if size <= self.config.arena_max_alloc:
+            return AllocationKind.ARENA
+        if size < self.config.stripe_threshold:
+            return AllocationKind.SHARED_ZONE
+        return AllocationKind.STRIPED
+
+    # ------------------------------------------------------------------
+    # page extents and homes
+    # ------------------------------------------------------------------
+    def _carve(self, nbytes: int, striped: bool, server: int) -> _Region:
+        pages = max(1, (nbytes + self.layout.page_bytes - 1) // self.layout.page_bytes)
+        # Every region starts on a cache-line boundary so no fetch unit ever
+        # spans two regions (and hence two memory servers); striped regions
+        # additionally round their extent to whole lines so the stripe
+        # arithmetic maps each line to exactly one server.
+        ppl = self.layout.pages_per_line
+        start = ((self._next_page + ppl - 1) // ppl) * ppl
+        if striped:
+            pages = ((pages + ppl - 1) // ppl) * ppl
+        region = _Region(
+            start_page=start,
+            n_pages=pages,
+            striped=striped,
+            server=server,
+            n_servers=self.config.n_memory_servers,
+            base_line=start // self.layout.pages_per_line,
+        )
+        self._next_page = start + pages
+        index = bisect.bisect(self._region_starts, region.start_page)
+        self._region_starts.insert(index, region.start_page)
+        self._regions.insert(index, region)
+        return region
+
+    def home_of_page(self, page: int) -> int:
+        """Memory-server index that homes ``page``."""
+        index = bisect.bisect(self._region_starts, page) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if region.start_page <= page < region.start_page + region.n_pages:
+                return region.home_of(page, self.layout.pages_per_line)
+        raise MemoryError_(f"page {page} is not part of any allocation")
+
+    def home_of_line(self, line: int) -> int:
+        return self.home_of_page(line * self.layout.pages_per_line)
+
+    # ------------------------------------------------------------------
+    # thread-local arena path (strategy 1)
+    # ------------------------------------------------------------------
+    def arena_alloc(self, tid: int, size: int) -> int | None:
+        """Thread-local allocation; ``None`` means the arena needs a refill
+        (which costs one manager RPC, charged by the caller)."""
+        arena = self._arenas.get(tid)
+        if arena is None:
+            return None
+        addr = arena.try_alloc(size)
+        if addr is None:
+            return None
+        self._record(addr, size, AllocationKind.ARENA, tid)
+        self.stats.incr("arena_allocs")
+        return addr
+
+    def refill_arena(self, tid: int, min_size: int) -> None:
+        """Manager-side: hand the thread a fresh page-aligned arena chunk."""
+        chunk = max(self.config.arena_chunk_bytes, self.layout.align_up(min_size))
+        server = tid % self.config.n_memory_servers
+        region = self._carve(chunk, striped=False, server=server)
+        self._arenas[tid] = _Arena(self.layout.page_addr(region.start_page), chunk)
+        self.stats.incr("arena_refills")
+
+    # ------------------------------------------------------------------
+    # manager paths (strategies 2 and 3)
+    # ------------------------------------------------------------------
+    def shared_alloc(self, size: int, tid: int | None = None) -> int:
+        """Medium allocation from the shared zone (page-aligned)."""
+        server = self._zone_rr % self.config.n_memory_servers
+        self._zone_rr += 1
+        region = self._carve(size, striped=False, server=server)
+        addr = self.layout.page_addr(region.start_page)
+        self._record(addr, size, AllocationKind.SHARED_ZONE, tid)
+        self.stats.incr("shared_allocs")
+        return addr
+
+    def striped_alloc(self, size: int, tid: int | None = None) -> int:
+        """Large allocation striped line-by-line across all memory servers."""
+        region = self._carve(size, striped=True, server=0)
+        addr = self.layout.page_addr(region.start_page)
+        self._record(addr, size, AllocationKind.STRIPED, tid)
+        self.stats.incr("striped_allocs")
+        return addr
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, addr: int, size: int, kind: AllocationKind, tid: int | None) -> None:
+        self.allocations[addr] = Allocation(addr, size, kind, tid)
+        self.stats.incr("allocated_bytes", size)
+
+    def free(self, addr: int) -> None:
+        alloc = self.allocations.get(addr)
+        if alloc is None:
+            raise AllocationError(f"free of unallocated address {addr:#x}")
+        if alloc.freed:
+            raise AllocationError(f"double free of address {addr:#x}")
+        alloc.freed = True
+        self.stats.incr("frees")
+
+    def allocation_at(self, addr: int) -> Allocation | None:
+        return self.allocations.get(addr)
+
+    @property
+    def total_pages(self) -> int:
+        return self._next_page

@@ -1,0 +1,224 @@
+"""Compute servers: demand paging, prefetch and eviction for their threads.
+
+"The compute servers are where the individual compute threads execute."
+This class implements the fault path of §II: on a miss the thread requests
+the whole multi-page cache line from its home, *and* fires an asynchronous
+request for the adjacent line (anticipatory paging); if the cache is full,
+victims are chosen by the dirty-biased policy and written back before the
+install.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import MemoryError_
+from repro.sim.engine import Timeout
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import SamhitaSystem
+
+
+class ComputeServer:
+    """Fault/prefetch/eviction engine for the threads on one component."""
+
+    def __init__(self, engine, component: str, system: "SamhitaSystem"):
+        self.engine = engine
+        self.component = component
+        self.system = system
+        self.threads: list[int] = []
+        #: In-flight line fetches per thread: {tid: {line: SimEvent}}.
+        self.pending: dict[int, dict[int, object]] = {}
+        self.stats = StatSet(f"compute[{component}]")
+
+    def register_thread(self, tid: int) -> None:
+        self.threads.append(tid)
+        self.pending[tid] = {}
+
+    # ------------------------------------------------------------------
+    # fault path
+    # ------------------------------------------------------------------
+    def ensure_resident(self, tid: int, addr: int, nbytes: int):
+        """Generator: make every page of [addr, addr+nbytes) resident.
+
+        Retries when a concurrent consistency action (an IVY upgrade by
+        another thread, a barrier invalidation) voids an in-flight fetch --
+        the per-page invalidation guard drops the stale data and the next
+        pass refetches. Under sustained write pressure (IVY readers racing
+        a tight writer loop) ordinary fetches can be voided indefinitely,
+        so after a few failed rounds the reader escalates to a *pinned*
+        fetch that holds the home server for the whole transfer: nothing
+        can invalidate mid-flight, guaranteeing progress.
+        """
+        cache = self.system.cache_of(tid)
+        protect = set(cache.layout.pages_spanning(addr, nbytes))
+        for attempt in range(64):
+            if not cache.missing_pages(addr, nbytes):
+                return
+            if attempt < 8:
+                for line in cache.missing_lines(addr, nbytes):
+                    yield from self._fault_line(tid, line, protect)
+            else:
+                missing = self._allocated_only(
+                    cache.missing_pages(addr, nbytes))
+                yield from self._fetch_pages_pinned(tid, missing, protect)
+        raise MemoryError_(
+            f"thread {tid} starved faulting [{addr:#x}, +{nbytes})")
+
+    def _fault_line(self, tid: int, line: int, protect: set[int]):
+        """Generator: demand-fetch one cache line (§II fault path)."""
+        cache = self.system.cache_of(tid)
+        config = self.system.config
+        pending = self.pending[tid]
+
+        in_flight = pending.get(line)
+        if in_flight is not None:
+            # The adjacent-line prefetch is already bringing this line in.
+            self.stats.incr("prefetch_waits")
+            yield in_flight
+
+        missing = [p for p in cache.layout.line_pages(line) if not cache.resident(p)]
+        missing = self._allocated_only(missing)
+        if missing:
+            self.stats.incr("faults")
+            yield Timeout(config.fault_handler_time)
+            yield from self._fetch_pages(tid, missing, protect,
+                                         prefetched=False)
+
+        if config.prefetch_adjacent:
+            self._maybe_prefetch(tid, line + 1)
+
+    def _allocated_only(self, pages: list[int]) -> list[int]:
+        """Drop pages outside any allocation (line tails past a region)."""
+        out = []
+        for page in pages:
+            try:
+                self.system.allocator.home_of_page(page)
+            except MemoryError_:
+                continue
+            out.append(page)
+        return out
+
+    def _fetch_pages(self, tid: int, pages: list[int], protect: set[int],
+                     prefetched: bool):
+        """Generator: fetch pages (grouped per home server) and install them.
+
+        Installs are guarded by per-page invalidation counters: data fetched
+        before an invalidation of that page (barrier directive, page-grain
+        acquire, IVY upgrade) is dropped instead of installed.
+        """
+        cache = self.system.cache_of(tid)
+        config = self.system.config
+        by_server: dict[int, list[int]] = {}
+        for page in pages:
+            by_server.setdefault(self.system.allocator.home_of_page(page), []).append(page)
+
+        for server_index, server_pages in sorted(by_server.items()):
+            server = self.system.memory_servers[server_index]
+            snapshots = {p: cache.inval_epoch_of(p) for p in server_pages}
+            # Request message out, server service (+ recalls), data back.
+            yield from self.system.scl.send(self.component, server.component,
+                                            category="fetch_req")
+            data = yield from server.serve_fetch(tid, server_pages)
+            nbytes = len(server_pages) * cache.layout.page_bytes
+            yield from self.system.fabric.transfer(server.component, self.component,
+                                                   nbytes, category="page")
+            for page in server_pages:
+                if cache.resident(page):
+                    continue  # raced with another fill
+                if cache.inval_epoch_of(page) != snapshots[page]:
+                    self.stats.incr("stale_fetch_dropped")
+                    continue
+                if cache.free_pages == 0:
+                    if prefetched:
+                        self.stats.incr("prefetch_skipped_full")
+                        continue
+                    yield from self._evict(tid, 1, protect | set(server_pages))
+                yield Timeout(config.install_page_time)
+                if cache.inval_epoch_of(page) != snapshots[page]:
+                    self.stats.incr("stale_fetch_dropped")
+                    continue
+                cache.install(page, data.get(page), prefetched=prefetched)
+            self.stats.incr("pages_fetched", len(server_pages))
+
+    def _fetch_pages_pinned(self, tid: int, pages: list[int], protect: set[int]):
+        """Generator: starvation-proof fetch -- the home server is held for
+        the whole request INCLUDING the data transfer, and the install runs
+        synchronously on return, so no invalidation can void it."""
+        cache = self.system.cache_of(tid)
+        config = self.system.config
+        by_server: dict[int, list[int]] = {}
+        for page in pages:
+            by_server.setdefault(self.system.allocator.home_of_page(page), []).append(page)
+        for server_index, server_pages in sorted(by_server.items()):
+            server = self.system.memory_servers[server_index]
+            # Pre-make room (evictions may need the same server).
+            while cache.free_pages < len(server_pages):
+                yield from self._evict(tid, 1, protect | set(server_pages))
+            yield from self.system.scl.send(self.component, server.component,
+                                            category="fetch_req")
+            data = yield from server.serve_fetch_pinned(tid, self.component,
+                                                        server_pages)
+            for page in server_pages:
+                if not cache.resident(page):
+                    cache.install(page, data.get(page))
+            self.stats.incr("pinned_fetches")
+            self.stats.incr("pages_fetched", len(server_pages))
+
+    # ------------------------------------------------------------------
+    # prefetch (anticipatory paging, §II)
+    # ------------------------------------------------------------------
+    def _maybe_prefetch(self, tid: int, line: int) -> None:
+        cache = self.system.cache_of(tid)
+        pending = self.pending[tid]
+        if line in pending:
+            return
+        missing = [p for p in cache.layout.line_pages(line) if not cache.resident(p)]
+        missing = self._allocated_only(missing)
+        if not missing:
+            return
+        gate = self.engine.event(f"prefetch.t{tid}.l{line}")
+        pending[line] = gate
+        self.engine.process(self._prefetch_line(tid, line, missing, gate),
+                            name=f"prefetch.t{tid}.l{line}", daemon=True)
+        self.stats.incr("prefetches_issued")
+
+    def _prefetch_line(self, tid: int, line: int, pages: list[int], gate):
+        try:
+            still_missing = [p for p in pages
+                             if not self.system.cache_of(tid).resident(p)]
+            if still_missing:
+                yield from self._fetch_pages(tid, still_missing, set(),
+                                             prefetched=True)
+        finally:
+            del self.pending[tid][line]
+            gate.succeed()
+
+    # ------------------------------------------------------------------
+    # eviction (dirty-biased write-back, §II)
+    # ------------------------------------------------------------------
+    def _evict(self, tid: int, count: int, protect: set[int]):
+        """Generator: evict ``count`` pages, writing dirty victims back."""
+        cache = self.system.cache_of(tid)
+        victims = cache.choose_victims(count, protect=protect)
+        for page in victims:
+            diff = cache.evict(page)
+            if diff is not None and not diff.empty:
+                yield from self.flush_diff(tid, diff)
+            # Only the page's *owner* surrenders ownership on eviction;
+            # evicting a clean bystander copy must not erase the record of
+            # someone else's lazily-held dirty data.
+            if self.system.directory.owner_of(page) == tid:
+                self.system.directory.clear_owner(page)
+            self.system.directory.remove_sharer(page, tid)
+        self.stats.incr("evictions", len(victims))
+
+    def flush_diff(self, tid: int, diff):
+        """Generator: write one page diff back to its home server."""
+        config = self.system.config
+        server = self.system.server_of_page(diff.page)
+        yield Timeout(config.diff_scan_time)
+        yield from self.system.scl.rdma_put(self.component, server.component,
+                                            diff.wire_bytes, category="diff")
+        yield from server.apply_diffs([diff])

@@ -1,0 +1,367 @@
+"""The Samhita manager.
+
+"The manager is responsible for memory allocation, synchronization and
+thread placement." Every synchronization operation is an RPC to this single
+component (plus the memory-consistency work it triggers), which is exactly
+why Samhita's synchronization costs more than Pthreads' -- and why §V
+proposes the single-node optimization reproduced here as
+``config.local_sync_optimization``.
+
+The manager owns: the allocator, the lock table (with per-lock fine-grained
+update logs), the barrier table (write-notice aggregation -> BarrierPlan),
+and condition-variable wait queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import protocol
+from repro.core.allocator import AllocationKind, SamhitaAllocator
+from repro.core.consistency import BarrierPlan, LockUpdateLog, plan_barrier
+from repro.errors import SynchronizationError
+from repro.interconnect.scl import CONTROL_BYTES, SCL
+from repro.memory.directory import PageDirectory
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.sim.stats import StatSet
+
+
+class _LockState:
+    __slots__ = ("holder", "waiters", "log")
+
+    def __init__(self):
+        self.holder: int | None = None
+        self.waiters: deque = deque()
+        self.log = LockUpdateLog()
+
+
+class _BarrierState:
+    __slots__ = ("parties", "generation", "arrived", "arrive_gate", "plan",
+                 "flush_remaining", "flush_gate")
+
+    def __init__(self, engine: Engine, parties: int, generation: int):
+        self.parties = parties
+        self.generation = generation
+        self.arrived: dict[int, list[int]] = {}
+        self.arrive_gate = engine.event(f"barrier.gen{generation}.arrive")
+        self.plan: BarrierPlan | None = None
+        self.flush_remaining = 0
+        self.flush_gate = engine.event(f"barrier.gen{generation}.flush")
+
+
+class _CondState:
+    __slots__ = ("waiters",)
+
+    def __init__(self):
+        self.waiters: deque = deque()
+
+
+class Manager:
+    """Allocation + synchronization coordinator."""
+
+    def __init__(self, engine: Engine, component: str, config,
+                 allocator: SamhitaAllocator, directory: PageDirectory, scl: SCL):
+        self.engine = engine
+        self.component = component
+        self.config = config
+        self.allocator = allocator
+        self.directory = directory
+        self.scl = scl
+        self.resource = Resource(engine, capacity=1, name="manager")
+        self.stats = StatSet("manager")
+        self._locks: dict[int, _LockState] = {}
+        self._barriers: dict[int, _BarrierState] = {}
+        self._conds: dict[int, _CondState] = {}
+        self._next_id = 0
+        #: Full thread population (the system registers every spawn); the
+        #: lock-log garbage collector needs it to compute a safe horizon.
+        self.known_threads: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # object creation (zero-cost: done at program setup time)
+    # ------------------------------------------------------------------
+    def create_lock(self) -> int:
+        self._next_id += 1
+        self._locks[self._next_id] = _LockState()
+        return self._next_id
+
+    def create_barrier(self, parties: int) -> int:
+        if parties < 1:
+            raise SynchronizationError("barrier needs at least one party")
+        self._next_id += 1
+        self._barriers[self._next_id] = _BarrierState(self.engine, parties, 0)
+        # Remember the party count for generation rollover.
+        self._barriers[self._next_id].parties = parties
+        return self._next_id
+
+    def create_cond(self) -> int:
+        self._next_id += 1
+        self._conds[self._next_id] = _CondState()
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def _is_local(self, comp: str) -> bool:
+        return self.config.local_sync_optimization and comp == self.component
+
+    def _rpc(self, comp: str, nbytes: int = CONTROL_BYTES, category: str = "sync"):
+        """Generator: one request message into the manager + service time."""
+        if self._is_local(comp):
+            return  # §V: co-located threads use local atomics, no RPC
+        yield from self.scl.send(comp, self.component, nbytes, category=category)
+        yield from self.resource.use(self.config.manager_service_time)
+        self.stats.incr("requests")
+
+    def _reply(self, comp: str, nbytes: int = CONTROL_BYTES, category: str = "sync"):
+        if self._is_local(comp):
+            return
+        yield from self.scl.send(self.component, comp, nbytes, category=category)
+
+    # ------------------------------------------------------------------
+    # allocation RPCs
+    # ------------------------------------------------------------------
+    def alloc_rpc(self, tid: int, comp: str, size: int, force_shared: bool = False):
+        """Generator: manager-mediated allocation (strategies 2 and 3, and
+        arena refills). Returns the address (or None for pure refills).
+
+        ``force_shared`` bypasses the size classification and allocates
+        page-aligned from the shared zone -- the path for program globals
+        that must not share pages with any thread's arena data.
+        """
+        yield from self._rpc(comp, protocol.alloc_request_bytes(), category="alloc")
+        kind = (AllocationKind.SHARED_ZONE if force_shared
+                else self.allocator.classify(size))
+        if kind is AllocationKind.ARENA:
+            self.allocator.refill_arena(tid, size)
+            addr = None
+        elif kind is AllocationKind.SHARED_ZONE:
+            addr = self.allocator.shared_alloc(size, tid)
+        else:
+            addr = self.allocator.striped_alloc(size, tid)
+        yield from self._reply(comp, protocol.alloc_reply_bytes(), category="alloc")
+        self.stats.incr("allocs")
+        return addr
+
+    def free_rpc(self, tid: int, comp: str, addr: int):
+        yield from self._rpc(comp, category="alloc")
+        self.allocator.free(addr)
+        yield from self._reply(comp, category="alloc")
+
+    # ------------------------------------------------------------------
+    # locks (consistency regions)
+    # ------------------------------------------------------------------
+    def _lock(self, lock_id: int) -> _LockState:
+        try:
+            return self._locks[lock_id]
+        except KeyError:
+            raise SynchronizationError(f"unknown lock id {lock_id}") from None
+
+    def acquire_lock(self, tid: int, comp: str, lock_id: int):
+        """Generator: block until granted; returns the pending fine-grained
+        updates (diffs, payload_bytes, span_count) the acquirer must apply."""
+        lock = self._lock(lock_id)
+        yield from self._rpc(comp, category="lock")
+        if lock.holder is None:
+            lock.holder = tid
+        else:
+            gate = self.engine.event(f"lock{lock_id}.wait")
+            lock.waiters.append((tid, gate))
+            yield gate
+            if lock.holder != tid:  # pragma: no cover - invariant guard
+                raise SynchronizationError("lock handoff mismatch")
+        diffs, payload, spans, invalidate = lock.log.updates_since(tid)
+        self.stats.incr("lock_acquires")
+        yield from self._reply(
+            comp, protocol.lock_grant_bytes(payload, spans + len(invalidate)),
+            category="lock")
+        return diffs, payload, spans, invalidate
+
+    def release_lock(self, tid: int, comp: str, lock_id: int, diffs: list,
+                     payload_bytes: int, span_count: int, invalidate_pages=()):
+        """Generator: record the releaser's store-log updates and hand the
+        lock to the next waiter. The caller has already written the updates
+        through to the page homes."""
+        lock = self._lock(lock_id)
+        if lock.holder != tid:
+            raise SynchronizationError(
+                f"thread {tid} releasing lock {lock_id} held by {lock.holder}")
+        yield from self._rpc(
+            comp, protocol.release_message_bytes(payload_bytes, span_count),
+            category="lock")
+        if diffs or payload_bytes or invalidate_pages:
+            lock.log.append(diffs, invalidate_pages)
+        if lock.waiters:
+            next_tid, gate = lock.waiters.popleft()
+            lock.holder = next_tid
+            gate.succeed()
+        else:
+            lock.holder = None
+        self.stats.incr("lock_releases")
+
+    def holds_lock(self, tid: int, lock_id: int) -> bool:
+        return self._lock(lock_id).holder == tid
+
+    def prune_lock_logs(self, all_tids) -> None:
+        """Garbage-collect fine-grain logs every thread has consumed."""
+        for lock in self._locks.values():
+            lock.log.prune(all_tids)
+
+    # ------------------------------------------------------------------
+    # barriers (global consistency points)
+    # ------------------------------------------------------------------
+    def _barrier(self, barrier_id: int) -> _BarrierState:
+        try:
+            return self._barriers[barrier_id]
+        except KeyError:
+            raise SynchronizationError(f"unknown barrier id {barrier_id}") from None
+
+    def barrier_parties(self, barrier_id: int) -> int:
+        return self._barrier(barrier_id).parties
+
+    def barrier_arrive(self, tid: int, comp: str, barrier_id: int,
+                       notices: list[int]):
+        """Generator: submit write notices, wait for the full party, and
+        receive this thread's directives.
+
+        Returns ``(state, invalidate_pages, flush_pages)`` -- the state
+        handle is needed for the flush-completion phase.
+        """
+        state = self._barrier(barrier_id)
+        yield from self._rpc(comp, protocol.notice_message_bytes(len(notices)),
+                             category="barrier")
+        if tid in state.arrived:
+            raise SynchronizationError(
+                f"thread {tid} arrived twice at barrier {barrier_id}")
+        state.arrived[tid] = list(notices)
+        if len(state.arrived) == state.parties:
+            state.plan = plan_barrier(state.arrived, self.directory)
+            state.flush_remaining = sum(
+                1 for pages in state.plan.flush.values() if pages)
+            if state.flush_remaining == 0:
+                state.flush_gate.succeed()
+            # Roll the barrier over to a fresh generation for reuse.
+            self._barriers[barrier_id] = _BarrierState(
+                self.engine, state.parties, state.generation + 1)
+            self.stats.incr("barrier_rounds")
+            state.arrive_gate.succeed()
+        else:
+            yield state.arrive_gate
+        plan = state.plan
+        inv = plan.invalidate.get(tid, [])
+        flush = plan.flush.get(tid, [])
+        # A barrier is RegC's *global* consistency point: it must also make
+        # consistency-region updates visible to threads that never acquire
+        # the corresponding lock. Collect every lock-log update this thread
+        # has not yet seen and ship it with the directive.
+        cr_diffs: list = []
+        cr_payload = 0
+        cr_invalidate: set[int] = set()
+        for lock in self._locks.values():
+            diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
+            cr_diffs.extend(diffs)
+            cr_payload += payload
+            cr_invalidate.update(invalidate)
+        # Safe point to garbage-collect lock logs: prunes only epochs every
+        # known thread has already consumed.
+        self.prune_lock_logs(self.known_threads)
+        # Directive reply (manager serializes these sends).
+        if not self._is_local(comp):
+            yield from self.resource.use(self.config.manager_service_time)
+        yield from self._reply(
+            comp,
+            protocol.directive_message_bytes(len(inv), len(flush)) + cr_payload
+            + protocol.PAGE_ID_BYTES * len(cr_invalidate),
+            category="barrier")
+        return state, inv, flush, cr_diffs, sorted(cr_invalidate)
+
+    def barrier_arrive_group(self, comp: str, barrier_id: int,
+                             arrivals: dict[int, list[int]]):
+        """Generator: hierarchical-combining arrival -- one message carries
+        a whole compute node's write notices, and one directive reply
+        carries everyone's directives back.
+
+        Returns ``(state, {tid: (invalidate, flush, cr_diffs, cr_inval)})``.
+        """
+        state = self._barrier(barrier_id)
+        total_notices = sum(len(n) for n in arrivals.values())
+        yield from self._rpc(comp, protocol.notice_message_bytes(total_notices),
+                             category="barrier")
+        for tid, notices in arrivals.items():
+            if tid in state.arrived:
+                raise SynchronizationError(
+                    f"thread {tid} arrived twice at barrier {barrier_id}")
+            state.arrived[tid] = list(notices)
+        if len(state.arrived) == state.parties:
+            state.plan = plan_barrier(state.arrived, self.directory)
+            state.flush_remaining = sum(
+                1 for pages in state.plan.flush.values() if pages)
+            if state.flush_remaining == 0:
+                state.flush_gate.succeed()
+            self._barriers[barrier_id] = _BarrierState(
+                self.engine, state.parties, state.generation + 1)
+            self.stats.incr("barrier_rounds")
+            state.arrive_gate.succeed()
+        else:
+            yield state.arrive_gate
+        plan = state.plan
+        directives = {}
+        reply_bytes = 0
+        for tid in arrivals:
+            inv = plan.invalidate.get(tid, [])
+            flush = plan.flush.get(tid, [])
+            cr_diffs: list = []
+            cr_payload = 0
+            cr_invalidate: set[int] = set()
+            for lock in self._locks.values():
+                diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
+                cr_diffs.extend(diffs)
+                cr_payload += payload
+                cr_invalidate.update(invalidate)
+            directives[tid] = (inv, flush, cr_diffs, sorted(cr_invalidate))
+            reply_bytes += (protocol.directive_message_bytes(len(inv), len(flush))
+                            + cr_payload
+                            + protocol.PAGE_ID_BYTES * len(cr_invalidate))
+        self.prune_lock_logs(self.known_threads)
+        if not self._is_local(comp):
+            yield from self.resource.use(self.config.manager_service_time)
+        yield from self._reply(comp, reply_bytes, category="barrier")
+        return state, directives
+
+    def barrier_flush_done(self, tid: int, comp: str, state: _BarrierState):
+        """Generator: report completion of this thread's multi-writer flush."""
+        yield from self._rpc(comp, category="barrier")
+        state.flush_remaining -= 1
+        if state.flush_remaining == 0:
+            state.flush_gate.succeed()
+
+    # ------------------------------------------------------------------
+    # condition variables
+    # ------------------------------------------------------------------
+    def _cond(self, cond_id: int) -> _CondState:
+        try:
+            return self._conds[cond_id]
+        except KeyError:
+            raise SynchronizationError(f"unknown condition variable {cond_id}") from None
+
+    def cond_register(self, tid: int, comp: str, cond_id: int):
+        """Generator: enqueue the caller as a waiter *before* it releases the
+        associated lock (callers must hold that lock, which rules out lost
+        wakeups). Returns the event to wait on."""
+        cond = self._cond(cond_id)
+        yield from self._rpc(comp, category="cond")
+        gate = self.engine.event(f"cond{cond_id}.wait")
+        cond.waiters.append((tid, gate))
+        return gate
+
+    def cond_signal(self, tid: int, comp: str, cond_id: int, broadcast: bool = False):
+        """Generator: wake one (or all) waiters."""
+        cond = self._cond(cond_id)
+        yield from self._rpc(comp, category="cond")
+        count = len(cond.waiters) if broadcast else min(1, len(cond.waiters))
+        for _ in range(count):
+            _tid, gate = cond.waiters.popleft()
+            gate.succeed()
+        self.stats.incr("cond_signals")
+        return count

@@ -1,0 +1,201 @@
+"""Memory servers: the page homes of the global address space.
+
+"The memory servers are responsible for serving the memory required for the
+shared global address space." Each server owns a :class:`BackingStore` and a
+single-unit DES resource, so concurrent requests queue (this queueing is the
+hot-spot the striped allocator exists to spread).
+
+Serving a fetch may require a *recall*: if the directory says some thread
+owns the page (it holds an unflushed single-writer diff), the server pulls
+that diff over the fabric and merges it before replying -- the lazy half of
+the barrier protocol in :mod:`repro.core.consistency`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.memory.backing import BackingStore
+from repro.memory.directory import PageDirectory
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import Resource
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import SamhitaSystem
+
+
+class MemoryServer:
+    """One page home."""
+
+    def __init__(self, engine: Engine, component: str, index: int,
+                 config, directory: PageDirectory):
+        self.engine = engine
+        self.component = component
+        self.index = index
+        self.config = config
+        self.directory = directory
+        self.backing = BackingStore(config.layout, functional=config.functional,
+                                    name=f"backing{index}")
+        self.resource = Resource(engine, capacity=1, name=f"memserver{index}")
+        self.stats = StatSet(f"memserver{index}")
+        self._system: "SamhitaSystem | None" = None
+
+    def bind(self, system: "SamhitaSystem") -> None:
+        """Late-bind the system for owner-recall resolution."""
+        self._system = system
+
+    # ------------------------------------------------------------------
+    # request handlers (generators run inside the requester's process)
+    # ------------------------------------------------------------------
+    def serve_fetch(self, requester_tid: int, pages: list[int]):
+        """Generator: serve page data for a fetch request.
+
+        The caller has already paid the request message; this charges server
+        queueing + service, performs any owner recalls, and returns
+        ``{page: data}`` (data is None in timing mode). The caller pays the
+        reply transfer.
+
+        The service resource is held for the WHOLE request (the server's
+        event loop is sequential): otherwise two concurrent faults on an
+        owner-held page race -- the second would see ownership already
+        cleared and read the home copy before the in-flight recall merges.
+        """
+        yield from self.resource.request()
+        try:
+            yield Timeout(self.config.memserver_service_time)
+            self.stats.incr("fetches")
+            self.stats.incr("pages_served", len(pages))
+            result = {}
+            for page in pages:
+                owner = self.directory.owner_of(page)
+                if owner is not None and owner != requester_tid:
+                    yield from self._recall(page, owner)
+                self.directory.add_sharer(page, requester_tid)
+                result[page] = self.backing.read_page(page)
+            return result
+        finally:
+            self.resource.release()
+
+    def _recall(self, page: int, owner_tid: int):
+        """Generator: pull the owner's unflushed diff and merge it."""
+        assert self._system is not None, "memory server not bound to a system"
+        system = self._system
+        owner_cache = system.cache_of(owner_tid)
+        owner_comp = system.component_of(owner_tid)
+        self.stats.incr("recalls")
+        # Recall request to the owner's node, diff data back.
+        yield from system.scl.send(self.component, owner_comp, category="recall")
+        entry = owner_cache.entries.get(page)
+        diff = None
+        if entry is not None and entry.is_dirty:
+            diff = owner_cache.take_diff(page)
+        # Ownership must clear atomically with the diff take: if it lingered
+        # across the transfer below, the old owner's fast write path
+        # (owner == tid) could re-dirty the page it is about to lose.
+        self.directory.clear_owner(page)
+        if diff is not None:
+            yield from system.fabric.transfer(owner_comp, self.component,
+                                              diff.wire_bytes, category="recall_diff")
+            yield Timeout(self.config.apply_time_per_byte * diff.payload_bytes)
+            self.backing.apply_diff(diff)
+            self.stats.incr("recall_bytes", diff.payload_bytes)
+
+    def serve_upgrade(self, writer_tid: int, writer_comp: str, page: int):
+        """Generator: grant exclusive write access to a page (the eager
+        write-invalidate protocol's core operation).
+
+        Recalls the current exclusive owner's data if any, invalidates every
+        other sharer's copy synchronously (the writer waits for the acks --
+        the page ping-pong cost that motivates the multiple-writer/RegC
+        design), then ships the *current* page contents to the writer. The
+        data transfer and install cost happen inside the grant, so the
+        caller can install and store with no further yields: the write is
+        atomic with its grant, which is what keeps contended upgrades from
+        livelocking.
+        """
+        assert self._system is not None, "memory server not bound to a system"
+        system = self._system
+        yield from self.resource.request()
+        try:
+            yield Timeout(self.config.memserver_service_time)
+            owner = self.directory.owner_of(page)
+            if owner is not None and owner != writer_tid:
+                yield from self._recall(page, owner)
+            for sharer in sorted(self.directory.sharers_of(page)):
+                if sharer == writer_tid:
+                    continue
+                comp = system.component_of(sharer)
+                yield from system.scl.send(self.component, comp,
+                                           category="invalidate")
+                cache = system.cache_of(sharer)
+                entry = cache.entries.get(page)
+                if entry is not None and entry.is_dirty:
+                    # Stale exclusivity: merge first.
+                    diff = cache.take_diff(page)
+                    self.backing.apply_diff(diff)
+                # Drops the copy AND advances the page's invalidation
+                # counter, voiding any of the sharer's in-flight fetches.
+                cache.invalidate([page])
+                yield Timeout(self.config.invalidate_page_time)
+                yield from system.scl.send(comp, self.component,
+                                           category="invalidate_ack")
+                self.directory.remove_sharer(page, sharer)
+            self.directory.record_owner(page, writer_tid)
+            self.directory.add_sharer(page, writer_tid)
+            self.stats.incr("upgrades")
+            # Write fault carries the current page contents + install cost.
+            yield from system.fabric.transfer(
+                self.component, writer_comp, self.config.layout.page_bytes,
+                category="upgrade_data")
+            yield Timeout(self.config.install_page_time)
+            return self.backing.read_page(page)
+        finally:
+            self.resource.release()
+
+    def serve_fetch_pinned(self, requester_tid: int, requester_comp: str,
+                           pages: list[int]):
+        """Generator: starvation-proof fetch. Unlike :meth:`serve_fetch`,
+        the data transfer happens while the server resource is still held,
+        so no invalidating operation (upgrade, recall) can slip between the
+        read and the requester's install."""
+        yield from self.resource.request()
+        try:
+            yield Timeout(self.config.memserver_service_time)
+            self.stats.incr("pinned_fetches")
+            self.stats.incr("pages_served", len(pages))
+            result = {}
+            for page in pages:
+                owner = self.directory.owner_of(page)
+                if owner is not None and owner != requester_tid:
+                    yield from self._recall(page, owner)
+                self.directory.add_sharer(page, requester_tid)
+                result[page] = self.backing.read_page(page)
+            nbytes = len(pages) * self.config.layout.page_bytes
+            yield from self._system.fabric.transfer(
+                self.component, requester_comp, nbytes, category="page")
+            yield Timeout(len(pages) * self.config.install_page_time)
+            return result
+        finally:
+            self.resource.release()
+
+    def apply_diffs(self, diffs: list):
+        """Generator: merge flushed diffs (server service + apply cost).
+
+        The caller pays the wire transfer; homes apply in arrival order,
+        which the DES serializes deterministically. As with fetches, the
+        resource is held until the merge is visible.
+        """
+        yield from self.resource.request()
+        try:
+            yield Timeout(self.config.memserver_service_time)
+            total = sum(d.payload_bytes for d in diffs)
+            if total:
+                yield Timeout(self.config.apply_time_per_byte * total)
+            for diff in diffs:
+                self.backing.apply_diff(diff)
+                self.directory.clear_owner(diff.page)
+            self.stats.incr("flushes")
+            self.stats.incr("flush_bytes", total)
+        finally:
+            self.resource.release()

@@ -1,0 +1,110 @@
+"""Tunable parameters of the Samhita runtime.
+
+Everything the paper describes as a design choice (cache line size,
+prefetching, eviction bias, multiple-writer protocol, fine-grain consistency
+region updates, allocator thresholds) is a field here, so the ablation
+benches can toggle each one independently.
+
+Time constants model user-level software costs of the original
+implementation (signal-handler page faults, twin copies, diff scans); they
+are small relative to interconnect costs, as in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+from repro.memory.cache import EvictionPolicy
+from repro.memory.layout import MemoryLayout
+
+
+@dataclass(frozen=True)
+class SamhitaConfig:
+    """Configuration of one Samhita instance."""
+
+    layout: MemoryLayout = field(default_factory=MemoryLayout)
+
+    # -- software cache ------------------------------------------------
+    #: Per-thread cache capacity in pages (default 1 GiB of 4 KiB pages --
+    #: a coprocessor core's fair share of on-board memory; the eviction
+    #: ablation shrinks this).
+    cache_capacity_pages: int = 1 << 18
+    eviction_policy: EvictionPolicy = EvictionPolicy.DIRTY_BIASED
+    #: Fetch the adjacent cache line asynchronously on every miss (§II).
+    prefetch_adjacent: bool = True
+
+    # -- consistency ----------------------------------------------------
+    #: Memory coherence protocol: "regc" (the paper's Regional Consistency)
+    #: or "ivy" -- an eager write-invalidate protocol in the style of
+    #: 1990s page-based DSMs, kept as the historical baseline RegC is
+    #: designed to beat (every write to a shared page invalidates all other
+    #: copies synchronously; no twins, no diffs, no consistency work at
+    #: synchronization points).
+    coherence: str = "regc"
+    #: Twin/diff multiple-writer protocol; False falls back to whole-page
+    #: write-back (single-writer style), for the ablation.
+    multiple_writer: bool = True
+    #: Fine-grained (store-log) updates inside consistency regions; False
+    #: treats consistency-region stores like ordinary stores (page-grain).
+    regc_fine_grain: bool = True
+    #: §V future work -- threads co-located with the manager skip the
+    #: network round-trip for synchronization operations.
+    local_sync_optimization: bool = False
+    #: §V-adjacent extension: threads on one compute node combine their
+    #: barrier arrivals locally and send ONE message to the manager per
+    #: node, cutting the manager's per-barrier serialization from
+    #: O(threads) to O(nodes). Only applies to full-party barriers.
+    hierarchical_sync: bool = False
+    #: Update-style barriers (Munin-flavoured ablation): instead of leaving
+    #: invalidated pages to refault lazily during the next compute phase,
+    #: refetch them in one batched request per home server while still
+    #: inside the barrier. Trades sync time for compute-phase fault stalls.
+    barrier_eager_refresh: bool = False
+
+    # -- data plane ------------------------------------------------------
+    #: Functional mode moves real bytes; timing mode tracks sizes only.
+    functional: bool = True
+
+    # -- allocator (three strategies, §II) --------------------------------
+    #: Allocations at or below this size come from the per-thread arena.
+    arena_max_alloc: int = 64 << 10
+    #: Arena refill chunk size (one manager RPC buys this much).
+    arena_chunk_bytes: int = 256 << 10
+    #: Allocations at or above this size stripe across memory servers.
+    stripe_threshold: int = 1 << 20
+
+    # -- server model -----------------------------------------------------
+    n_memory_servers: int = 1
+    manager_service_time: float = 1.5e-6
+    memserver_service_time: float = 1.0e-6
+
+    # -- local software costs ---------------------------------------------
+    #: Signal-handler + mprotect cost charged per page fault event.
+    fault_handler_time: float = 1.0e-6
+    #: Copy cost for creating one twin page.
+    twin_create_time: float = 0.8e-6
+    #: Scanning one dirty page against its twin.
+    diff_scan_time: float = 0.4e-6
+    #: Applying received bytes (diffs / fine-grain updates), per byte.
+    apply_time_per_byte: float = 0.2e-9
+    #: Dropping one cached page (mprotect + bookkeeping).
+    invalidate_page_time: float = 0.3e-6
+    #: Installing one fetched page into the local cache (copy + mmap).
+    install_page_time: float = 0.8e-6
+
+    def __post_init__(self):
+        if self.coherence not in ("regc", "ivy"):
+            raise ReproError(f"unknown coherence protocol {self.coherence!r}")
+        if self.cache_capacity_pages < self.layout.pages_per_line:
+            raise ReproError("cache must hold at least one cache line")
+        if not (0 < self.arena_max_alloc <= self.arena_chunk_bytes):
+            raise ReproError("require 0 < arena_max_alloc <= arena_chunk_bytes")
+        if self.stripe_threshold <= self.arena_max_alloc:
+            raise ReproError("stripe_threshold must exceed arena_max_alloc")
+        if self.n_memory_servers < 1:
+            raise ReproError("need at least one memory server")
+
+    def with_(self, **changes) -> "SamhitaConfig":
+        """A modified copy (sweeps and ablations)."""
+        return replace(self, **changes)

@@ -1,0 +1,41 @@
+"""Thread placement policies.
+
+"The manager is responsible for memory allocation, synchronization and
+thread placement." Placement matters most on the heterogeneous machine:
+packing threads onto one coprocessor saturates its PCIe bus, while spreading
+them across coprocessors multiplies host-link bandwidth.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import BackendError
+
+
+class PlacementPolicy(Enum):
+    #: Fill each compute component to its core count before the next
+    #: (the paper's cluster runs: threads packed 8-per-node).
+    PACKED = "packed"
+    #: Deal threads across compute components like cards.
+    ROUND_ROBIN = "round_robin"
+
+
+def choose_component(policy: PlacementPolicy, components: list[str],
+                     cores: dict[str, int], load: dict[str, int]) -> str:
+    """Pick the component for the next thread.
+
+    ``cores`` maps component -> core count; ``load`` maps component ->
+    threads already placed there.
+    """
+    if policy is PlacementPolicy.PACKED:
+        for comp in components:
+            if load.get(comp, 0) < cores[comp]:
+                return comp
+    elif policy is PlacementPolicy.ROUND_ROBIN:
+        candidates = [c for c in components if load.get(c, 0) < cores[c]]
+        if candidates:
+            return min(candidates, key=lambda c: (load.get(c, 0), components.index(c)))
+    else:  # pragma: no cover - enum is closed
+        raise BackendError(f"unknown placement policy {policy!r}")
+    raise BackendError("no free cores for a new thread")

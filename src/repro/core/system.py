@@ -1,0 +1,522 @@
+"""SamhitaSystem: a fully wired virtual-shared-memory machine.
+
+Builds the architecture of Figure 1 on a given topology -- manager, memory
+server(s), compute servers -- and exposes the thread-level operations the
+runtime API calls: ``malloc``/``free``, ``mem_read``/``mem_write`` (through
+the per-thread software cache, with RegC store classification), and the
+synchronization operations that double as memory-consistency points.
+
+Three canonical machines:
+
+* :meth:`SamhitaSystem.cluster` -- the paper's testbed: nodes on QDR
+  InfiniBand, one manager node, one (or more) memory-server nodes, threads
+  packed 8-per-compute-node;
+* :meth:`SamhitaSystem.hetero` -- the paper's target (Figure 1): manager and
+  memory server on the host, threads on coprocessor cores across PCIe;
+* :meth:`SamhitaSystem.single_node` -- everything co-located, for the §V
+  local-synchronization ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.allocator import AllocationKind, SamhitaAllocator
+from repro.core.compute_server import ComputeServer
+from repro.core.manager import Manager
+from repro.core.memory_server import MemoryServer
+from repro.core.params import SamhitaConfig
+from repro.core.placement import PlacementPolicy, choose_component
+from repro.core.regions import RegionTracker
+from repro.errors import BackendError, ConsistencyError, SynchronizationError
+from repro.hardware.specs import NodeSpec, PENRYN_NODE, XEON_PHI_KNC
+from repro.hardware.topology import (
+    Topology,
+    cluster_topology,
+    hetero_node_topology,
+    smp_topology,
+)
+from repro.interconnect.routing import Fabric
+from repro.interconnect.scl import SCL
+from repro.memory.cache import SoftwareCache
+from repro.memory.directory import PageDirectory
+from repro.memory.storelog import StoreLog
+from repro.sim.engine import Engine, Timeout
+from repro.sim.stats import StatSet
+
+
+class SamhitaSystem:
+    """One Samhita instance bound to a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SamhitaConfig | None = None,
+        manager_component: str | None = None,
+        memserver_components: list[str] | None = None,
+        compute_components: list[str] | None = None,
+        model_contention: bool = True,
+        placement: PlacementPolicy = PlacementPolicy.PACKED,
+    ):
+        self.config = config or SamhitaConfig()
+        self.topology = topology
+        self.engine = Engine()
+        self.fabric = Fabric(self.engine, topology, model_contention=model_contention)
+        self.scl = SCL(self.fabric)
+        self.directory = PageDirectory()
+        self.allocator = SamhitaAllocator(self.config)
+        self.stats = StatSet("system")
+
+        compute = compute_components or [c.name for c in topology.compute_components()]
+        if not compute:
+            raise BackendError("topology has no compute components")
+        manager_comp = manager_component or compute[0]
+        mem_comps = memserver_components or [compute[0]]
+        if len(mem_comps) != self.config.n_memory_servers:
+            raise BackendError(
+                f"config wants {self.config.n_memory_servers} memory servers, "
+                f"got components {mem_comps}")
+
+        self.manager = Manager(self.engine, manager_comp, self.config,
+                               self.allocator, self.directory, self.scl)
+        self.memory_servers = [
+            MemoryServer(self.engine, comp, i, self.config, self.directory)
+            for i, comp in enumerate(mem_comps)
+        ]
+        for server in self.memory_servers:
+            server.bind(self)
+        self.compute_servers = {
+            comp: ComputeServer(self.engine, comp, self) for comp in compute
+        }
+        self._compute_order = list(compute)
+        self.placement = placement
+
+        # Per-thread state.
+        self._caches: dict[int, SoftwareCache] = {}
+        self._regions: dict[int, RegionTracker] = {}
+        self._storelogs: dict[int, StoreLog] = {}
+        self._cr_pages: dict[int, set[int]] = {}
+        self._thread_comp: dict[int, str] = {}
+        self._combiners: dict[tuple[int, str], dict] = {}
+        self._next_tid = 0
+
+    # ------------------------------------------------------------------
+    # canonical machines
+    # ------------------------------------------------------------------
+    @classmethod
+    def cluster(cls, n_threads: int, config: SamhitaConfig | None = None,
+                node: NodeSpec = PENRYN_NODE, fabric_link=None,
+                model_contention: bool = True) -> "SamhitaSystem":
+        """The paper's testbed: dedicated manager node + memory-server
+        node(s) + enough compute nodes for ``n_threads``."""
+        config = config or SamhitaConfig()
+        n_compute = max(1, math.ceil(n_threads / node.cores))
+        n_nodes = 1 + config.n_memory_servers + n_compute
+        topo = cluster_topology(n_nodes, node=node, fabric_link=fabric_link)
+        names = [f"node{i}" for i in range(n_nodes)]
+        return cls(
+            topo, config,
+            manager_component=names[0],
+            memserver_components=names[1:1 + config.n_memory_servers],
+            compute_components=names[1 + config.n_memory_servers:],
+            model_contention=model_contention,
+        )
+
+    @classmethod
+    def hetero(cls, n_coprocessors: int = 1, config: SamhitaConfig | None = None,
+               host: NodeSpec = PENRYN_NODE, coprocessor=XEON_PHI_KNC,
+               bus=None, model_contention: bool = True,
+               placement: PlacementPolicy = PlacementPolicy.PACKED) -> "SamhitaSystem":
+        """Figure 1: host runs manager + memory server, threads run on the
+        coprocessor(s) across the PCIe bus."""
+        config = config or SamhitaConfig()
+        if config.n_memory_servers != 1:
+            config = config.with_(n_memory_servers=1)
+        topo = hetero_node_topology(n_coprocessors, host=host,
+                                    coprocessor=coprocessor, bus=bus)
+        mics = [f"mic{i}" for i in range(n_coprocessors)]
+        return cls(topo, config, manager_component="host",
+                   memserver_components=["host"], compute_components=mics,
+                   model_contention=model_contention, placement=placement)
+
+    @classmethod
+    def single_node(cls, config: SamhitaConfig | None = None,
+                    node: NodeSpec = PENRYN_NODE) -> "SamhitaSystem":
+        """Everything co-located on one node (the §V ablation machine)."""
+        config = config or SamhitaConfig()
+        if config.n_memory_servers != 1:
+            config = config.with_(n_memory_servers=1)
+        topo = smp_topology(node)
+        return cls(topo, config, manager_component="host",
+                   memserver_components=["host"], compute_components=["host"])
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+    def add_thread(self, component: str | None = None) -> int:
+        """Create a compute thread (the manager's thread placement applies
+        the configured policy, one thread per core). Returns the thread id."""
+        if component is None:
+            cores = {c: self.topology.component(c).cores
+                     for c in self._compute_order}
+            load = {c: len(self.compute_servers[c].threads)
+                    for c in self._compute_order}
+            component = choose_component(self.placement, self._compute_order,
+                                         cores, load)
+        elif component not in self.compute_servers:
+            raise BackendError(f"{component!r} is not a compute component")
+        tid = self._next_tid
+        self._next_tid += 1
+        self._thread_comp[tid] = component
+        self._caches[tid] = SoftwareCache(
+            self.config.layout, self.config.cache_capacity_pages,
+            functional=self.config.functional,
+            policy=self.config.eviction_policy,
+            # IVY has no twins: exclusive pages write back whole.
+            use_twins=(self.config.multiple_writer
+                       and self.config.coherence == "regc"),
+            name=f"cache.t{tid}")
+        self._regions[tid] = RegionTracker(f"regions.t{tid}")
+        self._storelogs[tid] = StoreLog(self.config.layout)
+        self._cr_pages[tid] = set()
+        self.compute_servers[component].register_thread(tid)
+        self.manager.known_threads.add(tid)
+        return tid
+
+    # -- lookups used across components ---------------------------------
+    def cache_of(self, tid: int) -> SoftwareCache:
+        return self._caches[tid]
+
+    def component_of(self, tid: int) -> str:
+        return self._thread_comp[tid]
+
+    def compute_server_of(self, tid: int) -> ComputeServer:
+        return self.compute_servers[self._thread_comp[tid]]
+
+    def server_of_page(self, page: int) -> MemoryServer:
+        return self.memory_servers[self.allocator.home_of_page(page)]
+
+    def region_tracker_of(self, tid: int) -> RegionTracker:
+        return self._regions[tid]
+
+    @property
+    def thread_ids(self) -> list[int]:
+        return sorted(self._thread_comp)
+
+    # ------------------------------------------------------------------
+    # allocation (three strategies)
+    # ------------------------------------------------------------------
+    def malloc(self, tid: int, size: int, shared: bool = False):
+        """Generator: allocate from the global address space.
+
+        ``shared=True`` forces a page-aligned shared-zone allocation
+        regardless of size -- used for program globals so they never share a
+        page with a thread's arena data.
+        """
+        comp = self.component_of(tid)
+        if shared:
+            addr = yield from self.manager.alloc_rpc(tid, comp, size,
+                                                     force_shared=True)
+            return addr
+        if self.allocator.classify(size) is AllocationKind.ARENA:
+            addr = self.allocator.arena_alloc(tid, size)
+            if addr is None:
+                # Arena refill is the only communication small allocs pay.
+                yield from self.manager.alloc_rpc(tid, comp, size)
+                addr = self.allocator.arena_alloc(tid, size)
+                assert addr is not None, "arena refill failed to satisfy"
+            return addr
+        addr = yield from self.manager.alloc_rpc(tid, comp, size)
+        return addr
+
+    def free(self, tid: int, addr: int):
+        """Generator: release an allocation (validation + stats only --
+        the bump allocator never recycles addresses)."""
+        alloc = self.allocator.allocation_at(addr)
+        if alloc is not None and alloc.kind is AllocationKind.ARENA:
+            self.allocator.free(addr)
+            return
+        yield from self.manager.free_rpc(tid, self.component_of(tid), addr)
+
+    # ------------------------------------------------------------------
+    # memory access
+    # ------------------------------------------------------------------
+    def mem_read(self, tid: int, addr: int, nbytes: int):
+        """Generator: read bytes (faulting lines in as needed)."""
+        yield from self.compute_server_of(tid).ensure_resident(tid, addr, nbytes)
+        return self._caches[tid].read(addr, nbytes)
+
+    def mem_write(self, tid: int, addr: int, nbytes: int, data):
+        """Generator: write bytes, classified by the RegC region tracker
+        (RegC mode) or made globally coherent first (IVY mode)."""
+        if self.config.coherence == "ivy":
+            yield from self._ivy_write(tid, addr, nbytes, data)
+            return
+        yield from self.compute_server_of(tid).ensure_resident(tid, addr, nbytes)
+        cache = self._caches[tid]
+        in_cr = self._regions[tid].classify_store(nbytes)
+        if in_cr and self.config.regc_fine_grain:
+            # Instrumented store: logged for fine-grain release propagation.
+            self._storelogs[tid].record(addr, nbytes, data)
+            cache.write(addr, nbytes, data, ordinary=False)
+            return
+        twins = cache.write(addr, nbytes, data, ordinary=True)
+        if in_cr:
+            # Page-grain ablation: remember which pages this CR touched.
+            self._cr_pages[tid].update(cache.layout.pages_spanning(addr, nbytes))
+        if twins:
+            yield Timeout(twins * self.config.twin_create_time)
+
+    def _ivy_write(self, tid: int, addr: int, nbytes: int, data):
+        """Generator: eager write-invalidate store.
+
+        The store proceeds page by page (page-atomic, like a real write
+        fault; cross-page atomicity is not a coherence property). Each page
+        is either already held exclusively -- then the slice is written
+        immediately -- or a write-fault upgrade is taken: the server grant
+        includes the fresh page contents, and install + store happen
+        synchronously on return, so no concurrent action can slip between
+        grant and write.
+        """
+        self._regions[tid].classify_store(nbytes)  # stats only under IVY
+        cache = self._caches[tid]
+        comp = self.component_of(tid)
+        layout = self.config.layout
+        cs = self.compute_server_of(tid)
+        consumed = 0
+        for page in layout.pages_spanning(addr, nbytes):
+            start = max(addr, layout.page_addr(page))
+            end = min(addr + nbytes, layout.page_addr(page + 1))
+            chunk = end - start
+            slice_ = data[consumed:consumed + chunk] if data is not None else None
+            consumed += chunk
+            for _attempt in range(256):
+                if self.directory.owner_of(page) == tid and cache.resident(page):
+                    cache.write(start, chunk, slice_, ordinary=True)
+                    break
+                # Pre-make room so the post-grant install cannot block.
+                if not cache.resident(page) and cache.free_pages == 0:
+                    yield from cs._evict(tid, 1, {page})
+                server = self.server_of_page(page)
+                yield from self.scl.send(comp, server.component,
+                                         category="upgrade_req")
+                fresh = yield from server.serve_upgrade(tid, comp, page)
+                # Synchronous from here: install + store, no yields.
+                if cache.resident(page) or cache.free_pages > 0:
+                    cache.install(page, fresh)
+                    cache.write(start, chunk, slice_, ordinary=True)
+                    break
+                # A concurrent prefetch filled the cache: retry.
+            else:
+                raise ConsistencyError(
+                    f"thread {tid} starved acquiring exclusive access to page {page}")
+
+    # ------------------------------------------------------------------
+    # synchronization (each operation is also a consistency operation)
+    # ------------------------------------------------------------------
+    def create_lock(self) -> int:
+        return self.manager.create_lock()
+
+    def create_barrier(self, parties: int) -> int:
+        return self.manager.create_barrier(parties)
+
+    def create_cond(self) -> int:
+        return self.manager.create_cond()
+
+    def acquire_lock(self, tid: int, lock_id: int):
+        """Generator: acquire + apply the pending consistency updates."""
+        comp = self.component_of(tid)
+        diffs, payload, _spans, invalidate = yield from self.manager.acquire_lock(
+            tid, comp, lock_id)
+        cache = self._caches[tid]
+        if diffs:
+            applied = cache.apply_fine_grain(diffs)
+            if applied:
+                yield Timeout(applied * self.config.apply_time_per_byte)
+        if invalidate:
+            # Page-grain ablation: drop stale copies of CR pages. Passing
+            # non-resident pages too advances their invalidation counters,
+            # voiding in-flight fetches of pre-release data.
+            targets = [p for p in invalidate
+                       if p not in cache.entries or not cache.entries[p].is_dirty]
+            dropped = cache.invalidate(targets)
+            if dropped:
+                yield Timeout(len(dropped) * self.config.invalidate_page_time)
+        self._regions[tid].enter()
+
+    def release_lock(self, tid: int, lock_id: int):
+        """Generator: write the consistency-region updates through to their
+        homes, then hand the lock back to the manager."""
+        self._regions[tid].leave()
+        comp = self.component_of(tid)
+        cache = self._caches[tid]
+        if self.config.regc_fine_grain:
+            log = self._storelogs[tid]
+            diffs = log.to_page_diffs()
+            payload, spans = log.wire_bytes, len(log)
+            log.clear()
+            yield from self._apply_at_homes(tid, diffs, category="fine_grain")
+            yield from self.manager.release_lock(tid, comp, lock_id, diffs,
+                                                 payload, spans)
+        else:
+            pages = sorted(self._cr_pages[tid])
+            self._cr_pages[tid].clear()
+            diffs = []
+            for page in pages:
+                diff = cache.take_diff(page)
+                if diff is not None and not diff.empty:
+                    diffs.append(diff)
+            yield from self._apply_at_homes(tid, diffs, category="cr_page")
+            yield from self.manager.release_lock(tid, comp, lock_id, [], 0, 0,
+                                                 invalidate_pages=pages)
+
+    def _apply_at_homes(self, tid: int, diffs, category: str):
+        """Generator: ship diffs to their home servers, grouped per server."""
+        if not diffs:
+            return
+        comp = self.component_of(tid)
+        by_server: dict[int, list] = {}
+        for diff in diffs:
+            by_server.setdefault(self.allocator.home_of_page(diff.page), []).append(diff)
+        for index in sorted(by_server):
+            server = self.memory_servers[index]
+            group = by_server[index]
+            wire = sum(d.wire_bytes for d in group)
+            yield from self.scl.rdma_put(comp, server.component, wire,
+                                         category=category)
+            yield from server.apply_diffs(group)
+
+    def barrier_wait(self, tid: int, barrier_id: int):
+        """Generator: the RegC global consistency point.
+
+        Phase 1: submit write notices, receive directives.
+        Phase 2: flush multi-writer diffs to their homes; wait for everyone's
+        flushes. Phase 3: invalidate copies written by other threads.
+        """
+        cache = self._caches[tid]
+        comp = self.component_of(tid)
+        if self.config.coherence == "ivy":
+            # Coherence is maintained eagerly per write: a barrier is a pure
+            # rendezvous with no memory-consistency work.
+            cache.epoch_written.clear()
+            notices: list[int] = []
+        else:
+            notices = cache.take_epoch_notices()
+        if (self.config.hierarchical_sync
+                and self.manager.barrier_parties(barrier_id) == len(self._thread_comp)):
+            state, invalidate, flush, cr_diffs, cr_invalidate = (
+                yield from self._combined_arrive(tid, comp, barrier_id, notices))
+        else:
+            state, invalidate, flush, cr_diffs, cr_invalidate = (
+                yield from self.manager.barrier_arrive(tid, comp, barrier_id,
+                                                       notices))
+        if flush:
+            yield Timeout(len(flush) * self.config.diff_scan_time)
+            diffs = []
+            for page in flush:
+                if not cache.resident(page):
+                    continue  # evicted mid-epoch: its diff already reached home
+                diff = cache.take_diff(page)
+                if diff is not None and not diff.empty:
+                    diffs.append(diff)
+            yield from self._apply_at_homes(tid, diffs, category="barrier_diff")
+            yield from self.manager.barrier_flush_done(tid, comp, state)
+        yield state.flush_gate
+        # Consistency-region updates become globally visible here.
+        if cr_diffs:
+            applied = cache.apply_fine_grain(cr_diffs)
+            if applied:
+                yield Timeout(applied * self.config.apply_time_per_byte)
+        targets = [p for p in invalidate
+                   if p not in cache.entries or not cache.entries[p].is_dirty]
+        targets += [p for p in cr_invalidate
+                    if (p not in cache.entries
+                        or not cache.entries[p].is_dirty) and p not in targets]
+        dropped = cache.invalidate(targets)
+        if dropped:
+            yield Timeout(len(dropped) * self.config.invalidate_page_time)
+            if self.config.barrier_eager_refresh:
+                # Update-style: pull the merged pages back now, batched per
+                # home server, instead of lazily refaulting line by line.
+                yield from self.compute_server_of(tid)._fetch_pages(
+                    tid, dropped, protect=set(), prefetched=False)
+
+    def _combined_arrive(self, tid: int, comp: str, barrier_id: int,
+                         notices: list[int]):
+        """Generator: hierarchical barrier arrival.
+
+        Threads on one compute node combine locally; the last local arrival
+        becomes the node leader and exchanges ONE message pair with the
+        manager on everyone's behalf. Requires a full-party barrier (every
+        spawned thread participates), which the caller checks.
+        """
+        key = (barrier_id, comp)
+        combiner = self._combiners.get(key)
+        if combiner is None:
+            combiner = {"arrivals": {}, "gate": self.engine.event(
+                f"combine.b{barrier_id}.{comp}"), "result": None}
+            self._combiners[key] = combiner
+        combiner["arrivals"][tid] = notices
+        expected = len(self.compute_servers[comp].threads)
+        if len(combiner["arrivals"]) == expected:
+            # Leader: close this generation's combiner and talk upstream.
+            del self._combiners[key]
+            state, directives = yield from self.manager.barrier_arrive_group(
+                comp, barrier_id, combiner["arrivals"])
+            combiner["result"] = (state, directives)
+            combiner["gate"].succeed()
+        else:
+            yield combiner["gate"]
+        state, directives = combiner["result"]
+        invalidate, flush, cr_diffs, cr_invalidate = directives[tid]
+        return state, invalidate, flush, cr_diffs, cr_invalidate
+
+    def cond_wait(self, tid: int, cond_id: int, lock_id: int):
+        """Generator: POSIX-style wait (caller must hold the lock)."""
+        if not self.manager.holds_lock(tid, lock_id):
+            raise SynchronizationError(
+                f"thread {tid} called cond_wait without holding lock {lock_id}")
+        comp = self.component_of(tid)
+        gate = yield from self.manager.cond_register(tid, comp, cond_id)
+        yield from self.release_lock(tid, lock_id)
+        yield gate
+        yield from self.acquire_lock(tid, lock_id)
+
+    def cond_signal(self, tid: int, cond_id: int, broadcast: bool = False):
+        """Generator: wake one or all waiters."""
+        comp = self.component_of(tid)
+        woken = yield from self.manager.cond_signal(tid, comp, cond_id,
+                                                    broadcast=broadcast)
+        return woken
+
+    # ------------------------------------------------------------------
+    # execution & reporting
+    # ------------------------------------------------------------------
+    def process(self, gen, name: str = "thread", daemon: bool = False):
+        return self.engine.process(gen, name=name, daemon=daemon)
+
+    def run(self, until: float = math.inf) -> float:
+        return self.engine.run(until=until)
+
+    def stats_report(self) -> dict:
+        """Merged counters from every component (diagnostics)."""
+        report = {
+            "fabric": self.fabric.stats.snapshot(),
+            "scl": self.scl.stats.snapshot(),
+            "manager": self.manager.stats.snapshot(),
+            "allocator": self.allocator.stats.snapshot(),
+        }
+        merged_server = StatSet("memservers")
+        for server in self.memory_servers:
+            merged_server.merge(server.stats)
+            merged_server.merge(server.backing.stats)
+        report["memory_servers"] = merged_server.snapshot()
+        merged_cache = StatSet("caches")
+        for cache in self._caches.values():
+            merged_cache.merge(cache.stats)
+        report["caches"] = merged_cache.snapshot()
+        merged_cs = StatSet("compute_servers")
+        for cs in self.compute_servers.values():
+            merged_cs.merge(cs.stats)
+        report["compute_servers"] = merged_cs.snapshot()
+        return report

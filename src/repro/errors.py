@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the package.
+
+Keeping every domain error under :class:`ReproError` lets callers catch
+simulation-level failures without masking programming errors (``TypeError``
+and friends propagate untouched).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Invalid use of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+    def __init__(self, blocked):
+        self.blocked = tuple(blocked)
+        names = ", ".join(str(p) for p in self.blocked) or "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+
+
+class TopologyError(ReproError):
+    """A route or component was requested that the topology does not have."""
+
+
+class MemoryError_(ReproError):
+    """DSM address-space misuse (bad address, double free, overflow)."""
+
+
+class AllocationError(MemoryError_):
+    """The allocator could not satisfy a request."""
+
+
+class ProtectionError(MemoryError_):
+    """An access violated the DSM's page-level protection rules."""
+
+
+class ConsistencyError(ReproError):
+    """Violation of the Regional Consistency model's usage rules."""
+
+
+class SynchronizationError(ReproError):
+    """Invalid synchronization usage (e.g. unlocking a lock not held)."""
+
+
+class BackendError(ReproError):
+    """A runtime backend was misconfigured or misused."""

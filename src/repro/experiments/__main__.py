@@ -1,0 +1,105 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments              # list figures
+    python -m repro.experiments fig03        # run + print one figure
+    python -m repro.experiments all          # run + print every figure
+    python -m repro.experiments fig12 --quick   # reduced sweep (fast check)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.extended import EXTENDED_FIGURES
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import print_figure
+
+ALL_FIGURES = {**FIGURES, **EXTENDED_FIGURES}
+
+#: Reduced sweeps for --quick: enough points to see the shape in seconds.
+_QUICK_KWARGS: dict = {
+    "fig03": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4), m_values=(1, 10)),
+    "fig04": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4), m_values=(1, 10)),
+    "fig05": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4), m_values=(1, 10)),
+    "fig06": dict(smh_cores=(1, 4, 16), s_values=(1, 4)),
+    "fig07": dict(smh_cores=(1, 4, 16), s_values=(1, 4)),
+    "fig08": dict(smh_cores=(1, 4, 16), s_values=(1, 4)),
+    "fig09": dict(cores=8, s_values=(1, 4)),
+    "fig10": dict(cores=8, s_values=(1, 4)),
+    "fig11": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4)),
+    "fig12": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4)),
+    "fig13": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures from the paper's evaluation (§III).")
+    parser.add_argument("figure", nargs="?",
+                        help="fig03..fig13, 'all', or 'verify' (quick "
+                             "pass/fail check of every paper claim); omit "
+                             "to list figures")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for a fast shape check")
+    parser.add_argument("--full", action="store_true",
+                        help="campaign only: paper-scale sweeps")
+    parser.add_argument("--plot", action="store_true",
+                        help="render an ASCII chart instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.figure is None:
+        print("Paper figures:")
+        for name, fn in sorted(FIGURES.items()):
+            doc = ((fn.__doc__ or "").strip().splitlines() or [""])[0]
+            print(f"  {name}  {doc}")
+        print("Extended experiments:")
+        for name, fn in sorted(EXTENDED_FIGURES.items()):
+            doc = ((fn.__doc__ or "").strip().splitlines() or [""])[0]
+            print(f"  {name}  {doc}")
+        print("Special: 'all' (every paper figure), 'verify' (claim checks)")
+        return 0
+
+    if args.figure == "verify":
+        from repro.experiments.verification import verify
+        return 0 if verify() else 1
+
+    if args.figure == "campaign":
+        from repro.experiments.campaign import run_campaign
+        run_campaign(quick=args.quick or not args.full)
+        return 0
+
+    if args.figure == "report":
+        import pathlib
+        results = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+        if not results.is_dir():
+            print("no archived results; run `pytest benchmarks/ "
+                  "--benchmark-only` first", file=sys.stderr)
+            return 1
+        for path in sorted(results.glob("*.txt")):
+            print(f"===== {path.name} =====")
+            print(path.read_text().rstrip())
+            print()
+        return 0
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        kwargs = _QUICK_KWARGS.get(name, {}) if args.quick else {}
+        fr = ALL_FIGURES[name](**kwargs)
+        if args.plot:
+            from repro.experiments.plots import print_chart
+            print_chart(fr)
+        else:
+            print_figure(fr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""One-command reproduction campaign.
+
+Runs the figure sweeps and claim checks and writes a self-contained
+markdown report (tables + PASS/FAIL per paper claim) -- the generated
+counterpart of the hand-written EXPERIMENTS.md.
+
+    python -m repro.experiments campaign            # quick sweeps, ./campaign/
+    python -m repro.experiments campaign --full     # paper-scale sweeps
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import time
+
+from repro._version import __version__
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import format_figure
+from repro.experiments.verification import CLAIMS
+from repro.experiments.__main__ import _QUICK_KWARGS
+
+
+def run_campaign(out_dir: str | pathlib.Path = "campaign",
+                 quick: bool = True,
+                 figure_names: list[str] | None = None,
+                 echo: bool = True) -> pathlib.Path:
+    """Run the campaign; returns the path of the written report."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = figure_names if figure_names is not None else sorted(FIGURES)
+    started = time.time()
+
+    lines = [
+        "# Reproduction campaign report",
+        "",
+        f"* package: repro {__version__}",
+        f"* python:  {platform.python_version()} on {platform.system()}",
+        f"* mode:    {'quick (reduced sweeps)' if quick else 'full paper-scale'}",
+        "",
+        "## Claim checks",
+        "",
+        "| figure | claim | status | detail |",
+        "|---|---|---|---|",
+    ]
+
+    claims_by_figure = {c.figure: c for c in CLAIMS}
+    results = {}
+    all_ok = True
+    for name in names:
+        kwargs = _QUICK_KWARGS.get(name, {}) if quick else {}
+        fr = FIGURES[name](**kwargs)
+        results[name] = fr
+        (out / f"{name}.txt").write_text(format_figure(fr) + "\n")
+        claim = claims_by_figure.get(name)
+        if claim is not None:
+            # Claim checks use their own reduced builds so their thresholds
+            # match; run them independently of the sweep above.
+            cfr = claim.build()
+            ok, detail = claim.check(cfr)
+            all_ok &= ok
+            status = "PASS" if ok else "**FAIL**"
+            lines.append(f"| {name} | {claim.statement} | {status} | {detail} |")
+            if echo:
+                print(f"[{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+
+    lines += ["", "## Figure tables", ""]
+    for name in names:
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(format_figure(results[name]))
+        lines.append("```")
+        lines.append("")
+
+    elapsed = time.time() - started
+    lines.append(f"_Campaign wall time: {elapsed:.1f} s. "
+                 f"{'All claims reproduced.' if all_ok else 'SOME CLAIMS FAILED.'}_")
+    report = out / "REPORT.md"
+    report.write_text("\n".join(lines) + "\n")
+    if echo:
+        print(f"\nreport written to {report}")
+    return report

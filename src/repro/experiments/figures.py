@@ -1,0 +1,271 @@
+"""One callable per paper figure (Figures 3-13 of §III).
+
+Parameter values follow the paper where stated and the DESIGN.md
+reconstruction where the scan lost digits: N=10 outer iterations, B=256
+doubles per row, M in {1, 10, 100}, S in {1, 2, 4, 8}, M=10 for the S
+sweeps, S=2 for the core sweeps, P=16 for the ordinary-region-size figures.
+
+Pthreads runs use 1..8 cores (one Penryn node); Samhita runs use 1..32
+compute threads (four compute nodes plus the manager and memory-server
+nodes, the six-node testbed of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.harness import (
+    PTHREAD_CORES,
+    SAMHITA_CORES,
+    run_workload,
+    sweep,
+)
+from repro.experiments.results import FigureResult
+from repro.kernels import (
+    Allocation,
+    JacobiParams,
+    MDParams,
+    MicrobenchParams,
+    spawn_jacobi,
+    spawn_md,
+    spawn_microbench,
+)
+
+#: Reconstructed paper constants (see DESIGN.md §3).
+N_OUTER = 10
+B_ROW = 256
+M_VALUES = (1, 10, 100)
+S_VALUES = (1, 2, 4, 8)
+S_DEFAULT = 2
+M_DEFAULT = 10
+P_ORDINARY_REGION = 16
+
+_ALLOC_LABEL = {
+    Allocation.LOCAL: "local",
+    Allocation.GLOBAL: "global",
+    Allocation.GLOBAL_STRIDED: "stride",
+}
+
+
+def _mb(allocation: Allocation, M: int, S: int) -> MicrobenchParams:
+    return MicrobenchParams(N=N_OUTER, M=M, S=S, B=B_ROW, allocation=allocation)
+
+
+def _mean_compute(result) -> float:
+    return result.mean_compute_time
+
+
+def _mean_sync(result) -> float:
+    return result.mean_sync_time
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-5: normalized compute time vs cores, one figure per allocation
+# ---------------------------------------------------------------------------
+
+def _normalized_compute_figure(figure: str, allocation: Allocation,
+                               pth_cores=PTHREAD_CORES,
+                               smh_cores=SAMHITA_CORES,
+                               m_values=M_VALUES,
+                               config=None) -> FigureResult:
+    fr = FigureResult(
+        figure=figure,
+        title=f"Normalized compute time vs cores ({allocation.value} allocation)",
+        xlabel="number of cores",
+        ylabel="compute time (normalized to 1-thread Pthreads)",
+        meta={"allocation": allocation.value, "S": S_DEFAULT, "B": B_ROW,
+              "N": N_OUTER},
+    )
+    for M in m_values:
+        base = run_workload("pthreads", 1, spawn_microbench,
+                            _mb(allocation, M, S_DEFAULT)).mean_compute_time
+        pth = fr.new_series(f"pth, M={M}")
+        for cores, value in sweep("pthreads", pth_cores, spawn_microbench,
+                                  lambda c: _mb(allocation, M, S_DEFAULT),
+                                  _mean_compute):
+            pth.add(cores, value / base)
+        smh = fr.new_series(f"smh, M={M}")
+        for cores, value in sweep("samhita", smh_cores, spawn_microbench,
+                                  lambda c: _mb(allocation, M, S_DEFAULT),
+                                  _mean_compute, config=config):
+            smh.add(cores, value / base)
+    return fr
+
+
+def fig03(**kw) -> FigureResult:
+    """Normalized compute time vs cores, local allocation."""
+    return _normalized_compute_figure("fig03", Allocation.LOCAL, **kw)
+
+
+def fig04(**kw) -> FigureResult:
+    """Normalized compute time vs cores, global allocation."""
+    return _normalized_compute_figure("fig04", Allocation.GLOBAL, **kw)
+
+
+def fig05(**kw) -> FigureResult:
+    """Normalized compute time vs cores, global allocation, strided access."""
+    return _normalized_compute_figure("fig05", Allocation.GLOBAL_STRIDED, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-8: Samhita compute time vs cores for S in {1,2,4,8}
+# ---------------------------------------------------------------------------
+
+def _compute_vs_cores_figure(figure: str, allocation: Allocation,
+                             smh_cores=SAMHITA_CORES,
+                             s_values=S_VALUES,
+                             config=None) -> FigureResult:
+    fr = FigureResult(
+        figure=figure,
+        title=f"Compute time vs cores ({allocation.value} allocation)",
+        xlabel="number of cores",
+        ylabel="compute time (s)",
+        meta={"allocation": allocation.value, "M": M_DEFAULT, "B": B_ROW,
+              "N": N_OUTER},
+    )
+    for S in s_values:
+        series = fr.new_series(f"S = {S}")
+        for cores, value in sweep("samhita", smh_cores, spawn_microbench,
+                                  lambda c, S=S: _mb(allocation, M_DEFAULT, S),
+                                  _mean_compute, config=config):
+            series.add(cores, value)
+    return fr
+
+
+def fig06(**kw) -> FigureResult:
+    """Compute time vs cores, local allocation, S sweep."""
+    return _compute_vs_cores_figure("fig06", Allocation.LOCAL, **kw)
+
+
+def fig07(**kw) -> FigureResult:
+    """Compute time vs cores, global allocation, S sweep."""
+    return _compute_vs_cores_figure("fig07", Allocation.GLOBAL, **kw)
+
+
+def fig08(**kw) -> FigureResult:
+    """Compute time vs cores, global strided access, S sweep."""
+    return _compute_vs_cores_figure("fig08", Allocation.GLOBAL_STRIDED, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-10: ordinary-region size sweep at P=16
+# ---------------------------------------------------------------------------
+
+def _ordinary_region_figure(figure: str, metric: Callable, ylabel: str,
+                            cores: int = P_ORDINARY_REGION,
+                            s_values=S_VALUES,
+                            config=None) -> FigureResult:
+    fr = FigureResult(
+        figure=figure,
+        title=f"{ylabel} vs ordinary-region size (P={cores})",
+        xlabel="number of rows of data (S)",
+        ylabel=ylabel,
+        meta={"P": cores, "M": M_DEFAULT, "B": B_ROW, "N": N_OUTER},
+    )
+    for allocation in Allocation:
+        series = fr.new_series(_ALLOC_LABEL[allocation])
+        for S in s_values:
+            result = run_workload("samhita", cores, spawn_microbench,
+                                  _mb(allocation, M_DEFAULT, S),
+                                  config=config)
+            series.add(S, metric(result))
+    return fr
+
+
+def fig09(**kw) -> FigureResult:
+    """Compute time vs S for P=16, three allocation strategies."""
+    return _ordinary_region_figure("fig09", _mean_compute, "compute time (s)",
+                                   **kw)
+
+
+def fig10(**kw) -> FigureResult:
+    """Synchronization time vs S for P=16, three allocation strategies."""
+    return _ordinary_region_figure("fig10", _mean_sync,
+                                   "synchronization time (s)", **kw)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: synchronization time vs cores, both systems, three strategies
+# ---------------------------------------------------------------------------
+
+def fig11(pth_cores=PTHREAD_CORES, smh_cores=SAMHITA_CORES,
+          config=None) -> FigureResult:
+    """Synchronization time (log scale) vs cores, both systems, all three
+    allocation strategies."""
+    fr = FigureResult(
+        figure="fig11",
+        title="Synchronization time (log scale) vs cores",
+        xlabel="number of cores",
+        ylabel="synchronization time (s)",
+        meta={"M": M_DEFAULT, "B": B_ROW, "S": S_DEFAULT, "N": N_OUTER,
+              "log_scale": True},
+    )
+    for allocation in Allocation:
+        label = _ALLOC_LABEL[allocation]
+        pth = fr.new_series(f"pth_{label}")
+        for cores, value in sweep("pthreads", pth_cores, spawn_microbench,
+                                  lambda c, a=allocation: _mb(a, M_DEFAULT, S_DEFAULT),
+                                  _mean_sync):
+            pth.add(cores, value)
+        smh = fr.new_series(f"smh_{label}")
+        for cores, value in sweep("samhita", smh_cores, spawn_microbench,
+                                  lambda c, a=allocation: _mb(a, M_DEFAULT, S_DEFAULT),
+                                  _mean_sync, config=config):
+            smh.add(cores, value)
+    return fr
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-13: application-kernel strong scaling
+# ---------------------------------------------------------------------------
+
+#: Strong-scaling workloads sized so compute dominates within a node, Jacobi
+#: flattens between 16 and 32 threads, and MD keeps scaling through 32
+#: (the paper's reported shapes).
+JACOBI_SCALING = JacobiParams(rows=2048, cols=4096, iterations=5)
+MD_SCALING = MDParams(n_particles=8192, steps=5, collect_energy=False)
+
+
+def _speedup_figure(figure: str, title: str, spawn_fn, params,
+                    pth_cores=PTHREAD_CORES,
+                    smh_cores=SAMHITA_CORES,
+                    config=None) -> FigureResult:
+    fr = FigureResult(
+        figure=figure,
+        title=title,
+        xlabel="number of cores",
+        ylabel="speed-up (vs 1-core Pthreads)",
+        meta={"params": params},
+    )
+    metric = lambda r: r.max_total_time
+    base = metric(run_workload("pthreads", 1, spawn_fn, params))
+    pth = fr.new_series("pthreads")
+    for cores, value in sweep("pthreads", pth_cores, spawn_fn,
+                              lambda c: params, metric):
+        pth.add(cores, base / value)
+    smh = fr.new_series("samhita")
+    for cores, value in sweep("samhita", smh_cores, spawn_fn,
+                              lambda c: params, metric, config=config):
+        smh.add(cores, base / value)
+    return fr
+
+
+def fig12(params: JacobiParams = JACOBI_SCALING, **kw) -> FigureResult:
+    """Jacobi strong-scaling speedup, Pthreads vs Samhita."""
+    return _speedup_figure("fig12", "Jacobi speedup vs number of cores",
+                           spawn_jacobi, params, **kw)
+
+
+def fig13(params: MDParams = MD_SCALING, **kw) -> FigureResult:
+    """Molecular-dynamics strong-scaling speedup, Pthreads vs Samhita."""
+    return _speedup_figure("fig13", "MD speedup vs number of cores",
+                           spawn_md, params, **kw)
+
+
+#: Registry used by the benchmark harness and the CLI report.
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig03": fig03, "fig04": fig04, "fig05": fig05,
+    "fig06": fig06, "fig07": fig07, "fig08": fig08,
+    "fig09": fig09, "fig10": fig10, "fig11": fig11,
+    "fig12": fig12, "fig13": fig13,
+}

@@ -1,0 +1,57 @@
+"""Workload execution helpers for the figure sweeps.
+
+Experiments default to *timing mode* (no functional data plane): the
+simulated clocks, traffic and protocol behaviour are identical, while large
+paper-scale workloads (32 threads, thousands of rows) stay cheap to run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.params import SamhitaConfig
+from repro.runtime import Runtime
+from repro.runtime.results import RunResult
+
+#: The paper's thread-count axes: Pthreads up to one 8-core node, Samhita up
+#: to four 8-core compute nodes.
+PTHREAD_CORES = (1, 2, 4, 8)
+SAMHITA_CORES = (1, 2, 4, 8, 16, 32)
+
+
+def run_workload(backend: str, n_threads: int, spawn_fn: Callable, params,
+                 functional: bool = False, config: SamhitaConfig | None = None,
+                 **backend_kwargs) -> RunResult:
+    """Run one (backend, thread count, workload) cell and return its result.
+
+    ``spawn_fn(rt, params)`` must create handles and spawn all threads (the
+    kernels' ``spawn_*`` functions have this signature).
+    """
+    if backend == "samhita":
+        cfg = config or SamhitaConfig()
+        if cfg.functional != functional:
+            cfg = cfg.with_(functional=functional)
+        rt = Runtime("samhita", n_threads=n_threads, config=cfg, **backend_kwargs)
+    else:
+        rt = Runtime("pthreads", n_threads=n_threads, functional=functional,
+                     **backend_kwargs)
+    spawn_fn(rt, params)
+    return rt.run()
+
+
+def sweep(backend: str, core_counts, spawn_fn, params_fn, metric,
+          functional: bool = False, config: SamhitaConfig | None = None,
+          **backend_kwargs) -> list[tuple[int, float]]:
+    """Run a thread-count sweep; returns [(cores, metric(result))].
+
+    ``params_fn(cores)`` builds the workload parameters for each cell (strong
+    scaling usually ignores ``cores``); ``metric(result)`` extracts the
+    plotted value.
+    """
+    points = []
+    for cores in core_counts:
+        result = run_workload(backend, cores, spawn_fn, params_fn(cores),
+                              functional=functional, config=config,
+                              **backend_kwargs)
+        points.append((cores, metric(result)))
+    return points

@@ -1,0 +1,46 @@
+"""Text rendering of figure results, one table per figure.
+
+The output mirrors the paper's plots as rows (series) x columns (x values),
+so a side-by-side visual comparison with the published figures is direct.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import FigureResult
+
+
+def _fmt(value: float, log_scale: bool) -> str:
+    if value == 0:
+        return "0"
+    if log_scale or abs(value) < 1e-3:
+        return f"{value:.3e}"
+    return f"{value:.4f}"
+
+
+def format_figure(fr: FigureResult) -> str:
+    """Render one figure as an aligned text table."""
+    log_scale = bool(fr.meta.get("log_scale"))
+    xs = fr.xs
+    header = [fr.xlabel] + [str(int(x) if float(x).is_integer() else x)
+                            for x in xs]
+    rows = [header]
+    for label, series in fr.series.items():
+        lookup = dict(series.points)
+        row = [label]
+        for x in xs:
+            row.append(_fmt(lookup[x], log_scale) if x in lookup else "-")
+        rows.append(row)
+
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [f"# {fr.figure}: {fr.title}",
+             f"# y-axis: {fr.ylabel}" + ("  [log scale]" if log_scale else "")]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def print_figure(fr: FigureResult) -> None:
+    print(format_figure(fr))
+    print()

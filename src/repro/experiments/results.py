@@ -1,0 +1,59 @@
+"""Structured experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One curve of a figure: label plus (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class FigureResult:
+    """Everything needed to print (or check) one paper figure."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, Series] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series[label] = s
+        return s
+
+    def __getitem__(self, label: str) -> Series:
+        return self.series[label]
+
+    @property
+    def xs(self) -> list[float]:
+        out: list[float] = []
+        for s in self.series.values():
+            for x in s.xs:
+                if x not in out:
+                    out.append(x)
+        return sorted(out)

@@ -1,0 +1,92 @@
+"""Sensitivity analysis: how robust are the paper's shapes to calibration?
+
+Every timing constant in this reproduction is an estimate of 2013-era
+hardware. These sweeps vary one constant at a time and measure its effect
+on a workload, showing which conclusions depend on calibration (absolute
+gaps) and which don't (orderings) -- the justification for DESIGN.md's
+claim that shapes, not absolute values, are the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.params import SamhitaConfig
+from repro.experiments.harness import run_workload
+from repro.experiments.results import FigureResult
+from repro.interconnect.base import LinkModel
+
+
+def _metric(result, which: str) -> float:
+    if which == "compute":
+        return result.mean_compute_time
+    if which == "sync":
+        return result.mean_sync_time
+    if which == "total":
+        return result.mean_compute_time + result.mean_sync_time
+    raise ValueError(f"unknown metric {which!r}")
+
+
+def config_sensitivity(field: str, values, spawn_fn, params,
+                       n_threads: int = 8,
+                       base: SamhitaConfig | None = None,
+                       metrics: tuple[str, ...] = ("compute", "sync"),
+                       ) -> FigureResult:
+    """Sweep one :class:`SamhitaConfig` field; one series per metric."""
+    base = base or SamhitaConfig()
+    fr = FigureResult(
+        figure=f"sensitivity[{field}]",
+        title=f"Sensitivity to {field} (P={n_threads})",
+        xlabel=field,
+        ylabel="seconds",
+        meta={"field": field, "P": n_threads},
+    )
+    series = {m: fr.new_series(m) for m in metrics}
+    for value in values:
+        config = base.with_(**{field: value})
+        result = run_workload("samhita", n_threads, spawn_fn, params,
+                              config=config)
+        for m in metrics:
+            series[m].add(value, _metric(result, m))
+    return fr
+
+
+def link_sensitivity(links: Mapping[str, LinkModel], spawn_fn, params,
+                     n_threads: int = 8,
+                     base: SamhitaConfig | None = None,
+                     metrics: tuple[str, ...] = ("compute", "sync"),
+                     ) -> FigureResult:
+    """Run one workload over different cluster fabrics; x = link index."""
+    fr = FigureResult(
+        figure="sensitivity[fabric]",
+        title=f"Sensitivity to the interconnect (P={n_threads})",
+        xlabel="fabric",
+        ylabel="seconds",
+        meta={"fabrics": list(links), "P": n_threads},
+    )
+    series = {m: fr.new_series(m) for m in metrics}
+    for index, (name, link) in enumerate(links.items()):
+        result = run_workload("samhita", n_threads, spawn_fn, params,
+                              config=base, fabric_link=link)
+        for m in metrics:
+            series[m].add(index, _metric(result, m))
+    return fr
+
+
+def ordering_robust(field: str, values, spawn_fn, params_by_label: Mapping,
+                    n_threads: int = 8, metric: str = "compute",
+                    base: SamhitaConfig | None = None) -> bool:
+    """True if the relative ordering of the given workloads is the same for
+    every value of the swept field -- the formal version of "the shape
+    holds regardless of calibration"."""
+    base = base or SamhitaConfig()
+    orderings = set()
+    for value in values:
+        config = base.with_(**{field: value})
+        scores = {}
+        for label, params in params_by_label.items():
+            result = run_workload("samhita", n_threads, spawn_fn, params,
+                                  config=config)
+            scores[label] = _metric(result, metric)
+        orderings.add(tuple(sorted(scores, key=scores.get)))
+    return len(orderings) == 1

@@ -1,0 +1,111 @@
+"""ASCII Gantt timeline of per-thread activity.
+
+Run a backend with ``trace=True`` and render where every thread's virtual
+time went -- CPU, memory stalls, locks, barriers -- as one row per thread.
+This is the visual counterpart of the compute/sync split the paper reports,
+and the quickest way to *see* a false-sharing fault storm or a barrier
+convoy.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.results import RunResult
+from repro.sim.trace import Tracer
+
+#: Display precedence (later entries win when intervals overlap a cell) and
+#: glyphs. Waiting/sync categories deliberately overwrite compute.
+_CATEGORIES = [
+    ("cpu", "#"),
+    ("alloc", "a"),
+    ("memory", "m"),
+    ("cond", "c"),
+    ("lock", "L"),
+    ("barrier", "="),
+]
+_PRIORITY = {name: i for i, (name, _) in enumerate(_CATEGORIES)}
+_GLYPH = dict(_CATEGORIES)
+
+
+def render_timeline(tracer: Tracer, result: RunResult, width: int = 80,
+                    t0: float | None = None, t1: float | None = None) -> str:
+    """Render the traced intervals as an ASCII Gantt chart."""
+    records = [r for r in tracer.records if r.component.startswith("t")]
+    if not records:
+        return "(no trace records -- construct the backend with trace=True)"
+    start = t0 if t0 is not None else min(r.time for r in records)
+    end = t1 if t1 is not None else max(r.time + r.payload.get("duration", 0.0)
+                                        for r in records)
+    if end <= start:
+        end = start + 1e-9
+    scale = width / (end - start)
+
+    rows: dict[str, list] = {}
+    for r in records:
+        rows.setdefault(r.component, []).append(r)
+
+    def render_row(recs) -> str:
+        cells = [" "] * width
+        prio = [-1] * width
+        for r in recs:
+            cat = r.category
+            if cat not in _PRIORITY:
+                continue
+            s = r.time
+            e = s + r.payload.get("duration", 0.0)
+            c0 = max(0, int((s - start) * scale))
+            c1 = min(width, max(c0 + 1, int((e - start) * scale + 0.999)))
+            for col in range(c0, c1):
+                if _PRIORITY[cat] >= prio[col]:
+                    cells[col] = _GLYPH[cat]
+                    prio[col] = _PRIORITY[cat]
+        return "".join(cells)
+
+    def sort_key(name: str):
+        try:
+            return (0, int(name[1:]))
+        except ValueError:
+            return (1, name)
+
+    lines = [f"timeline: {start * 1e3:.3f} ms .. {end * 1e3:.3f} ms "
+             f"({(end - start) * 1e6:.1f} us span)"]
+    for name in sorted(rows, key=sort_key):
+        lines.append(f"{name:>4s} |{render_row(rows[name])}|")
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in _CATEGORIES)
+    lines.append(f"     {legend}")
+    if result is not None:
+        lines.append(f"     compute={result.mean_compute_time * 1e6:.1f} us  "
+                     f"sync={result.mean_sync_time * 1e6:.1f} us (means)")
+    return "\n".join(lines)
+
+
+def print_timeline(tracer: Tracer, result: RunResult, **kwargs) -> None:
+    print(render_timeline(tracer, result, **kwargs))
+
+
+def export_chrome_trace(tracer: Tracer, path: str,
+                        time_scale: float = 1e6) -> int:
+    """Write the trace as a Chrome trace-event JSON file.
+
+    Load the file at ``chrome://tracing`` (or in Perfetto) for an
+    interactive timeline. Virtual seconds are scaled to microseconds by
+    default. Returns the number of events written.
+    """
+    import json
+
+    events = []
+    for r in tracer.records:
+        if not r.component.startswith("t"):
+            continue
+        duration = r.payload.get("duration", 0.0)
+        events.append({
+            "name": r.category,
+            "cat": r.category,
+            "ph": "X",                      # complete event
+            "ts": r.time * time_scale,
+            "dur": duration * time_scale,
+            "pid": 0,
+            "tid": int(r.component[1:]) if r.component[1:].isdigit() else 0,
+        })
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
+    return len(events)

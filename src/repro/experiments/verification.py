@@ -1,0 +1,216 @@
+"""Quick reproduction verification: every paper claim as a pass/fail check.
+
+``python -m repro.experiments verify`` runs reduced sweeps (seconds, not the
+full benchmark minutes) and evaluates the §III claims against them. The full
+paper-scale checks live in ``benchmarks/``; this is the smoke-test version a
+user runs first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import figures
+from repro.experiments.results import FigureResult
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper's evaluation."""
+
+    figure: str
+    statement: str
+    #: Builds the (reduced) figure result.
+    build: Callable[[], FigureResult]
+    #: Evaluates the claim; returns (ok, detail).
+    check: Callable[[FigureResult], tuple[bool, str]]
+
+
+def _ratio(a: float, b: float) -> str:
+    return f"{a / b:.2f}x" if b else "inf"
+
+
+def _c_fig03() -> Claim:
+    def build():
+        return figures.fig03(pth_cores=(1, 4), smh_cores=(1, 4, 16),
+                             m_values=(1, 10))
+
+    def check(fr):
+        worst = max(fr[f"smh, M={m}"].y_at(c)
+                    for m in (1, 10) for c in (4, 16))
+        return worst < 1.6, f"worst smh normalized compute = {worst:.2f}"
+
+    return Claim("fig03", "local allocation: Samhita compute tracks Pthreads "
+                          "even at small M", build, check)
+
+
+def _c_fig04() -> Claim:
+    def build():
+        return figures.fig04(pth_cores=(1,), smh_cores=(1, 8),
+                             m_values=(1, 100))
+
+    def check(fr):
+        m1 = fr["smh, M=1"].y_at(8)
+        m100 = fr["smh, M=100"].y_at(8)
+        ok = m1 > 1.5 and m100 < m1
+        return ok, f"M=1 penalty {m1:.1f}x amortized to {m100:.2f}x at M=100"
+
+    return Claim("fig04", "global allocation: penalty at small M, amortized "
+                          "by compute", build, check)
+
+
+def _c_fig05() -> Claim:
+    def build():
+        return figures.fig05(pth_cores=(1,), smh_cores=(1, 8),
+                             m_values=(1, 100))
+
+    def check(fr):
+        strided = fr["smh, M=1"].y_at(8)
+        glob = figures.fig04(pth_cores=(1,), smh_cores=(8,),
+                             m_values=(1,))["smh, M=1"].y_at(8)
+        ok = strided > glob and fr["smh, M=100"].y_at(8) < strided
+        return ok, f"strided {strided:.1f}x vs global {glob:.1f}x at M=1"
+
+    return Claim("fig05", "strided access: higher penalty than global, still "
+                          "amortized", build, check)
+
+
+def _c_fig06() -> Claim:
+    def build():
+        return figures.fig06(smh_cores=(1, 16), s_values=(1, 8))
+
+    def check(fr):
+        flat = fr["S = 8"].y_at(16) / fr["S = 8"].y_at(1)
+        stacked = fr["S = 8"].y_at(1) / fr["S = 1"].y_at(1)
+        ok = flat < 1.25 and stacked > 4
+        return ok, f"growth with cores {flat:.2f}x; S=8/S=1 = {stacked:.1f}x"
+
+    return Claim("fig06", "local allocation: compute flat in cores, "
+                          "proportional to S", build, check)
+
+
+def _c_fig07() -> Claim:
+    def build():
+        return figures.fig07(smh_cores=(1, 16), s_values=(2,))
+
+    def check(fr):
+        growth = fr["S = 2"].y_at(16) / fr["S = 2"].y_at(1)
+        return 1 < growth < 25, f"S=2 growth to 16 cores = {growth:.1f}x"
+
+    return Claim("fig07", "global allocation: compute grows slowly with "
+                          "cores", build, check)
+
+
+def _c_fig08() -> Claim:
+    def build():
+        return figures.fig08(smh_cores=(1, 16), s_values=(4,))
+
+    def check(fr):
+        growth = fr["S = 4"].y_at(16) / fr["S = 4"].y_at(1)
+        return growth > 2, f"S=4 growth to 16 cores = {growth:.1f}x"
+
+    return Claim("fig08", "strided access: compute penalty grows with cores "
+                          "and data", build, check)
+
+
+def _c_fig09() -> Claim:
+    def build():
+        return figures.fig09(cores=8, s_values=(2, 8))
+
+    def check(fr):
+        ok = (fr["local"].y_at(8) < fr["global"].y_at(8)
+              <= fr["stride"].y_at(8))
+        return ok, (f"at S=8: local {fr['local'].y_at(8):.2e} < global "
+                    f"{fr['global'].y_at(8):.2e} <= stride "
+                    f"{fr['stride'].y_at(8):.2e}")
+
+    return Claim("fig09", "compute penalty ordered by false-sharing "
+                          "intensity", build, check)
+
+
+def _c_fig10() -> Claim:
+    def build():
+        return figures.fig10(cores=8, s_values=(1, 8))
+
+    def check(fr):
+        local = fr["local"].y_at(8) / fr["local"].y_at(1)
+        stride = fr["stride"].y_at(8) / fr["stride"].y_at(1)
+        ok = local < 1.3 and stride < 4
+        return ok, f"sync growth with S: local {local:.2f}x, strided {stride:.2f}x"
+
+    return Claim("fig10", "sync cost: flat without false sharing, modest "
+                          "growth with it", build, check)
+
+
+def _c_fig11() -> Claim:
+    def build():
+        return figures.fig11(pth_cores=(1, 4), smh_cores=(1, 4, 16))
+
+    def check(fr):
+        gap = fr["smh_local"].y_at(4) / fr["pth_local"].y_at(4)
+        growth = fr["smh_local"].y_at(16) / fr["smh_local"].y_at(1)
+        ok = 5 < gap < 5000 and growth < 32
+        return ok, f"smh/pth sync gap {gap:.0f}x; growth to 16 threads {growth:.1f}x"
+
+    return Claim("fig11", "DSM sync costs decades more than hardware sync "
+                          "but grows mildly", build, check)
+
+
+def _c_fig12() -> Claim:
+    def build():
+        from repro.kernels import JacobiParams
+        return figures.fig12(params=JacobiParams(rows=512, cols=2048,
+                                                 iterations=4),
+                             pth_cores=(1, 4), smh_cores=(1, 4, 16))
+
+    def check(fr):
+        ok = (fr["samhita"].y_at(4) > 2.0
+              and fr["samhita"].y_at(16) > fr["samhita"].y_at(4))
+        return ok, (f"samhita speedup {fr['samhita'].y_at(4):.1f}@4 "
+                    f"{fr['samhita'].y_at(16):.1f}@16")
+
+    return Claim("fig12", "Jacobi: good speedup up to 16", build, check)
+
+
+def _c_fig13() -> Claim:
+    def build():
+        from repro.kernels import MDParams
+        return figures.fig13(params=MDParams(n_particles=4096, steps=3,
+                                             collect_energy=False),
+                             pth_cores=(1, 4), smh_cores=(1, 4, 16))
+
+    def check(fr):
+        ok = (fr["samhita"].y_at(4) > 0.9 * fr["pthreads"].y_at(4)
+              and fr["samhita"].y_at(16) > 10)
+        return ok, (f"samhita {fr['samhita'].y_at(4):.1f}@4 vs pth "
+                    f"{fr['pthreads'].y_at(4):.1f}@4; "
+                    f"{fr['samhita'].y_at(16):.1f}@16")
+
+    return Claim("fig13", "MD: tracks Pthreads in-node, scales past it",
+                 build, check)
+
+
+CLAIMS: list[Claim] = [
+    _c_fig03(), _c_fig04(), _c_fig05(), _c_fig06(), _c_fig07(), _c_fig08(),
+    _c_fig09(), _c_fig10(), _c_fig11(), _c_fig12(), _c_fig13(),
+]
+
+
+def verify(claims: list[Claim] | None = None, echo: bool = True) -> bool:
+    """Run every claim check; returns True if all pass."""
+    claims = claims if claims is not None else CLAIMS
+    all_ok = True
+    for claim in claims:
+        fr = claim.build()
+        ok, detail = claim.check(fr)
+        all_ok &= ok
+        if echo:
+            status = "PASS" if ok else "FAIL"
+            print(f"[{status}] {claim.figure}: {claim.statement}")
+            print(f"       {detail}")
+    if echo:
+        print()
+        print("all paper claims reproduced" if all_ok
+              else "SOME CLAIMS FAILED -- see above")
+    return all_ok

@@ -1,0 +1,122 @@
+"""Hardware cache-coherence cost model for the Pthreads baseline.
+
+The paper's baseline is Pthreads on one cache-coherent node. Its only
+memory-system effect that matters for the evaluation is *false sharing* of
+64-byte lines between cores (visible in the pth_stride series of Figure 11
+and in the global/strided compute-time figures at small M).
+
+We model a MESI-like protocol at line granularity with three costs: cold
+miss, coherence miss (line last written by another core), and hit (folded
+into the per-element compute cost). State lives in NumPy arrays indexed by
+line number -- a block access of any size is a handful of vectorized
+operations, exact per line, so multi-megabyte initializations stay cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.specs import CacheSpec
+from repro.sim.stats import StatSet
+
+_NO_WRITER = -1
+
+
+class CoherentCacheModel:
+    """Tracks per-line sharing and prices block accesses (vectorized).
+
+    ``cores_per_socket`` enables the optional NUMA refinement: coherence
+    misses whose previous writer sits on another socket pay the
+    ``cross_socket_factor`` of the cache spec (FSB/QPI hop).
+    """
+
+    def __init__(self, spec: CacheSpec | None = None,
+                 cores_per_socket: int | None = None):
+        self.spec = spec or CacheSpec()
+        self.cores_per_socket = cores_per_socket
+        self.stats = StatSet("coherent_cache")
+        self._sharers = np.zeros(0, dtype=np.uint64)   # bitmask of caching cores
+        self._writer = np.zeros(0, dtype=np.int16)     # last writer, -1 = none
+        self._touched = np.zeros(0, dtype=bool)
+
+    def _grow(self, lines: int) -> None:
+        current = self._sharers.shape[0]
+        if lines <= current:
+            return
+        size = max(lines, max(1024, current * 2))
+        self._sharers = np.concatenate(
+            [self._sharers, np.zeros(size - current, dtype=np.uint64)])
+        writer = np.full(size - current, _NO_WRITER, dtype=np.int16)
+        self._writer = np.concatenate([self._writer, writer])
+        self._touched = np.concatenate(
+            [self._touched, np.zeros(size - current, dtype=bool)])
+
+    def access(self, core: int, addr: int, nbytes: int, is_write: bool) -> float:
+        """Price one block access and update line states; returns seconds.
+
+        A read miss on a line dirtied by another core, or a write to a line
+        cached elsewhere, costs a coherence miss; a first-touch costs a cold
+        miss; everything else is a hit.
+        """
+        if nbytes <= 0:
+            return 0.0
+        if core < 0 or core > 63:
+            raise ValueError("core index must fit a 64-bit sharer mask")
+        lb = self.spec.line_bytes
+        first = addr // lb
+        last = (addr + nbytes - 1) // lb
+        self._grow(last + 1)
+        sl = slice(first, last + 1)
+        sharers = self._sharers[sl]
+        writer = self._writer[sl]
+        touched = self._touched[sl]
+        mask = np.uint64(1 << core)
+
+        have = (sharers & mask) != 0
+        cold = ~touched
+        foreign_dirty = touched & ~have & (writer != _NO_WRITER) & (writer != core)
+        cold_fill = cold | (touched & ~have & ~foreign_dirty)
+        n_coherence = int(foreign_dirty.sum())
+        n_remote = 0
+        if (n_coherence and self.cores_per_socket
+                and self.spec.cross_socket_factor != 1.0):
+            my_socket = core // self.cores_per_socket
+            remote = foreign_dirty & (writer // self.cores_per_socket != my_socket)
+            n_remote = int(remote.sum())
+            self.stats.incr("cross_socket_misses", n_remote)
+        n_upgrades = 0
+        if is_write:
+            multi = (sharers & np.uint64(~int(mask) & 0xFFFFFFFFFFFFFFFF)) != 0
+            upgrades = have & multi
+            n_upgrades = int(upgrades.sum())
+        n_cold = int(cold_fill.sum())
+        n_hits = sharers.shape[0] - n_cold - n_coherence - n_upgrades
+
+        spec = self.spec
+        cost = (n_cold * spec.cold_miss_time
+                + (n_coherence + n_upgrades) * spec.coherence_miss_time
+                + n_remote * (spec.cross_socket_factor - 1.0)
+                * spec.coherence_miss_time
+                + n_hits * spec.hit_time)
+        self.stats.incr("cold_misses", n_cold)
+        self.stats.incr("coherence_misses", n_coherence)
+        self.stats.incr("upgrade_misses", n_upgrades)
+        self.stats.incr("hits", n_hits)
+
+        if is_write:
+            sharers[:] = mask
+            writer[:] = core
+        else:
+            sharers |= mask
+        touched[:] = True
+        return cost
+
+    def reset(self) -> None:
+        self._sharers = np.zeros(0, dtype=np.uint64)
+        self._writer = np.zeros(0, dtype=np.int16)
+        self._touched = np.zeros(0, dtype=bool)
+        self.stats.reset()
+
+    @property
+    def tracked_lines(self) -> int:
+        return int(self._touched.sum())

@@ -1,0 +1,43 @@
+"""Components of a simulated machine.
+
+A *component* is anything that terminates a communication path: a cluster
+node, a host processor, a coprocessor, or an interconnect switch. The
+topology graph (see :mod:`repro.hardware.topology`) has one vertex per
+component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ComponentKind(Enum):
+    HOST = "host"
+    COPROCESSOR = "coprocessor"
+    CLUSTER_NODE = "cluster_node"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class Component:
+    """A vertex in the machine topology."""
+
+    name: str
+    kind: ComponentKind
+    spec: object = None  # NodeSpec | CoprocessorSpec | None (switches)
+
+    @property
+    def cores(self) -> int:
+        if self.spec is None:
+            return 0
+        return getattr(self.spec, "cores", 0)
+
+    @property
+    def cpu(self):
+        if self.spec is None:
+            return None
+        return getattr(self.spec, "cpu", None)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.name

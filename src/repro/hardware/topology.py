@@ -1,0 +1,147 @@
+"""Machine topologies.
+
+A :class:`Topology` is an undirected graph of :class:`Component` vertices
+whose edges carry :class:`LinkModel` hops. Three builders cover the paper:
+
+* :func:`smp_topology` -- one cache-coherent node (the Pthreads baseline);
+* :func:`cluster_topology` -- N nodes on an InfiniBand switch, each node
+  reaching its HCA over a PCIe hop (the paper's actual testbed, §III);
+* :func:`hetero_node_topology` -- host + coprocessors over PCIe (the
+  paper's target platform, Figure 1 and §V).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.hardware.node import Component, ComponentKind
+from repro.hardware.specs import NodeSpec, CoprocessorSpec, PENRYN_NODE, XEON_PHI_KNC
+from repro.interconnect.base import LinkModel
+from repro.interconnect.infiniband import ib_qdr
+from repro.interconnect.pcie import pcie_gen2_x8
+from repro.interconnect.scif import scif_link
+
+
+class Topology:
+    """Component graph with routed, link-priced paths."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self.graph = nx.Graph()
+        self.components: dict[str, Component] = {}
+        self._route_cache: dict[tuple[str, str], list[LinkModel]] = {}
+
+    def add(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise TopologyError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+        self.graph.add_node(component.name)
+        return component
+
+    def connect(self, a: str, b: str, link: LinkModel) -> None:
+        for name in (a, b):
+            if name not in self.components:
+                raise TopologyError(f"unknown component {name!r}")
+        # Each edge gets its own link instance: contention resources are
+        # per physical link, so two PCIe buses built from one template must
+        # not share a queue.
+        edge_link = link.with_(name=f"{link.name}[{a}~{b}]")
+        self.graph.add_edge(a, b, link=edge_link, weight=edge_link.latency)
+        self._route_cache.clear()
+
+    def component(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise TopologyError(f"unknown component {name!r}") from None
+
+    def route(self, src: str, dst: str) -> list[LinkModel]:
+        """The sequence of links on the latency-shortest path src -> dst."""
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src not in self.components or dst not in self.components:
+            raise TopologyError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        try:
+            path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no path {src!r} -> {dst!r}") from None
+        links = [self.graph.edges[u, v]["link"] for u, v in zip(path, path[1:])]
+        self._route_cache[key] = links
+        self._route_cache[(dst, src)] = list(reversed(links))
+        return links
+
+    def compute_components(self) -> list[Component]:
+        """Components that can host compute threads, in insertion order."""
+        return [c for c in self.components.values()
+                if c.kind in (ComponentKind.HOST, ComponentKind.COPROCESSOR,
+                              ComponentKind.CLUSTER_NODE) and c.cores > 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Topology {self.name}: {len(self.components)} components, "
+                f"{self.graph.number_of_edges()} links>")
+
+
+def smp_topology(node: NodeSpec = PENRYN_NODE) -> Topology:
+    """A single cache-coherent node; no interconnect at all."""
+    topo = Topology(name=f"smp[{node.name}]")
+    topo.add(Component("host", ComponentKind.HOST, node))
+    return topo
+
+
+def cluster_topology(
+    n_nodes: int,
+    node: NodeSpec = PENRYN_NODE,
+    fabric_link: LinkModel | None = None,
+    host_hop: LinkModel | None = None,
+) -> Topology:
+    """N identical nodes on one switch; every message crosses
+    PCIe -> IB -> switch -> IB -> PCIe, exactly as the paper describes.
+
+    The switch is a zero-core component; the IB link latency is split evenly
+    across the two node<->switch edges so the end-to-end latency matches one
+    published verbs latency.
+    """
+    if n_nodes < 2:
+        raise TopologyError("a cluster needs at least 2 nodes")
+    fabric_link = fabric_link or ib_qdr()
+    host_hop = host_hop or pcie_gen2_x8(contended=False)
+    half = fabric_link.with_(name=fabric_link.name + "-half",
+                             latency=fabric_link.latency / 2.0)
+    topo = Topology(name=f"cluster[{n_nodes}x{node.name}]")
+    topo.add(Component("switch", ComponentKind.SWITCH))
+    for i in range(n_nodes):
+        name = f"node{i}"
+        topo.add(Component(name, ComponentKind.CLUSTER_NODE, node))
+        hca = f"hca{i}"
+        topo.add(Component(hca, ComponentKind.SWITCH))
+        topo.connect(name, hca, host_hop)
+        topo.connect(hca, "switch", half)
+    return topo
+
+
+def hetero_node_topology(
+    n_coprocessors: int = 1,
+    host: NodeSpec = PENRYN_NODE,
+    coprocessor: CoprocessorSpec = XEON_PHI_KNC,
+    bus: LinkModel | None = None,
+) -> Topology:
+    """One host plus coprocessors on the PCIe bus (Figure 1).
+
+    ``bus`` defaults to the SCIF path; pass
+    :func:`repro.interconnect.scif.verbs_proxy_link` to model the naive port.
+    """
+    if n_coprocessors < 1:
+        raise TopologyError("need at least one coprocessor")
+    bus = bus or scif_link()
+    topo = Topology(name=f"hetero[{host.name}+{n_coprocessors}x{coprocessor.name}]")
+    topo.add(Component("host", ComponentKind.HOST, host))
+    for i in range(n_coprocessors):
+        name = f"mic{i}"
+        topo.add(Component(name, ComponentKind.COPROCESSOR, coprocessor))
+        topo.connect("host", name, bus)
+    return topo

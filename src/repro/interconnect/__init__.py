@@ -1,0 +1,36 @@
+"""Interconnect models: links, fabrics, and the Samhita Communication Layer.
+
+A :class:`LinkModel` prices a single hop (latency + serialization); a
+:class:`~repro.interconnect.routing.Fabric` composes hops along topology
+paths and optionally serializes contended links through DES resources; and
+:class:`~repro.interconnect.scl.SCL` is the RDMA-style get/put interface the
+Samhita core talks to -- mirroring the paper's abstraction over InfiniBand
+verbs, and its proposed SCIF backend for PCIe.
+"""
+
+from repro.interconnect.base import LinkModel
+from repro.interconnect.ethernet import gigabit_ethernet, ten_gigabit_ethernet
+from repro.interconnect.infiniband import ib_ddr, ib_fdr, ib_hdr, ib_qdr, ib_sdr, myrinet_2000
+from repro.interconnect.pcie import pcie_gen2_x8, pcie_gen2_x16, pcie_gen3_x16
+from repro.interconnect.routing import Fabric
+from repro.interconnect.scif import scif_link, verbs_proxy_link
+from repro.interconnect.scl import SCL
+
+__all__ = [
+    "Fabric",
+    "LinkModel",
+    "SCL",
+    "gigabit_ethernet",
+    "ib_ddr",
+    "ib_fdr",
+    "ib_hdr",
+    "ib_qdr",
+    "ib_sdr",
+    "myrinet_2000",
+    "pcie_gen2_x16",
+    "pcie_gen2_x8",
+    "pcie_gen3_x16",
+    "scif_link",
+    "ten_gigabit_ethernet",
+    "verbs_proxy_link",
+]

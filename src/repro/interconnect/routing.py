@@ -1,0 +1,98 @@
+"""Fabric: executes transfers over routed paths inside the simulation.
+
+Pricing uses the cut-through model: end-to-end time is the sum of per-hop
+latencies plus one serialization term at the bottleneck (slowest) hop --
+multi-hop messages pipeline, they are not store-and-forwarded.
+
+If the bottleneck hop is marked ``contended`` the serialization time is spent
+holding that hop's DES resource, so concurrent transfers queue behind each
+other -- this is what makes the shared PCIe bus of the heterogeneous-node
+configuration a real bottleneck under many coprocessor threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.interconnect.base import LinkModel
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import Resource
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.topology import Topology
+
+
+class Fabric:
+    """Binds a topology to an engine and moves bytes across it."""
+
+    def __init__(self, engine: Engine, topology: "Topology", model_contention: bool = True):
+        self.engine = engine
+        self.topology = topology
+        self.model_contention = model_contention
+        self.stats = StatSet("fabric")
+        #: Bytes moved per (src, dst) pair -- the traffic matrix that makes
+        #: hot spots (e.g. a single memory server's in-degree) visible.
+        self.traffic: dict[tuple[str, str], int] = {}
+        self._resources: dict[int, Resource] = {}
+
+    def _resource_for(self, link: LinkModel) -> Resource:
+        key = id(link)
+        res = self._resources.get(key)
+        if res is None:
+            res = Resource(self.engine, capacity=1, name=f"link[{link.name}]")
+            self._resources[key] = res
+        return res
+
+    def path_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Analytic uncontended transfer time (no simulation side effects)."""
+        links = self.topology.route(src, dst)
+        if not links:
+            return 0.0
+        latency = sum(link.latency for link in links)
+        serialize = max(link.serialize_time(nbytes) for link in links)
+        return latency + serialize
+
+    def transfer(self, src: str, dst: str, nbytes: int, category: str = "data"):
+        """Generator: complete one message transfer, with queueing.
+
+        Accounts per-category message and byte counts in :attr:`stats`.
+        """
+        self.stats.incr(f"messages.{category}")
+        self.stats.incr("messages")
+        self.stats.incr("bytes", nbytes)
+        self.stats.incr(f"bytes.{category}", nbytes)
+        key = (src, dst)
+        self.traffic[key] = self.traffic.get(key, 0) + nbytes
+        links = self.topology.route(src, dst)
+        if not links:
+            return  # local delivery is free
+        latency = sum(link.latency for link in links)
+        bottleneck = max(links, key=lambda l: l.serialize_time(nbytes))
+        serialize = bottleneck.serialize_time(nbytes)
+        if self.model_contention and bottleneck.contended and serialize > 0.0:
+            yield Timeout(latency)
+            yield from self._resource_for(bottleneck).use(serialize)
+        else:
+            yield Timeout(latency + serialize)
+
+    def link_utilization(self) -> dict[str, float]:
+        """Busy seconds per contended link (diagnostic)."""
+        out = {}
+        for res in self._resources.values():
+            out[res.name] = res.total_busy_time
+        return out
+
+    def top_talkers(self, n: int = 10) -> list[tuple[tuple[str, str], int]]:
+        """The n heaviest (src, dst) byte flows, descending."""
+        return sorted(self.traffic.items(), key=lambda kv: -kv[1])[:n]
+
+    def in_bytes(self, component: str) -> int:
+        """Total bytes received by one component."""
+        return sum(v for (src, dst), v in self.traffic.items()
+                   if dst == component)
+
+    def out_bytes(self, component: str) -> int:
+        """Total bytes sent by one component."""
+        return sum(v for (src, dst), v in self.traffic.items()
+                   if src == component)

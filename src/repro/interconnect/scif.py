@@ -1,0 +1,35 @@
+"""Host <-> coprocessor communication paths (paper §V, future work).
+
+The paper proposes two ways for Samhita to reach a Xeon Phi:
+
+* the *verbs proxy* path -- the stock OFED stack tunnels InfiniBand verbs
+  over PCIe through a host-side proxy daemon, adding software latency and a
+  staging copy; this is what a naive port would use, and
+* the *SCIF* path -- Intel's Symmetric Communication Interface talks to the
+  PCIe DMA engines directly, which "will reduce the communication overheads".
+
+Both are modelled as single PCIe-gen2-x16 hops with different software
+overheads so the `scif` ablation bench can quantify the §V claim.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.base import LinkModel
+from repro.interconnect.pcie import pcie_gen2_x16
+
+
+def scif_link(contended: bool = True) -> LinkModel:
+    """Direct SCIF/DMA path over PCIe gen2 x16: small software adder."""
+    base = pcie_gen2_x16(contended=contended)
+    return base.with_(name="scif-pcie-g2x16", latency=base.latency + 0.4e-6)
+
+
+def verbs_proxy_link(contended: bool = True) -> LinkModel:
+    """IB-verbs proxy over PCIe: extra daemon hop + staging copy.
+
+    The proxy adds ~2.2 us of software latency per message and the staging
+    copy roughly halves usable bandwidth.
+    """
+    base = pcie_gen2_x16(contended=contended)
+    return base.with_(name="verbs-proxy-pcie", latency=base.latency + 2.2e-6,
+                      bandwidth=base.bandwidth / 2.0)

@@ -1,0 +1,54 @@
+"""SCL -- the Samhita Communication Layer.
+
+The paper abstracts all communication behind SCL, which "presents Samhita
+with a direct memory access communication model instead of a serial
+protocol", mapping naturally onto InfiniBand RDMA (and prospectively onto
+SCIF). We reproduce that interface: one-sided ``rdma_get``/``rdma_put`` for
+bulk data and small ``send``/``request_response`` control messages, all
+priced through the fabric.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.routing import Fabric
+from repro.sim.stats import StatSet
+
+#: Size of an SCL control/work-request message on the wire.
+CONTROL_BYTES = 64
+
+
+class SCL:
+    """One-sided communication endpoint factory over a fabric."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self.stats = StatSet("scl")
+
+    def rdma_get(self, local: str, remote: str, nbytes: int, category: str = "page"):
+        """Generator: one-sided read of ``nbytes`` from remote memory.
+
+        Costed as a control round-trip carrying the work request followed by
+        the data flowing back -- the standard RDMA-read shape.
+        """
+        self.stats.incr("rdma_get")
+        yield from self.fabric.transfer(local, remote, CONTROL_BYTES, category="control")
+        yield from self.fabric.transfer(remote, local, nbytes, category=category)
+
+    def rdma_put(self, local: str, remote: str, nbytes: int, category: str = "diff"):
+        """Generator: one-sided write of ``nbytes`` into remote memory."""
+        self.stats.incr("rdma_put")
+        yield from self.fabric.transfer(local, remote, nbytes, category=category)
+
+    def send(self, src: str, dst: str, nbytes: int = CONTROL_BYTES, category: str = "control"):
+        """Generator: small eager message (work request / notification)."""
+        self.stats.incr("send")
+        yield from self.fabric.transfer(src, dst, nbytes, category=category)
+
+    def request_response(self, src: str, dst: str,
+                         request_bytes: int = CONTROL_BYTES,
+                         response_bytes: int = CONTROL_BYTES,
+                         category: str = "rpc"):
+        """Generator: synchronous RPC-shaped exchange."""
+        self.stats.incr("rpc")
+        yield from self.fabric.transfer(src, dst, request_bytes, category=category)
+        yield from self.fabric.transfer(dst, src, response_bytes, category=category)

@@ -1,0 +1,28 @@
+"""Work-distribution helpers shared by the kernels."""
+
+from __future__ import annotations
+
+
+def block_partition(total: int, nthreads: int, tid: int) -> tuple[int, int]:
+    """Contiguous block split: returns (start, count) for ``tid``.
+
+    Remainder items go to the lowest-numbered threads, matching the usual
+    OpenMP static schedule.
+    """
+    if not 0 <= tid < nthreads:
+        raise ValueError(f"tid {tid} out of range for {nthreads} threads")
+    base, extra = divmod(total, nthreads)
+    count = base + (1 if tid < extra else 0)
+    start = tid * base + min(tid, extra)
+    return start, count
+
+
+def strided_rows(rows_per_thread: int, nthreads: int, tid: int) -> list[int]:
+    """Round-robin (cyclic) row assignment: tid, tid+P, tid+2P, ...
+
+    This is the paper's "global strided" pattern -- the layout with the
+    highest false-sharing potential.
+    """
+    if not 0 <= tid < nthreads:
+        raise ValueError(f"tid {tid} out of range for {nthreads} threads")
+    return [tid + k * nthreads for k in range(rows_per_thread)]

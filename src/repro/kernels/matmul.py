@@ -1,0 +1,101 @@
+"""Blocked matrix multiplication (extension workload).
+
+C = A @ B with C and A row-block distributed and B read by every thread --
+a *read-broadcast* sharing pattern the paper's kernels don't exercise: B's
+pages are fetched once per thread and never invalidated (nobody writes
+them), so DSM overhead is a one-time distribution cost rather than a
+per-iteration tax. The pattern is the best case for demand-paged DSM and a
+useful contrast to Jacobi's ghost exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.common import block_partition
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier
+from repro.runtime.sharedarray import SharedArray
+
+
+@dataclass(frozen=True)
+class MatmulParams:
+    m: int = 64      # rows of A and C
+    k: int = 64      # cols of A / rows of B
+    n: int = 64      # cols of B and C
+    seed: int = 7
+    #: Thread 0 returns the full C for verification.
+    collect_result: bool = False
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError("matrix dimensions must be positive")
+
+
+def _inputs(params: MatmulParams) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(params.seed)
+    a = rng.uniform(-1.0, 1.0, size=(params.m, params.k))
+    b = rng.uniform(-1.0, 1.0, size=(params.k, params.n))
+    return a, b
+
+
+def matmul_thread(ctx: ThreadCtx, shared: dict, bar: Barrier,
+                  params: MatmulParams):
+    """Generator: one worker computing its row block of C."""
+    m, k, n = params.m, params.k, params.n
+
+    if ctx.tid == 0:
+        shared["A"] = yield from SharedArray.allocate(ctx, m, k)
+        shared["B"] = yield from SharedArray.allocate(ctx, k, n)
+        shared["C"] = yield from SharedArray.allocate(ctx, m, n)
+        if ctx.functional:
+            a, b = _inputs(params)
+            yield from shared["A"].write_rows(0, a)
+            yield from shared["B"].write_rows(0, b)
+        else:
+            yield from shared["A"].write_rows(0, None, nrows=m)
+            yield from shared["B"].write_rows(0, None, nrows=k)
+    yield from ctx.barrier(bar)
+
+    a_arr = shared["A"].view(ctx)
+    b_arr = shared["B"].view(ctx)
+    c_arr = shared["C"].view(ctx)
+    start, count = block_partition(m, ctx.nthreads, ctx.tid)
+
+    # Warm-up: stream the read-shared operands once, then time steady state.
+    if count:
+        yield from a_arr.read_rows(start, count)
+        yield from b_arr.read_rows(0, k)
+    yield from ctx.barrier(bar)
+    ctx.reset_clock()
+
+    if count:
+        a_block = yield from a_arr.read_rows(start, count)
+        b_all = yield from b_arr.read_rows(0, k)
+        if ctx.functional:
+            c_block = a_block @ b_all
+            yield from c_arr.write_rows(start, c_block)
+        else:
+            yield from c_arr.write_rows(start, None, nrows=count)
+        # count*n output elements, each a k-term dot product (2k flops).
+        yield from ctx.compute(count * n, flops_per_element=2.0 * k)
+    yield from ctx.barrier(bar)
+
+    if params.collect_result and ctx.tid == 0 and ctx.functional:
+        result = yield from c_arr.read_all()
+        return result.copy()
+    return None
+
+
+def spawn_matmul(rt, params: MatmulParams) -> dict:
+    shared: dict = {}
+    bar = rt.create_barrier()
+    rt.spawn_all(matmul_thread, shared, bar, params)
+    return shared
+
+
+def matmul_reference(params: MatmulParams) -> np.ndarray:
+    a, b = _inputs(params)
+    return a @ b

@@ -1,0 +1,141 @@
+"""Producer/consumer pipeline over shared memory (extension workload).
+
+A bounded ring buffer in the global address space, guarded by one mutex and
+two condition variables -- the canonical Pthreads pattern, exercising the
+DSM synchronization path the other kernels barely touch (condition
+variables + fine-grained consistency-region updates to the ring indices).
+
+Items carry a sequence number so the functional check can prove no item is
+lost, duplicated or reordered across the DSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier, Cond, Lock
+from repro.runtime.sharedarray import SharedArray
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    items: int = 64
+    capacity: int = 8          # ring-buffer slots
+    producers: int = 1
+    work_per_item: int = 500   # compute elements per produced/consumed item
+
+    def __post_init__(self):
+        if self.items < 1 or self.capacity < 1 or self.producers < 1:
+            raise ValueError("invalid pipeline parameters")
+
+
+_HEAD, _TAIL, _PRODUCED, _DONE = 0, 1, 2, 3  # int64 slots in the control block
+
+
+def _ctrl(ctx: ThreadCtx, shared: dict, slot: int):
+    """Read one control word. Timing mode carries no data, but the pipeline's
+    control flow depends on these values, so a Python-side mirror supplies
+    them while the DSM still pays for the (same-sized) read."""
+    raw = yield from ctx.read(shared["ctrl"] + 8 * slot, 8)
+    if raw is not None:
+        return int(raw.view(np.int64)[0])
+    return shared["mirror"][slot]
+
+
+def _set_ctrl(ctx: ThreadCtx, shared: dict, slot: int, value: int):
+    if ctx.functional:
+        payload = np.frombuffer(np.int64(value).tobytes(), np.uint8)
+    else:
+        payload = None
+        shared["mirror"][slot] = value
+    yield from ctx.write(shared["ctrl"] + 8 * slot, 8, payload)
+
+
+def pipeline_thread(ctx: ThreadCtx, shared: dict, lock: Lock,
+                    not_empty: Cond, not_full: Cond, bar: Barrier,
+                    params: PipelineParams):
+    """Generator: producers (tid < params.producers) push sequence numbers;
+    consumers pop them. Returns the sorted list of consumed items (consumers)
+    or the count produced (producers)."""
+    if ctx.tid == 0:
+        shared["ctrl"] = yield from ctx.malloc_shared(64)
+        shared["mirror"] = [0, 0, 0, 0]
+        shared["ring"] = yield from SharedArray.allocate(
+            ctx, params.capacity, 1, dtype=np.int64)
+    yield from ctx.barrier(bar)
+
+    ring = shared["ring"].view(ctx)
+    is_producer = ctx.tid < params.producers
+    n_consumers = ctx.nthreads - params.producers
+
+    if is_producer:
+        produced = 0
+        while True:
+            yield from ctx.lock(lock)
+            seq = yield from _ctrl(ctx, shared, _PRODUCED)
+            if seq >= params.items:
+                yield from ctx.unlock(lock)
+                break
+            head = yield from _ctrl(ctx, shared, _HEAD)
+            tail = yield from _ctrl(ctx, shared, _TAIL)
+            while tail - head >= params.capacity:
+                yield from ctx.cond_wait(not_full, lock)
+                head = yield from _ctrl(ctx, shared, _HEAD)
+                tail = yield from _ctrl(ctx, shared, _TAIL)
+            # Re-check the quota after possibly sleeping.
+            seq = yield from _ctrl(ctx, shared, _PRODUCED)
+            if seq >= params.items:
+                yield from ctx.unlock(lock)
+                break
+            if ctx.functional:
+                yield from ring.write_rows(
+                    tail % params.capacity,
+                    np.array([[seq]], dtype=np.int64))
+            else:
+                yield from ring.write_rows(tail % params.capacity, None, nrows=1)
+            yield from _set_ctrl(ctx, shared, _TAIL, tail + 1)
+            yield from _set_ctrl(ctx, shared, _PRODUCED, seq + 1)
+            yield from ctx.cond_signal(not_empty)
+            yield from ctx.unlock(lock)
+            yield from ctx.compute(params.work_per_item)
+            produced += 1
+        # Wake all consumers so they can observe completion.
+        yield from ctx.lock(lock)
+        yield from _set_ctrl(ctx, shared, _DONE, 1)
+        yield from ctx.cond_broadcast(not_empty)
+        yield from ctx.unlock(lock)
+        return produced
+
+    consumed: list[int] = []
+    while True:
+        yield from ctx.lock(lock)
+        while True:
+            head = yield from _ctrl(ctx, shared, _HEAD)
+            tail = yield from _ctrl(ctx, shared, _TAIL)
+            if tail > head:
+                break
+            done = yield from _ctrl(ctx, shared, _DONE)
+            if done and n_consumers:
+                yield from ctx.unlock(lock)
+                return sorted(consumed)
+            yield from ctx.cond_wait(not_empty, lock)
+        if ctx.functional:
+            row = yield from ring.read_rows(head % params.capacity)
+            consumed.append(int(row[0, 0]))
+        yield from _set_ctrl(ctx, shared, _HEAD, head + 1)
+        yield from ctx.cond_signal(not_full)
+        yield from ctx.unlock(lock)
+        yield from ctx.compute(params.work_per_item)
+
+
+def spawn_pipeline(rt, params: PipelineParams) -> dict:
+    shared: dict = {}
+    lock = rt.create_lock()
+    not_empty = rt.create_cond()
+    not_full = rt.create_cond()
+    bar = rt.create_barrier()
+    rt.spawn_all(pipeline_thread, shared, lock, not_empty, not_full, bar, params)
+    return shared

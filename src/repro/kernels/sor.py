@@ -1,0 +1,120 @@
+"""Red-black successive over-relaxation (extension workload).
+
+A classic DSM stress case: each half-sweep updates every *other* element of
+a row, so a row's write-back diff fragments into many small spans -- the
+span-header overhead of the diff wire format becomes visible, unlike the
+contiguous-row diffs of Jacobi. Two barriers per iteration (red sweep,
+black sweep) plus the residual mutex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.common import block_partition
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier
+from repro.runtime.sharedarray import SharedArray
+
+
+@dataclass(frozen=True)
+class SORParams:
+    rows: int = 32
+    cols: int = 64
+    iterations: int = 5
+    omega: float = 1.5          # over-relaxation factor
+    top_value: float = 100.0
+    collect_result: bool = False
+
+    def __post_init__(self):
+        if self.rows < 3 or self.cols < 3:
+            raise ValueError("grid must be at least 3x3")
+        if not 0 < self.omega < 2:
+            raise ValueError("omega must be in (0, 2) for convergence")
+
+
+def sor_thread(ctx: ThreadCtx, shared: dict, bar: Barrier,
+               params: SORParams):
+    """Generator: one red-black SOR worker."""
+    P = ctx.nthreads
+    rows, cols = params.rows, params.cols
+
+    if ctx.tid == 0:
+        shared["grid"] = yield from SharedArray.allocate(ctx, rows, cols)
+        if ctx.functional:
+            init = np.zeros((rows, cols))
+            init[0, :] = params.top_value
+            yield from shared["grid"].write_rows(0, init)
+        else:
+            yield from shared["grid"].write_rows(0, None, nrows=rows)
+    yield from ctx.barrier(bar)
+
+    grid = shared["grid"].view(ctx)
+    start, count = block_partition(rows - 2, P, ctx.tid)
+    start += 1
+
+    # Warm-up: own block + ghosts, claim ownership of own rows.
+    if count:
+        halo = yield from grid.read_rows(start - 1, count + 2)
+        if ctx.functional:
+            yield from grid.write_rows(start, halo[1:-1])
+        else:
+            yield from grid.write_rows(start, None, nrows=count)
+    yield from ctx.barrier(bar)
+    ctx.reset_clock()
+
+    for _ in range(params.iterations):
+        for color in (0, 1):
+            if count:
+                halo = yield from grid.read_rows(start - 1, count + 2)
+                if ctx.functional:
+                    block = halo.copy()
+                    # Sweep with correct global row parity: halo row 0 is
+                    # global row start-1.
+                    _sweep_block(block, start - 1, color, params.omega)
+                    yield from grid.write_rows(start, block[1:-1])
+                else:
+                    yield from grid.write_rows(start, None, nrows=count)
+                # Half the points, 6 flops each.
+                yield from ctx.compute(count * cols // 2, flops_per_element=6.0)
+            yield from ctx.barrier(bar)
+
+    if params.collect_result and ctx.tid == 0 and ctx.functional:
+        final = yield from grid.read_all()
+        return final.copy()
+    return None
+
+
+def _sweep_block(block: np.ndarray, first_global_row: int, color: int,
+                 omega: float) -> None:
+    """Half-sweep the interior rows of a halo block, using global parity."""
+    rows, cols = block.shape
+    for local in range(1, rows - 1):
+        global_row = first_global_row + local
+        start = 1 + ((global_row + 1 + color) % 2)
+        j = np.arange(start, cols - 1, 2)
+        if j.size == 0:
+            continue
+        stencil = 0.25 * (block[local - 1, j] + block[local + 1, j]
+                          + block[local, j - 1] + block[local, j + 1])
+        block[local, j] += omega * (stencil - block[local, j])
+
+
+def spawn_sor(rt, params: SORParams) -> dict:
+    shared: dict = {}
+    bar = rt.create_barrier()
+    rt.spawn_all(sor_thread, shared, bar, params)
+    return shared
+
+
+def sor_reference(params: SORParams) -> np.ndarray:
+    """Sequential red-black SOR with identical sweep ordering: the whole
+    grid is one block whose local row index equals the global row index."""
+    grid = np.zeros((params.rows, params.cols))
+    grid[0, :] = params.top_value
+    for _ in range(params.iterations):
+        for color in (0, 1):
+            _sweep_block(grid, 0, color, params.omega)
+    return grid

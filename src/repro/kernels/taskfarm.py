@@ -1,0 +1,114 @@
+"""Dynamic task farm (extension workload).
+
+Threads pull row indices from a mutex-protected shared counter and compute
+rows of deliberately *unequal* cost (a Mandelbrot-style workload where some
+rows are far heavier than others). Exercises lock-centric scheduling on the
+DSM and demonstrates when dynamic scheduling beats a static split despite
+the lock being a manager round-trip away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.common import block_partition
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier, Lock
+from repro.runtime.sharedarray import SharedArray
+
+
+@dataclass(frozen=True)
+class TaskFarmParams:
+    n_tasks: int = 64
+    #: Cost of task i in compute elements: base + skew for heavy tasks.
+    base_cost: int = 2000
+    skew: int = 30000
+    #: One task in ``heavy_every`` is heavy, and the heavy tasks are
+    #: *clustered at the front* of the index space -- so a static block
+    #: split dumps them all on thread 0 (the imbalance a dynamic farm fixes).
+    heavy_every: int = 8
+    dynamic: bool = True       # False = static block split (the comparison)
+
+    def __post_init__(self):
+        if self.n_tasks < 1 or self.heavy_every < 1:
+            raise ValueError("invalid task-farm parameters")
+
+    @property
+    def n_heavy(self) -> int:
+        return max(1, self.n_tasks // self.heavy_every)
+
+    def cost_of(self, task: int) -> int:
+        return self.base_cost + (self.skew if task < self.n_heavy else 0)
+
+    def total_cost(self) -> int:
+        return sum(self.cost_of(i) for i in range(self.n_tasks))
+
+
+def taskfarm_thread(ctx: ThreadCtx, shared: dict, lock: Lock, bar: Barrier,
+                    params: TaskFarmParams):
+    """Generator: one worker. Returns (tasks done, simulated work done)."""
+    if ctx.tid == 0:
+        shared["next"] = yield from ctx.malloc_shared(64)
+        shared["done"] = yield from SharedArray.allocate(
+            ctx, params.n_tasks, 1, dtype=np.int64)
+        if ctx.functional:
+            yield from ctx.write(shared["next"], 8, np.zeros(8, np.uint8))
+    yield from ctx.barrier(bar)
+    yield from ctx.read(shared["next"], 8)  # warm the counter page
+    yield from ctx.barrier(bar)
+    ctx.reset_clock()
+
+    done_arr = shared["done"].view(ctx)
+    my_tasks = 0
+    my_work = 0
+
+    if params.dynamic:
+        mirror = shared.setdefault("mirror_next", [0])
+        while True:
+            yield from ctx.lock(lock)
+            raw = yield from ctx.read(shared["next"], 8)
+            task = (int(raw.view(np.int64)[0]) if raw is not None
+                    else mirror[0])
+            if task < params.n_tasks:
+                if ctx.functional:
+                    payload = np.frombuffer(np.int64(task + 1).tobytes(),
+                                            np.uint8)
+                else:
+                    payload = None
+                    mirror[0] = task + 1
+                yield from ctx.write(shared["next"], 8, payload)
+            yield from ctx.unlock(lock)
+            if task >= params.n_tasks:
+                break
+            yield from _run_task(ctx, done_arr, task, params)
+            my_tasks += 1
+            my_work += params.cost_of(task)
+    else:
+        start, count = block_partition(params.n_tasks, ctx.nthreads, ctx.tid)
+        for task in range(start, start + count):
+            yield from _run_task(ctx, done_arr, task, params)
+            my_tasks += 1
+            my_work += params.cost_of(task)
+
+    yield from ctx.barrier(bar)
+    return my_tasks, my_work
+
+
+def _run_task(ctx: ThreadCtx, done_arr: SharedArray, task: int,
+              params: TaskFarmParams):
+    yield from ctx.compute(params.cost_of(task))
+    if ctx.functional:
+        yield from done_arr.write_rows(task,
+                                       np.array([[task + 1]], dtype=np.int64))
+    else:
+        yield from done_arr.write_rows(task, None, nrows=1)
+
+
+def spawn_taskfarm(rt, params: TaskFarmParams) -> dict:
+    shared: dict = {}
+    lock = rt.create_lock()
+    bar = rt.create_barrier()
+    rt.spawn_all(taskfarm_thread, shared, lock, bar, params)
+    return shared

@@ -1,0 +1,122 @@
+"""Memory-server page frames.
+
+A :class:`BackingStore` holds the authoritative copy of every page homed on
+one memory server. In functional mode each frame is a real zero-initialized
+NumPy buffer; in timing mode frames exist but carry no data, keeping large
+sweeps cheap while versioning still works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.memory.diff import PageDiff
+from repro.memory.layout import MemoryLayout
+from repro.sim.stats import StatSet
+
+
+class PageFrame:
+    """One page's authoritative storage."""
+
+    __slots__ = ("data", "version")
+
+    def __init__(self, data: np.ndarray | None):
+        self.data = data
+        self.version = 0
+
+
+class BackingStore:
+    """Page frames homed on one memory server."""
+
+    def __init__(self, layout: MemoryLayout, functional: bool = True, name: str = "backing"):
+        self.layout = layout
+        self.functional = functional
+        self.name = name
+        self.frames: dict[int, PageFrame] = {}
+        self.stats = StatSet(name)
+
+    def ensure(self, page: int) -> PageFrame:
+        """Get (creating zero-filled on first touch) the frame for ``page``."""
+        frame = self.frames.get(page)
+        if frame is None:
+            data = np.zeros(self.layout.page_bytes, dtype=np.uint8) if self.functional else None
+            frame = PageFrame(data)
+            self.frames[page] = frame
+            self.stats.incr("frames_created")
+        return frame
+
+    def read_page(self, page: int) -> np.ndarray | None:
+        """A *copy* of the page's bytes (what goes over the wire)."""
+        self.stats.incr("page_reads")
+        frame = self.ensure(page)
+        return frame.data.copy() if frame.data is not None else None
+
+    def write_page(self, page: int, data: np.ndarray | None) -> None:
+        """Replace the page's contents wholesale."""
+        self.stats.incr("page_writes")
+        frame = self.ensure(page)
+        if self.functional:
+            if data is None:
+                raise MemoryError_("functional store requires data on write_page")
+            if data.shape[0] != self.layout.page_bytes:
+                raise MemoryError_("write_page size mismatch")
+            frame.data[:] = data
+        frame.version += 1
+
+    def apply_diff(self, diff: PageDiff) -> None:
+        """Merge one writer's diff into the authoritative page."""
+        self.stats.incr("diffs_applied")
+        self.stats.incr("diff_bytes", diff.payload_bytes)
+        frame = self.ensure(diff.page)
+        if frame.data is not None:
+            diff.apply_to(frame.data)
+        frame.version += 1
+
+    def read_range(self, addr: int, nbytes: int) -> np.ndarray | None:
+        """Gather an arbitrary byte range (used by the SMP baseline, which
+        accesses memory directly rather than through a software cache)."""
+        if not self.functional:
+            return None
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8)
+        pieces = []
+        for page in self.layout.pages_spanning(addr, nbytes):
+            frame = self.ensure(page)
+            start = max(addr, self.layout.page_addr(page))
+            end = min(addr + nbytes, self.layout.page_addr(page + 1))
+            off = start - self.layout.page_addr(page)
+            pieces.append(frame.data[off:off + (end - start)])
+        if len(pieces) == 1:
+            return pieces[0].copy()
+        return np.concatenate(pieces)
+
+    def write_range(self, addr: int, nbytes: int, data: np.ndarray | None) -> None:
+        """Scatter an arbitrary byte range (SMP baseline direct store)."""
+        if nbytes == 0:
+            return
+        if self.functional and data is not None and len(data) != nbytes:
+            raise MemoryError_("write_range data length mismatch")
+        consumed = 0
+        for page in self.layout.pages_spanning(addr, nbytes):
+            frame = self.ensure(page)
+            start = max(addr, self.layout.page_addr(page))
+            end = min(addr + nbytes, self.layout.page_addr(page + 1))
+            off = start - self.layout.page_addr(page)
+            chunk = end - start
+            if self.functional and data is not None:
+                frame.data[off:off + chunk] = data[consumed:consumed + chunk]
+            consumed += chunk
+            frame.version += 1
+
+    def version_of(self, page: int) -> int:
+        frame = self.frames.get(page)
+        return frame.version if frame is not None else 0
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.frames)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self.frames) * self.layout.page_bytes

@@ -1,0 +1,336 @@
+"""The per-compute-thread software cache.
+
+Each Samhita compute thread "has a local software cache through which it
+accesses the shared global address space". This class is the mechanism only
+-- residency, twins, dirty tracking, eviction choice -- while the protocol
+(what to fetch from where, what to flush when) lives in
+:mod:`repro.core.compute_server` and :mod:`repro.core.consistency`.
+
+Policy knobs reproduced from the paper:
+
+* cache lines span multiple pages (``layout.pages_per_line``);
+* eviction "is biased towards pages that have been written to";
+* a multiple-writer twin is created on the first ordinary-region write.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConsistencyError, MemoryError_, ProtectionError
+from repro.memory.diff import ByteRanges, PageDiff, compute_diff_spans
+from repro.memory.layout import MemoryLayout
+from repro.sim.stats import StatSet
+
+
+class EvictionPolicy(Enum):
+    #: The paper's policy: prefer written (dirty) pages, LRU within a class.
+    DIRTY_BIASED = "dirty-biased"
+    #: Plain least-recently-used (ablation).
+    LRU = "lru"
+    #: Prefer clean pages -- the conventional write-back heuristic (ablation).
+    CLEAN_FIRST = "clean-first"
+
+
+class CacheEntry:
+    """One resident page."""
+
+    __slots__ = ("page", "data", "twin", "dirty", "last_access", "prefetched")
+
+    def __init__(self, page: int, data: np.ndarray | None, tick: int, prefetched: bool):
+        self.page = page
+        self.data = data
+        self.twin: np.ndarray | None = None
+        self.dirty = ByteRanges()
+        self.last_access = tick
+        self.prefetched = prefetched
+
+    @property
+    def is_dirty(self) -> bool:
+        return not self.dirty.empty
+
+
+class SoftwareCache:
+    """Mechanism for one thread's page cache."""
+
+    def __init__(
+        self,
+        layout: MemoryLayout,
+        capacity_pages: int,
+        functional: bool = True,
+        policy: EvictionPolicy = EvictionPolicy.DIRTY_BIASED,
+        use_twins: bool = True,
+        name: str = "cache",
+    ):
+        if capacity_pages < layout.pages_per_line:
+            raise MemoryError_("cache must hold at least one full line")
+        self.layout = layout
+        self.capacity_pages = capacity_pages
+        self.functional = functional
+        self.policy = policy
+        #: Multiple-writer twin/diff protocol; when False the cache behaves
+        #: like a single-writer protocol and write-back ships whole pages.
+        self.use_twins = use_twins
+        self.name = name
+        self.entries: dict[int, CacheEntry] = {}
+        #: Pages ordinary-written since the last barrier (the write-notice
+        #: set). Independent of residency: an evicted page's notice must
+        #: still reach threads holding stale copies.
+        self.epoch_written: set[int] = set()
+        #: Per-page invalidation counters. A fetch in flight when the page
+        #: is invalidated must not install its (pre-invalidation) data; the
+        #: fetcher snapshots this counter and checks it at install time.
+        self.inval_epoch: dict[int, int] = {}
+        self.stats = StatSet(name)
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # residency queries
+    # ------------------------------------------------------------------
+    def resident(self, page: int) -> bool:
+        return page in self.entries
+
+    def missing_pages(self, addr: int, nbytes: int) -> list[int]:
+        return [p for p in self.layout.pages_spanning(addr, nbytes)
+                if p not in self.entries]
+
+    def missing_lines(self, addr: int, nbytes: int) -> list[int]:
+        """Lines with at least one non-resident page, for the span."""
+        out = []
+        for line in self.layout.lines_spanning(addr, nbytes):
+            if any(p not in self.entries for p in self.layout.line_pages(line)):
+                out.append(line)
+        return out
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.entries)
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - len(self.entries)
+
+    # ------------------------------------------------------------------
+    # install / evict / invalidate
+    # ------------------------------------------------------------------
+    def install(self, page: int, data: np.ndarray | None, prefetched: bool = False) -> None:
+        """Bring a fetched page into the cache (caller made room first)."""
+        if len(self.entries) >= self.capacity_pages:
+            raise MemoryError_(f"{self.name}: install over capacity")
+        if page in self.entries:
+            # Refresh of an already-resident page (re-fetch after a race).
+            entry = self.entries[page]
+            if entry.is_dirty:
+                raise ConsistencyError(f"{self.name}: refreshing dirty page {page}")
+            entry.data = data
+            entry.prefetched = prefetched
+            return
+        self._tick += 1
+        self.entries[page] = CacheEntry(page, data, self._tick, prefetched)
+        self.stats.incr("installs")
+        if prefetched:
+            self.stats.incr("prefetch_installs")
+
+    def choose_victims(self, count: int, protect: Iterable[int] = ()) -> list[int]:
+        """Pick ``count`` pages to evict under the configured policy."""
+        if count <= 0:
+            return []
+        protected = set(protect)
+        candidates = [e for p, e in self.entries.items() if p not in protected]
+        if len(candidates) < count:
+            raise MemoryError_(f"{self.name}: cannot evict {count} pages "
+                               f"({len(candidates)} unprotected)")
+        if self.policy is EvictionPolicy.DIRTY_BIASED:
+            key = lambda e: (not e.is_dirty, e.last_access)  # dirty first, then LRU
+        elif self.policy is EvictionPolicy.CLEAN_FIRST:
+            key = lambda e: (e.is_dirty, e.last_access)
+        else:  # LRU
+            key = lambda e: e.last_access
+        candidates.sort(key=key)
+        return [e.page for e in candidates[:count]]
+
+    def evict(self, page: int) -> PageDiff | None:
+        """Drop a page; if dirty, return the diff that must be written back."""
+        entry = self.entries.pop(page, None)
+        if entry is None:
+            raise MemoryError_(f"{self.name}: evicting non-resident page {page}")
+        self.stats.incr("evictions")
+        if entry.is_dirty:
+            self.stats.incr("evictions_dirty")
+            return self._diff_of(entry)
+        self.stats.incr("evictions_clean")
+        return None
+
+    def invalidate(self, pages: Iterable[int]) -> list[int]:
+        """Drop clean copies of the given pages; returns the pages dropped.
+
+        Every listed page's invalidation counter advances even when no copy
+        is resident: an in-flight fetch of that page carries
+        pre-invalidation data and must be discarded on arrival.
+
+        Invalidating a dirty page is a protocol error -- the consistency
+        layer must flush (multi-writer) diffs before invalidating.
+        """
+        dropped = []
+        for page in pages:
+            self.inval_epoch[page] = self.inval_epoch.get(page, 0) + 1
+            entry = self.entries.get(page)
+            if entry is None:
+                continue
+            if entry.is_dirty:
+                raise ConsistencyError(
+                    f"{self.name}: invalidating dirty page {page} without flush")
+            del self.entries[page]
+            dropped.append(page)
+        self.stats.incr("invalidations", len(dropped))
+        return dropped
+
+    def inval_epoch_of(self, page: int) -> int:
+        return self.inval_epoch.get(page, 0)
+
+    # ------------------------------------------------------------------
+    # data access (requires residency)
+    # ------------------------------------------------------------------
+    def _entry_for_access(self, page: int) -> CacheEntry:
+        entry = self.entries.get(page)
+        if entry is None:
+            raise ProtectionError(f"{self.name}: access to non-resident page {page}")
+        self._tick += 1
+        entry.last_access = self._tick
+        self.stats.incr("page_touches")
+        if entry.prefetched:
+            entry.prefetched = False
+            self.stats.incr("prefetch_hits")
+        return entry
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray | None:
+        """Gather bytes (functional) or just touch pages (timing)."""
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8) if self.functional else None
+        pages = self.layout.pages_spanning(addr, nbytes)
+        pieces = []
+        for page in pages:
+            entry = self._entry_for_access(page)
+            if self.functional:
+                start = max(addr, self.layout.page_addr(page))
+                end = min(addr + nbytes, self.layout.page_addr(page + 1))
+                off = start - self.layout.page_addr(page)
+                pieces.append(entry.data[off:off + (end - start)])
+        self.stats.incr("reads")
+        self.stats.incr("read_bytes", nbytes)
+        if not self.functional:
+            return None
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)
+
+    def write(self, addr: int, nbytes: int, data: np.ndarray | None,
+              ordinary: bool = True) -> int:
+        """Scatter bytes into resident pages; returns twins created.
+
+        ``ordinary=True`` engages the multiple-writer machinery (twin on
+        first write, dirty-range tracking); consistency-region writes pass
+        ``ordinary=False`` because they propagate through the store log
+        instead.
+        """
+        if nbytes == 0:
+            return 0
+        if self.functional and data is not None and len(data) != nbytes:
+            raise MemoryError_("write data length mismatch")
+        consumed = 0
+        twins = 0
+        for page in self.layout.pages_spanning(addr, nbytes):
+            entry = self._entry_for_access(page)
+            start = max(addr, self.layout.page_addr(page))
+            end = min(addr + nbytes, self.layout.page_addr(page + 1))
+            off = start - self.layout.page_addr(page)
+            chunk = end - start
+            if ordinary:
+                if (self.use_twins and self.functional
+                        and entry.twin is None and entry.dirty.empty):
+                    entry.twin = entry.data.copy()
+                    twins += 1
+                    self.stats.incr("twins_created")
+                entry.dirty.add(off, off + chunk)
+                self.epoch_written.add(page)
+            if self.functional and data is not None:
+                entry.data[off:off + chunk] = data[consumed:consumed + chunk]
+                if not ordinary and entry.twin is not None:
+                    # Consistency-region stores propagate via the store log;
+                    # mirroring them into the twin keeps them out of this
+                    # thread's ordinary-region diff (shipping them there
+                    # could overwrite other threads' CR updates at the home).
+                    entry.twin[off:off + chunk] = data[consumed:consumed + chunk]
+            consumed += chunk
+        self.stats.incr("writes")
+        self.stats.incr("write_bytes", nbytes)
+        return twins
+
+    # ------------------------------------------------------------------
+    # diffs & fine-grain updates
+    # ------------------------------------------------------------------
+    def _diff_of(self, entry: CacheEntry) -> PageDiff:
+        if not self.use_twins:
+            # Single-writer fallback: no twin exists, so the whole page is
+            # the write-back unit (the classic DSM behaviour the paper's
+            # multiple-writer protocol improves on).
+            if self.functional:
+                return PageDiff(entry.page, spans=[(0, entry.data.copy())])
+            return PageDiff(entry.page, spans=[(0, None)],
+                            sizes=[self.layout.page_bytes])
+        if self.functional and entry.twin is not None:
+            spans = compute_diff_spans(entry.twin, entry.data)
+            diff = PageDiff(entry.page, spans=spans)
+        else:
+            diff = PageDiff.from_ranges(entry.page, entry.dirty)
+        return diff
+
+    def take_diff(self, page: int) -> PageDiff | None:
+        """Extract the pending diff for one dirty page and mark it clean."""
+        entry = self.entries.get(page)
+        if entry is None:
+            raise MemoryError_(f"{self.name}: take_diff on non-resident page {page}")
+        if not entry.is_dirty:
+            return None
+        diff = self._diff_of(entry)
+        entry.twin = None
+        entry.dirty.clear()
+        self.stats.incr("diffs_taken")
+        self.stats.incr("diff_bytes", diff.payload_bytes)
+        return diff
+
+    def dirty_page_ids(self) -> list[int]:
+        return sorted(p for p, e in self.entries.items() if e.is_dirty)
+
+    def take_epoch_notices(self) -> list[int]:
+        """Write notices for the ending epoch: pages ordinary-written since
+        the previous barrier. Clears the set (pages may stay lazily dirty --
+        ownership in the directory keeps them readable by others)."""
+        notices = sorted(self.epoch_written)
+        self.epoch_written.clear()
+        return notices
+
+    def apply_fine_grain(self, diffs: Iterable[PageDiff]) -> int:
+        """Apply incoming fine-grained (consistency-region) updates to any
+        resident copies; non-resident pages are skipped (they will fault to
+        the already-updated home). Returns bytes applied."""
+        applied = 0
+        for diff in diffs:
+            entry = self.entries.get(diff.page)
+            if entry is None:
+                continue
+            if self.functional and entry.data is not None:
+                diff.apply_to(entry.data)
+                # Keep the twin in sync so these bytes don't reappear in the
+                # thread's own ordinary-region diff.
+                if entry.twin is not None:
+                    diff.apply_to(entry.twin)
+            applied += diff.payload_bytes
+        self.stats.incr("fine_grain_bytes", applied)
+        return applied
+
+    def clear(self) -> None:
+        self.entries.clear()

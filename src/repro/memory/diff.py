@@ -1,0 +1,163 @@
+"""Twin/diff machinery for the multiple-writer protocol.
+
+Samhita "supports a multiple-writer protocol" to reduce the impact of false
+sharing: each writer keeps a pristine *twin* of the page, and at
+synchronization time ships only the bytes that differ. Concurrent writers of
+disjoint byte ranges therefore merge cleanly at the page's home.
+
+Two representations coexist:
+
+* functional mode -- :func:`compute_diff_spans` extracts ``(offset, bytes)``
+  spans by comparing real NumPy buffers;
+* timing mode -- :class:`ByteRanges` tracks dirty intervals without data, so
+  diff *sizes* (what the timing model needs) stay exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+
+class ByteRanges:
+    """A sorted set of disjoint half-open byte intervals within one page."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges=None):
+        self._ranges: list[tuple[int, int]] = []
+        if ranges:
+            for start, end in ranges:
+                self.add(start, end)
+
+    def add(self, start: int, end: int) -> None:
+        """Insert [start, end), coalescing with touching/overlapping spans."""
+        if start < 0 or end < start:
+            raise MemoryError_(f"invalid byte range [{start}, {end})")
+        if start == end:
+            return
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for s, e in self._ranges:
+            if e < start or s > end:  # disjoint and not touching
+                if s > end and not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:  # overlap or adjacency: absorb
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+        merged.sort()
+        self._ranges = merged
+
+    def merge(self, other: "ByteRanges") -> None:
+        for s, e in other:
+            self.add(s, e)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(e - s for s, e in self._ranges)
+
+    @property
+    def empty(self) -> bool:
+        return not self._ranges
+
+    def contains(self, offset: int) -> bool:
+        return any(s <= offset < e for s, e in self._ranges)
+
+    def clear(self) -> None:
+        self._ranges.clear()
+
+    def __iter__(self):
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ByteRanges) and self._ranges == other._ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ByteRanges({self._ranges!r})"
+
+
+def compute_diff_spans(twin: np.ndarray, current: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Extract ``(offset, changed_bytes)`` spans between twin and current.
+
+    Both arrays must be equal-length uint8 buffers. Consecutive changed bytes
+    coalesce into one span (vectorized -- no Python loop over bytes).
+    """
+    if twin.shape != current.shape:
+        raise MemoryError_("twin/current shape mismatch")
+    changed = np.flatnonzero(twin != current)
+    if changed.size == 0:
+        return []
+    # Split at gaps in the changed-index sequence.
+    breaks = np.flatnonzero(np.diff(changed) > 1) + 1
+    spans = []
+    for group in np.split(changed, breaks):
+        start = int(group[0])
+        end = int(group[-1]) + 1
+        spans.append((start, current[start:end].copy()))
+    return spans
+
+
+class PageDiff:
+    """The unit shipped at synchronization time for one page.
+
+    ``spans`` is a list of ``(offset, data)`` where ``data`` is a uint8 array
+    in functional mode or ``None`` (length carried in ``_sizes``) in timing
+    mode. Wire size adds a small per-span header, matching a run-length
+    encoded diff format.
+    """
+
+    SPAN_HEADER_BYTES = 8
+
+    __slots__ = ("page", "spans", "_sizes")
+
+    def __init__(self, page: int, spans=None, sizes=None):
+        self.page = page
+        self.spans: list[tuple[int, np.ndarray | None]] = list(spans or [])
+        if sizes is not None:
+            self._sizes = list(sizes)
+        else:
+            self._sizes = [len(d) if d is not None else 0 for _, d in self.spans]
+        if len(self._sizes) != len(self.spans):
+            raise MemoryError_("span/size length mismatch")
+
+    @classmethod
+    def from_ranges(cls, page: int, ranges: ByteRanges) -> "PageDiff":
+        """Timing-mode diff: spans with sizes but no data."""
+        spans = [(s, None) for s, _ in ranges]
+        sizes = [e - s for s, e in ranges]
+        return cls(page, spans=spans, sizes=sizes)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(self._sizes)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + self.SPAN_HEADER_BYTES * len(self.spans)
+
+    @property
+    def empty(self) -> bool:
+        return not self.spans
+
+    def apply_to(self, buffer: np.ndarray) -> None:
+        """Write the diff's bytes into a page-sized uint8 buffer."""
+        for (offset, data), size in zip(self.spans, self._sizes):
+            if data is None:
+                continue  # timing mode: nothing to apply
+            if offset + size > buffer.shape[0]:
+                raise MemoryError_(f"diff span [{offset}, {offset+size}) exceeds page")
+            buffer[offset:offset + size] = data
+
+    def sizes(self) -> list[int]:
+        return list(self._sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PageDiff page={self.page} spans={len(self.spans)} bytes={self.payload_bytes}>"

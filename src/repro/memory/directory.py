@@ -1,0 +1,62 @@
+"""Page ownership directory.
+
+Samhita's synchronization "moves only the minimum amount of data required":
+a page dirtied by exactly one thread is *not* flushed at a barrier -- the
+directory records that thread as the page's owner, and the home recalls the
+diff only if someone else faults on the page (or the owner evicts it).
+Multi-writer pages are merged eagerly at the barrier and ownership clears.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import StatSet
+
+
+class PageDirectory:
+    """Maps lazily written-back pages to their owning thread.
+
+    Also tracks *sharers* (threads that fetched a copy). RegC only uses
+    ownership; the eager write-invalidate (IVY-style) baseline needs the
+    sharer lists to know whom to invalidate on a write. Sharer lists are
+    conservative supersets -- a locally dropped copy may linger until the
+    next protocol action touches it.
+    """
+
+    def __init__(self, name: str = "directory"):
+        self._owner: dict[int, int] = {}
+        self._sharers: dict[int, set[int]] = {}
+        self.stats = StatSet(name)
+
+    # -- sharers ---------------------------------------------------------
+    def add_sharer(self, page: int, thread_id: int) -> None:
+        self._sharers.setdefault(page, set()).add(thread_id)
+
+    def remove_sharer(self, page: int, thread_id: int) -> None:
+        sharers = self._sharers.get(page)
+        if sharers is not None:
+            sharers.discard(thread_id)
+            if not sharers:
+                del self._sharers[page]
+
+    def sharers_of(self, page: int) -> set[int]:
+        return set(self._sharers.get(page, ()))
+
+    def record_owner(self, page: int, thread_id: int) -> None:
+        self._owner[page] = thread_id
+        self.stats.incr("owners_recorded")
+
+    def owner_of(self, page: int) -> int | None:
+        return self._owner.get(page)
+
+    def clear_owner(self, page: int) -> None:
+        if self._owner.pop(page, None) is not None:
+            self.stats.incr("owners_cleared")
+
+    def owned_by(self, thread_id: int) -> list[int]:
+        return sorted(p for p, t in self._owner.items() if t == thread_id)
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._owner

@@ -1,0 +1,82 @@
+"""Fine-grained store instrumentation for consistency regions.
+
+The original system uses an LLVM pass to insert a call before every store
+executed inside a consistency region, enabling "fine grain (data object
+level) updates" at release time. Here the runtime's write path appends to a
+:class:`StoreLog` whenever the thread is inside a consistency region -- same
+observable effect, no compiler needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.memory.diff import PageDiff
+from repro.memory.layout import MemoryLayout
+
+
+class StoreLog:
+    """Ordered log of (addr, nbytes, data) stores from one consistency region."""
+
+    #: Wire overhead per logged store (address + length header).
+    ENTRY_HEADER_BYTES = 12
+
+    def __init__(self, layout: MemoryLayout):
+        self.layout = layout
+        self.entries: list[tuple[int, int, np.ndarray | None]] = []
+
+    def record(self, addr: int, nbytes: int, data: np.ndarray | None) -> None:
+        if nbytes < 0:
+            raise MemoryError_(f"negative store size {nbytes}")
+        if nbytes == 0:
+            return
+        if data is not None and len(data) != nbytes:
+            raise MemoryError_("store data length mismatch")
+        self.entries.append((addr, nbytes, data))
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(n for _, n, _ in self.entries)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + self.ENTRY_HEADER_BYTES * len(self.entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_page_diffs(self) -> list[PageDiff]:
+        """Convert the log to per-page diffs (applied at homes / acquirers).
+
+        Later stores to the same bytes win, which the ordered span list
+        preserves because :meth:`PageDiff.apply_to` applies spans in order.
+        """
+        per_page: dict[int, PageDiff] = {}
+        page_bytes = self.layout.page_bytes
+        for addr, nbytes, data in self.entries:
+            start = addr
+            remaining = nbytes
+            consumed = 0
+            while remaining > 0:
+                page = self.layout.page_of(start)
+                offset = self.layout.page_offset(start)
+                chunk = min(remaining, page_bytes - offset)
+                diff = per_page.get(page)
+                if diff is None:
+                    diff = PageDiff(page)
+                    per_page[page] = diff
+                piece = data[consumed:consumed + chunk] if data is not None else None
+                diff.spans.append((offset, piece))
+                diff._sizes.append(chunk)
+                start += chunk
+                consumed += chunk
+                remaining -= chunk
+        return [per_page[p] for p in sorted(per_page)]
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,35 @@
+"""Public runtime: the Pthreads-like programming API over either backend.
+
+"The API provided by Samhita is very similar to that of Pthreads. In fact,
+all our benchmarks share the same code base" -- this package reproduces that
+property. Application kernels are written once against :class:`ThreadCtx`
+and run unchanged on:
+
+* :class:`~repro.runtime.pthreads.PthreadsBackend` -- a simulated
+  hardware-coherent SMP (the paper's baseline), or
+* :class:`~repro.runtime.samhita.SamhitaBackend` -- the DSM system.
+"""
+
+from repro.runtime.clock import ThreadClock
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier, Cond, Lock
+from repro.runtime.results import RunResult, ThreadResult
+from repro.runtime.pthreads import PthreadsBackend
+from repro.runtime.samhita import SamhitaBackend
+from repro.runtime.api import Runtime, make_backend
+from repro.runtime.sharedarray import SharedArray
+
+__all__ = [
+    "Barrier",
+    "Cond",
+    "Lock",
+    "PthreadsBackend",
+    "RunResult",
+    "Runtime",
+    "SamhitaBackend",
+    "SharedArray",
+    "ThreadClock",
+    "ThreadCtx",
+    "ThreadResult",
+    "make_backend",
+]

@@ -1,0 +1,162 @@
+"""Backend base: thread spawning, program execution, result collection.
+
+A backend provides the op set :class:`ThreadCtx` routes to (all generators
+unless noted):
+
+``malloc, free, mem_read, mem_write, acquire_lock, release_lock,
+barrier_wait, cond_wait, cond_signal`` plus the plain-function
+``compute_cost`` and the attributes ``engine`` / ``functional``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import BackendError
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier, Cond, Lock
+from repro.runtime.results import RunResult, ThreadResult
+from repro.sim.trace import Tracer
+
+
+class BaseBackend(ABC):
+    """Shared spawn/run machinery for both execution backends."""
+
+    name: str = "base"
+
+    def __init__(self, n_threads: int, functional: bool = True,
+                 trace: bool = False):
+        if n_threads < 1:
+            raise BackendError("need at least one thread")
+        self.n_threads = n_threads
+        self.functional = functional
+        #: Per-operation interval trace (thread, category, start, duration);
+        #: off by default -- enable for the timeline view.
+        self.tracer = Tracer(enabled=trace)
+        self._contexts: dict[int, ThreadCtx] = {}
+        self._results: dict[int, ThreadResult] = {}
+        self._spawned = 0
+        self._ran = False
+
+    # -- engine comes from the concrete backend --------------------------
+    @property
+    @abstractmethod
+    def engine(self):
+        ...
+
+    # -- synchronization object creation ---------------------------------
+    @abstractmethod
+    def _create_lock_id(self) -> int:
+        ...
+
+    @abstractmethod
+    def _create_barrier_id(self, parties: int) -> int:
+        ...
+
+    @abstractmethod
+    def _create_cond_id(self) -> int:
+        ...
+
+    def create_lock(self) -> Lock:
+        return Lock(self._create_lock_id())
+
+    def create_barrier(self, parties: int | None = None) -> Barrier:
+        parties = parties if parties is not None else self.n_threads
+        return Barrier(self._create_barrier_id(parties), parties)
+
+    def create_cond(self) -> Cond:
+        return Cond(self._create_cond_id())
+
+    # -- thread lifecycle --------------------------------------------------
+    @abstractmethod
+    def _register_thread(self) -> int:
+        """Create backend-side thread state; returns the tid."""
+
+    def spawn(self, program, *args) -> int:
+        """Register a kernel body; it starts when :meth:`run` is called.
+
+        ``program`` is a generator function ``program(ctx, *args)``.
+        """
+        if self._ran:
+            raise BackendError("cannot spawn after run()")
+        if self._spawned >= self.n_threads:
+            raise BackendError(f"backend sized for {self.n_threads} threads")
+        tid = self._register_thread()
+        self._spawned += 1
+        ctx = ThreadCtx(self, tid, self.n_threads)
+        self._contexts[tid] = ctx
+        self.engine.process(self._main(ctx, program, args), name=f"thread{tid}")
+        return tid
+
+    def _main(self, ctx: ThreadCtx, program, args):
+        value = yield from program(ctx, *args)
+        self._results[ctx.tid] = ThreadResult(ctx.tid, ctx.clock, value)
+
+    def spawn_all(self, program, *args) -> list[int]:
+        """Spawn ``n_threads`` copies of one kernel body."""
+        return [self.spawn(program, *args) for _ in range(self.n_threads)]
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> RunResult:
+        if self._spawned == 0:
+            raise BackendError("nothing spawned")
+        self._ran = True
+        elapsed = self.engine.run()
+        missing = set(self._contexts) - set(self._results)
+        if missing:  # pragma: no cover - deadlock raises first
+            raise BackendError(f"threads never finished: {sorted(missing)}")
+        return RunResult(
+            backend=self.name,
+            n_threads=self._spawned,
+            elapsed=elapsed,
+            threads=dict(self._results),
+            stats=self.stats_report(),
+        )
+
+    def stats_report(self) -> dict:
+        return {}
+
+    # -- ops the concrete backend must provide -----------------------------
+    @abstractmethod
+    def malloc(self, tid: int, size: int):
+        ...
+
+    @abstractmethod
+    def malloc_shared(self, tid: int, size: int):
+        """Page-aligned allocation for program globals (never arena-mixed)."""
+
+    @abstractmethod
+    def free(self, tid: int, addr: int):
+        ...
+
+    @abstractmethod
+    def mem_read(self, tid: int, addr: int, nbytes: int):
+        ...
+
+    @abstractmethod
+    def mem_write(self, tid: int, addr: int, nbytes: int, data):
+        ...
+
+    @abstractmethod
+    def compute_cost(self, tid: int, elements: int, flops_per_element: float) -> float:
+        ...
+
+    @abstractmethod
+    def acquire_lock(self, tid: int, lock_id: int):
+        ...
+
+    @abstractmethod
+    def release_lock(self, tid: int, lock_id: int):
+        ...
+
+    @abstractmethod
+    def barrier_wait(self, tid: int, barrier_id: int):
+        ...
+
+    @abstractmethod
+    def cond_wait(self, tid: int, cond_id: int, lock_id: int):
+        ...
+
+    @abstractmethod
+    def cond_signal(self, tid: int, cond_id: int, broadcast: bool):
+        ...

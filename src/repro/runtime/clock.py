@@ -1,0 +1,40 @@
+"""Per-thread virtual-time accounting.
+
+The paper's evaluation separates "two important components that contribute
+to the runtime of an application -- compute time and synchronization time".
+Compute time includes page-fault stalls (that is how false sharing shows up
+in the compute-time figures); synchronization time covers lock, barrier and
+condition-variable operations including their consistency work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThreadClock:
+    """Accumulated virtual seconds, split the way the paper reports them."""
+
+    compute: float = 0.0
+    sync: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.sync
+
+    def charge(self, bucket: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time charge: {dt}")
+        if bucket == "compute":
+            self.compute += dt
+        elif bucket == "sync":
+            self.sync += dt
+        else:
+            raise ValueError(f"unknown clock bucket {bucket!r}")
+        self.detail[bucket] = self.detail.get(bucket, 0.0) + dt
+
+    def charge_detail(self, key: str, dt: float) -> None:
+        """Extra attribution (e.g. 'fault', 'barrier') on top of the bucket."""
+        self.detail[key] = self.detail.get(key, 0.0) + dt

@@ -1,0 +1,130 @@
+"""Pthreads-flavoured compatibility layer.
+
+The paper stresses that Samhita's "APIs are very similar to that presented
+by Pthreads, making it trivial to port existing threaded code", with all
+benchmarks sharing "the same code base, with memory allocation,
+synchronization and thread creation expressed as macros" (processed by m4).
+
+This module is that macro layer for Python: ported code keeps its Pthreads
+vocabulary and runs unchanged on either backend. Every function is a
+generator (``yield from``), mirroring how the m4 macros expand to blocking
+runtime calls.
+
+    from repro.runtime import Runtime
+    from repro.runtime import compat as pt
+
+    def worker(ctx, shared, mutex, barrier):
+        buf = yield from pt.malloc(ctx, 1024)
+        yield from pt.pthread_mutex_lock(ctx, mutex)
+        ...
+        yield from pt.pthread_mutex_unlock(ctx, mutex)
+        yield from pt.pthread_barrier_wait(ctx, barrier)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.context import ThreadCtx
+from repro.runtime.handles import Barrier, Cond, Lock
+
+#: pthread_barrier_wait returns this in exactly one thread per generation.
+PTHREAD_BARRIER_SERIAL_THREAD = -1
+
+
+# ---------------------------------------------------------------------------
+# memory (malloc.h)
+# ---------------------------------------------------------------------------
+
+def malloc(ctx: ThreadCtx, size: int):
+    """Generator: samhita_malloc / malloc."""
+    return (yield from ctx.malloc(size))
+
+
+def free(ctx: ThreadCtx, addr: int):
+    """Generator: samhita_free / free."""
+    return (yield from ctx.free(addr))
+
+
+def memset(ctx: ThreadCtx, addr: int, byte: int, nbytes: int):
+    """Generator: memset over shared memory."""
+    data = (np.full(nbytes, byte, dtype=np.uint8)
+            if ctx.functional else None)
+    yield from ctx.write(addr, nbytes, data)
+    return addr
+
+
+def memcpy(ctx: ThreadCtx, dst: int, src: int, nbytes: int):
+    """Generator: memcpy within shared memory."""
+    data = yield from ctx.read(src, nbytes)
+    payload = np.array(data, copy=True) if data is not None else None
+    yield from ctx.write(dst, nbytes, payload)
+    return dst
+
+
+# ---------------------------------------------------------------------------
+# scalar load/store helpers (the instrumented stores of the LLVM pass)
+# ---------------------------------------------------------------------------
+
+def load_double(ctx: ThreadCtx, addr: int):
+    """Generator: read one double from shared memory."""
+    raw = yield from ctx.read(addr, 8)
+    return float(np.asarray(raw).view(np.float64)[0]) if raw is not None else 0.0
+
+
+def store_double(ctx: ThreadCtx, addr: int, value: float):
+    """Generator: write one double to shared memory."""
+    payload = (np.frombuffer(np.float64(value).tobytes(), np.uint8)
+               if ctx.functional else None)
+    yield from ctx.write(addr, 8, payload)
+
+
+def load_int64(ctx: ThreadCtx, addr: int):
+    raw = yield from ctx.read(addr, 8)
+    return int(np.asarray(raw).view(np.int64)[0]) if raw is not None else 0
+
+
+def store_int64(ctx: ThreadCtx, addr: int, value: int):
+    payload = (np.frombuffer(np.int64(value).tobytes(), np.uint8)
+               if ctx.functional else None)
+    yield from ctx.write(addr, 8, payload)
+
+
+# ---------------------------------------------------------------------------
+# pthread.h
+# ---------------------------------------------------------------------------
+
+def pthread_mutex_lock(ctx: ThreadCtx, mutex: Lock):
+    yield from ctx.lock(mutex)
+    return 0
+
+
+def pthread_mutex_unlock(ctx: ThreadCtx, mutex: Lock):
+    yield from ctx.unlock(mutex)
+    return 0
+
+
+def pthread_barrier_wait(ctx: ThreadCtx, barrier: Barrier):
+    """Generator: returns PTHREAD_BARRIER_SERIAL_THREAD for thread 0, else 0
+    (a fixed serial thread is a valid POSIX implementation choice)."""
+    yield from ctx.barrier(barrier)
+    return PTHREAD_BARRIER_SERIAL_THREAD if ctx.tid == 0 else 0
+
+
+def pthread_cond_wait(ctx: ThreadCtx, cond: Cond, mutex: Lock):
+    yield from ctx.cond_wait(cond, mutex)
+    return 0
+
+
+def pthread_cond_signal(ctx: ThreadCtx, cond: Cond):
+    yield from ctx.cond_signal(cond)
+    return 0
+
+
+def pthread_cond_broadcast(ctx: ThreadCtx, cond: Cond):
+    yield from ctx.cond_broadcast(cond)
+    return 0
+
+
+def pthread_self(ctx: ThreadCtx) -> int:
+    return ctx.tid

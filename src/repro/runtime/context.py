@@ -1,0 +1,130 @@
+"""ThreadCtx: what an application kernel sees.
+
+One kernel body (a generator function taking a :class:`ThreadCtx`) runs
+unchanged on both backends; the context routes each operation to backend ops
+and books elapsed virtual time into the paper's two buckets (compute time,
+which includes fault stalls, and synchronization time).
+
+All blocking operations are generators -- kernels call them with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.clock import ThreadClock
+from repro.runtime.handles import Barrier, Cond, Lock
+from repro.sim.engine import Timeout
+
+
+class ThreadCtx:
+    """Per-thread programming interface (Pthreads-like, §II)."""
+
+    def __init__(self, ops, tid: int, nthreads: int):
+        self._ops = ops
+        self.tid = tid
+        self.nthreads = nthreads
+        self.clock = ThreadClock()
+
+    @property
+    def functional(self) -> bool:
+        return self._ops.functional
+
+    @property
+    def now(self) -> float:
+        return self._ops.engine.now
+
+    def reset_clock(self) -> None:
+        """Zero the time buckets -- kernels call this after their setup /
+        initialization phase so reported times cover only the measured
+        region, as the paper's benchmarks do."""
+        self.clock.compute = 0.0
+        self.clock.sync = 0.0
+        self.clock.detail.clear()
+
+    # ------------------------------------------------------------------
+    # time-bucketed op wrappers
+    # ------------------------------------------------------------------
+    def _timed(self, gen, bucket: str, detail: str | None = None):
+        t0 = self._ops.engine.now
+        value = yield from gen
+        dt = self._ops.engine.now - t0
+        self.clock.charge(bucket, dt)
+        if detail:
+            self.clock.charge_detail(detail, dt)
+        tracer = getattr(self._ops, "tracer", None)
+        if tracer is not None and tracer.enabled and dt > 0:
+            tracer.emit(t0, f"t{self.tid}", detail or bucket, duration=dt)
+        return value
+
+    # -- memory ----------------------------------------------------------
+    def malloc(self, size: int):
+        """Generator: allocate ``size`` bytes of shared memory."""
+        return (yield from self._timed(self._ops.malloc(self.tid, size),
+                                       "compute", "alloc"))
+
+    def malloc_shared(self, size: int):
+        """Generator: allocate a page-aligned shared global (the analogue of
+        a program global variable -- never placed in a thread arena)."""
+        return (yield from self._timed(self._ops.malloc_shared(self.tid, size),
+                                       "compute", "alloc"))
+
+    def free(self, addr: int):
+        """Generator: release an allocation."""
+        return (yield from self._timed(self._ops.free(self.tid, addr),
+                                       "compute", "alloc"))
+
+    def read(self, addr: int, nbytes: int):
+        """Generator: read bytes; returns uint8 array (functional mode) or
+        None (timing mode). Fault stalls are charged to compute time."""
+        return (yield from self._timed(self._ops.mem_read(self.tid, addr, nbytes),
+                                       "compute", "memory"))
+
+    def write(self, addr: int, nbytes: int, data: np.ndarray | None = None):
+        """Generator: write bytes (data=None in timing mode)."""
+        return (yield from self._timed(
+            self._ops.mem_write(self.tid, addr, nbytes, data),
+            "compute", "memory"))
+
+    def compute(self, elements: int, flops_per_element: float = 2.0):
+        """Generator: burn CPU for ``elements`` inner-loop elements."""
+        dt = self._ops.compute_cost(self.tid, elements, flops_per_element)
+        self.clock.charge("compute", dt)
+        self.clock.charge_detail("cpu", dt)
+        tracer = getattr(self._ops, "tracer", None)
+        if tracer is not None and tracer.enabled and dt > 0:
+            tracer.emit(self._ops.engine.now, f"t{self.tid}", "cpu", duration=dt)
+        yield Timeout(dt)
+
+    # -- synchronization ---------------------------------------------------
+    def lock(self, lock: Lock):
+        """Generator: acquire (enters a RegC consistency region)."""
+        return (yield from self._timed(
+            self._ops.acquire_lock(self.tid, lock.id), "sync", "lock"))
+
+    def unlock(self, lock: Lock):
+        """Generator: release (leaves the consistency region, propagating
+        its updates)."""
+        return (yield from self._timed(
+            self._ops.release_lock(self.tid, lock.id), "sync", "lock"))
+
+    def barrier(self, barrier: Barrier):
+        """Generator: barrier wait (a RegC global consistency point)."""
+        return (yield from self._timed(
+            self._ops.barrier_wait(self.tid, barrier.id), "sync", "barrier"))
+
+    def cond_wait(self, cond: Cond, lock: Lock):
+        """Generator: POSIX-style condition wait (hold the lock)."""
+        return (yield from self._timed(
+            self._ops.cond_wait(self.tid, cond.id, lock.id), "sync", "cond"))
+
+    def cond_signal(self, cond: Cond):
+        """Generator: wake one waiter."""
+        return (yield from self._timed(
+            self._ops.cond_signal(self.tid, cond.id, False), "sync", "cond"))
+
+    def cond_broadcast(self, cond: Cond):
+        """Generator: wake all waiters."""
+        return (yield from self._timed(
+            self._ops.cond_signal(self.tid, cond.id, True), "sync", "cond"))

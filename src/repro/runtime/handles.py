@@ -1,0 +1,27 @@
+"""Synchronization object handles shared by both backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Lock:
+    """Mutual-exclusion lock handle (maps to a backend lock id)."""
+
+    id: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Barrier handle for a fixed party count."""
+
+    id: int
+    parties: int
+
+
+@dataclass(frozen=True)
+class Cond:
+    """Condition-variable handle."""
+
+    id: int

@@ -1,0 +1,69 @@
+"""Run results: per-thread clocks plus system statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.clock import ThreadClock
+
+
+@dataclass
+class ThreadResult:
+    tid: int
+    clock: ThreadClock
+    value: object = None  # the thread body's return value
+
+
+@dataclass
+class RunResult:
+    """Outcome of one complete application run on one backend."""
+
+    backend: str
+    n_threads: int
+    elapsed: float                      # simulated makespan
+    threads: dict[int, ThreadResult] = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+
+    # -- the aggregations the paper's figures use -----------------------
+    @property
+    def mean_compute_time(self) -> float:
+        return self._mean("compute")
+
+    @property
+    def max_compute_time(self) -> float:
+        return self._max("compute")
+
+    @property
+    def mean_sync_time(self) -> float:
+        return self._mean("sync")
+
+    @property
+    def max_sync_time(self) -> float:
+        return self._max("sync")
+
+    @property
+    def max_total_time(self) -> float:
+        """Kernel execution time: slowest thread's timed region (compute +
+        sync). This is what strong-scaling speedups divide (setup excluded,
+        as in the paper)."""
+        vals = [t.clock.total for t in self.threads.values()]
+        return max(vals) if vals else 0.0
+
+    def _values(self, bucket: str) -> list[float]:
+        return [getattr(t.clock, bucket) for t in self.threads.values()]
+
+    def _mean(self, bucket: str) -> float:
+        vals = self._values(bucket)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def _max(self, bucket: str) -> float:
+        vals = self._values(bucket)
+        return max(vals) if vals else 0.0
+
+    def value_of(self, tid: int):
+        return self.threads[tid].value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<RunResult {self.backend} P={self.n_threads} "
+                f"elapsed={self.elapsed:.6f}s compute={self.mean_compute_time:.6f}s "
+                f"sync={self.mean_sync_time:.6f}s>")

@@ -1,0 +1,104 @@
+"""The Samhita execution backend: kernels over the DSM system."""
+
+from __future__ import annotations
+
+from repro.core.params import SamhitaConfig
+from repro.core.system import SamhitaSystem
+from repro.errors import BackendError
+from repro.hardware.cpu import ComputeCostModel
+from repro.runtime.backend import BaseBackend
+
+
+class SamhitaBackend(BaseBackend):
+    """Runs kernels on a :class:`SamhitaSystem`.
+
+    ``machine`` selects the canonical topology:
+
+    * ``"cluster"`` (default) -- the paper's testbed;
+    * ``"hetero"`` -- host + coprocessor over PCIe (Figure 1);
+    * ``"single_node"`` -- everything co-located (§V ablation);
+
+    or pass a pre-built ``system`` for custom topologies.
+    """
+
+    name = "samhita"
+
+    def __init__(self, n_threads: int, config: SamhitaConfig | None = None,
+                 machine: str = "cluster", system: SamhitaSystem | None = None,
+                 trace: bool = False, **machine_kwargs):
+        config = config or SamhitaConfig()
+        if system is None:
+            if machine == "cluster":
+                system = SamhitaSystem.cluster(n_threads, config=config,
+                                               **machine_kwargs)
+            elif machine == "hetero":
+                system = SamhitaSystem.hetero(config=config, **machine_kwargs)
+            elif machine == "single_node":
+                system = SamhitaSystem.single_node(config=config, **machine_kwargs)
+            else:
+                raise BackendError(f"unknown machine {machine!r}")
+        self.system = system
+        super().__init__(n_threads, functional=system.config.functional,
+                         trace=trace)
+        self._cost_models: dict[int, ComputeCostModel] = {}
+
+    @property
+    def engine(self):
+        return self.system.engine
+
+    @property
+    def config(self) -> SamhitaConfig:
+        return self.system.config
+
+    # -- object creation ---------------------------------------------------
+    def _create_lock_id(self) -> int:
+        return self.system.create_lock()
+
+    def _create_barrier_id(self, parties: int) -> int:
+        return self.system.create_barrier(parties)
+
+    def _create_cond_id(self) -> int:
+        return self.system.create_cond()
+
+    def _register_thread(self) -> int:
+        tid = self.system.add_thread()
+        cpu = self.system.topology.component(self.system.component_of(tid)).cpu
+        self._cost_models[tid] = ComputeCostModel(cpu)
+        return tid
+
+    # -- ops ------------------------------------------------------------------
+    def malloc(self, tid, size):
+        return (yield from self.system.malloc(tid, size))
+
+    def malloc_shared(self, tid, size):
+        return (yield from self.system.malloc(tid, size, shared=True))
+
+    def free(self, tid, addr):
+        return (yield from self.system.free(tid, addr))
+
+    def mem_read(self, tid, addr, nbytes):
+        return (yield from self.system.mem_read(tid, addr, nbytes))
+
+    def mem_write(self, tid, addr, nbytes, data):
+        return (yield from self.system.mem_write(tid, addr, nbytes, data))
+
+    def compute_cost(self, tid, elements, flops_per_element):
+        return self._cost_models[tid].element_time(elements, flops_per_element)
+
+    def acquire_lock(self, tid, lock_id):
+        return (yield from self.system.acquire_lock(tid, lock_id))
+
+    def release_lock(self, tid, lock_id):
+        return (yield from self.system.release_lock(tid, lock_id))
+
+    def barrier_wait(self, tid, barrier_id):
+        return (yield from self.system.barrier_wait(tid, barrier_id))
+
+    def cond_wait(self, tid, cond_id, lock_id):
+        return (yield from self.system.cond_wait(tid, cond_id, lock_id))
+
+    def cond_signal(self, tid, cond_id, broadcast):
+        return (yield from self.system.cond_signal(tid, cond_id, broadcast))
+
+    def stats_report(self) -> dict:
+        return self.system.stats_report()

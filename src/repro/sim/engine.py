@@ -1,0 +1,193 @@
+"""The discrete-event engine: virtual clock, event heap, process stepping.
+
+Determinism: the heap is ordered by ``(time, sequence)`` where the sequence
+number increments on every schedule, so equal-time events run in schedule
+order. Nothing in the engine consults wall-clock time or unseeded randomness,
+which makes every simulation in this package exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import inf
+from types import GeneratorType
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import SimEvent, _Callback
+
+
+class Timeout:
+    """Yield command: resume the process ``delay`` simulated seconds later."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class Process:
+    """A running generator coroutine.
+
+    Completion is observable through :attr:`done_event`; yielding the process
+    itself from another process joins it. The generator's ``return`` value
+    becomes the join value; an uncaught exception fails the join (and, unless
+    someone joins it, aborts the simulation when run() notices).
+    """
+
+    __slots__ = ("engine", "gen", "name", "daemon", "done_event", "_alive", "blocked_on")
+
+    def __init__(self, engine: "Engine", gen: GeneratorType, name: str, daemon: bool):
+        if not isinstance(gen, GeneratorType):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.done_event = SimEvent(engine, name=f"{name}.done")
+        self._alive = True
+        self.blocked_on = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """Owns the virtual clock and runs processes to completion."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._procs: list[Process] = []
+        self._failed: list[tuple[Process, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn) -> None:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh un-triggered event bound to this engine."""
+        return SimEvent(self, name=name)
+
+    def timeout_event(self, delay: float, value=None, name: str = "") -> SimEvent:
+        """An event that succeeds automatically after ``delay`` seconds."""
+        ev = SimEvent(self, name=name or f"timeout({delay})")
+        self.schedule(delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, gen: GeneratorType, name: str = "proc", daemon: bool = False) -> Process:
+        """Register and start a generator as a process (first step at `now`)."""
+        proc = Process(self, gen, name=name, daemon=daemon)
+        self._procs.append(proc)
+        self.schedule(0.0, lambda: self._step(proc, None, None))
+        return proc
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
+    def _resume_with_outcome(self, waiter, event: SimEvent) -> None:
+        """Deliver a triggered event to a waiter (process or composite shim)."""
+        if isinstance(waiter, _Callback):
+            waiter._deliver(event)
+        elif event.ok:
+            self.schedule(0.0, lambda: self._step(waiter, event.value, None))
+        else:
+            self.schedule(0.0, lambda: self._step(waiter, None, event._exc))
+
+    def _step(self, proc: Process, send_value, throw_exc) -> None:
+        if not proc._alive:
+            raise SimulationError(f"stepping finished process {proc.name}")
+        proc.blocked_on = None
+        try:
+            if throw_exc is not None:
+                command = proc.gen.throw(throw_exc)
+            else:
+                command = proc.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberately catch all
+            self._finish(proc, None, exc)
+            return
+        self._dispatch(proc, command)
+
+    def _dispatch(self, proc: Process, command) -> None:
+        if isinstance(command, Timeout):
+            self.schedule(command.delay, lambda: self._step(proc, command.value, None))
+        elif isinstance(command, Process):
+            proc.blocked_on = command.done_event
+            command.done_event._add_waiter(proc)
+        elif isinstance(command, SimEvent):
+            proc.blocked_on = command
+            command._add_waiter(proc)
+        else:
+            exc = SimulationError(
+                f"process {proc.name} yielded {command!r}; expected Timeout, SimEvent or Process"
+            )
+            self.schedule(0.0, lambda: self._step(proc, None, exc))
+
+    def _finish(self, proc: Process, value, exc) -> None:
+        proc._alive = False
+        if exc is None:
+            proc.done_event.succeed(value)
+        else:
+            if proc.done_event._waiters:
+                proc.done_event.fail(exc)
+            else:
+                # Nobody is joining this process: surface the failure loudly
+                # instead of letting it vanish.
+                self._failed.append((proc, exc))
+                proc.done_event.fail(exc)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float = inf) -> float:
+        """Advance the simulation until the heap drains or `until` is reached.
+
+        Raises :class:`DeadlockError` if non-daemon processes remain blocked
+        with no scheduled work, and re-raises the first unhandled process
+        exception.
+        """
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if time > until:
+                self.now = until
+                self._raise_failures()
+                return self.now
+            heapq.heappop(self._heap)
+            if time < self.now:  # pragma: no cover - guarded by schedule()
+                raise SimulationError("event heap went backwards in time")
+            self.now = time
+            fn()
+            self._raise_failures()
+        blocked = [p for p in self._procs if p._alive and not p.daemon]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _raise_failures(self) -> None:
+        if self._failed:
+            proc, exc = self._failed[0]
+            raise SimulationError(f"process {proc.name} failed: {exc!r}") from exc
+
+    @property
+    def live_processes(self) -> list[Process]:
+        return [p for p in self._procs if p._alive]

@@ -1,0 +1,42 @@
+"""Unbounded FIFO message store used as the request queue of simulated
+servers (the Samhita manager and memory servers each consume one).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.engine import Engine
+
+
+class FIFOStore:
+    """Items put by producers, taken in order by consumer processes."""
+
+    def __init__(self, engine: Engine, name: str = "store"):
+        self.engine = engine
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self.total_puts = 0
+        self.max_depth = 0
+
+    def put(self, item) -> None:
+        """Non-blocking: enqueue an item, waking one waiting getter."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+
+    def get(self):
+        """Generator: returns the next item, blocking while empty."""
+        if self._items:
+            return self._items.popleft()
+        gate = self.engine.event(f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,211 @@
+"""Engine-level blocking primitives: mutex, semaphore, condition, barrier,
+and a capacity-limited server resource.
+
+These are *simulation* primitives (used to model contention inside simulated
+hardware and inside the Pthreads baseline); the DSM's own locks and barriers
+are implemented at the protocol level in :mod:`repro.core.sync` because they
+must also perform memory-consistency work.
+
+All acquire-style operations are generators: call them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError, SynchronizationError
+from repro.sim.engine import Engine, Timeout
+
+
+class SimMutex:
+    """FIFO mutual-exclusion lock between simulated processes."""
+
+    def __init__(self, engine: Engine, name: str = "mutex"):
+        self.engine = engine
+        self.name = name
+        self.owner = None
+        self._waiters: deque = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, who=None):
+        """Generator: blocks until the lock is held by ``who``."""
+        who = who if who is not None else object()
+        if self.owner is None:
+            self.owner = who
+        else:
+            self.contended_acquisitions += 1
+            gate = self.engine.event(f"{self.name}.wait")
+            self._waiters.append((who, gate))
+            yield gate
+            if self.owner is not who:  # pragma: no cover - invariant guard
+                raise SimulationError(f"{self.name}: woke without ownership")
+        self.acquisitions += 1
+        return who
+
+    def release(self, who=None) -> None:
+        if self.owner is None:
+            raise SynchronizationError(f"{self.name}: release of unheld mutex")
+        if who is not None and self.owner is not who:
+            raise SynchronizationError(f"{self.name}: release by non-owner")
+        if self._waiters:
+            next_who, gate = self._waiters.popleft()
+            self.owner = next_who
+            gate.succeed(next_who)
+        else:
+            self.owner = None
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+
+class SimSemaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    def __init__(self, engine: Engine, value: int, name: str = "sem"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self.engine = engine
+        self.name = name
+        self.value = value
+        self._waiters: deque = deque()
+
+    def acquire(self):
+        if self.value > 0:
+            self.value -= 1
+        else:
+            gate = self.engine.event(f"{self.name}.wait")
+            self._waiters.append(gate)
+            yield gate
+        return self
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.value += 1
+
+
+class SimCondition:
+    """Condition variable tied to a :class:`SimMutex` (Mesa semantics)."""
+
+    def __init__(self, engine: Engine, mutex: SimMutex, name: str = "cond"):
+        self.engine = engine
+        self.mutex = mutex
+        self.name = name
+        self._waiters: deque = deque()
+
+    def wait(self, who):
+        """Generator: atomically release the mutex and block; reacquires it
+        before returning."""
+        if self.mutex.owner is not who:
+            raise SynchronizationError(f"{self.name}: wait() without holding mutex")
+        gate = self.engine.event(f"{self.name}.wait")
+        self._waiters.append(gate)
+        self.mutex.release(who)
+        yield gate
+        yield from self.mutex.acquire(who)
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(min(n, len(self._waiters))):
+            self._waiters.popleft().succeed()
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class SimBarrier:
+    """Reusable barrier for a fixed party count."""
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._count = 0
+        self._generation = 0
+        self._gate = engine.event(f"{name}.gen0")
+        self.waits = 0
+
+    def wait(self):
+        """Generator: blocks until ``parties`` processes have arrived.
+
+        Returns the arrival index within the generation (0 for the first
+        arriver, ``parties - 1`` for the releasing arrival).
+        """
+        self.waits += 1
+        index = self._count
+        self._count += 1
+        if self._count == self.parties:
+            gate = self._gate
+            self._generation += 1
+            self._count = 0
+            self._gate = self.engine.event(f"{self.name}.gen{self._generation}")
+            gate.succeed()
+            # The releasing party does not block, but must still yield once so
+            # that barrier semantics cost a scheduling point for everyone.
+            yield Timeout(0.0)
+        else:
+            yield self._gate
+        return index
+
+
+class Resource:
+    """A server with ``capacity`` identical units; models queueing delay.
+
+    ``yield from res.use(duration)`` charges queueing + service time, which is
+    how manager and memory-server contention is modelled.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "res"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque = deque()
+        self.total_requests = 0
+        self.total_busy_time = 0.0
+        self.total_queue_time = 0.0
+
+    def request(self):
+        """Generator: blocks until a unit is free (FIFO)."""
+        self.total_requests += 1
+        t0 = self.engine.now
+        if self._in_use < self.capacity:
+            self._in_use += 1
+        else:
+            gate = self.engine.event(f"{self.name}.wait")
+            self._waiters.append(gate)
+            yield gate
+        self.total_queue_time += self.engine.now - t0
+        return self
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without request")
+        if self._waiters:
+            # Hand the unit straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator: request, hold for ``duration``, release."""
+        yield from self.request()
+        try:
+            yield Timeout(duration)
+            self.total_busy_time += duration
+        finally:
+            self.release()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use

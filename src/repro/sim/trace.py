@@ -1,0 +1,58 @@
+"""Lightweight event tracing.
+
+Disabled by default (the hot paths check one boolean); when enabled it
+records ``TraceRecord`` tuples that tests and debugging sessions can assert
+against. Records carry the virtual timestamp, the emitting component, a
+category string and a payload dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, NamedTuple
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    component: str
+    category: str
+    payload: dict
+
+
+class Tracer:
+    """Collects trace records; cheap no-op unless ``enabled``."""
+
+    def __init__(self, enabled: bool = False, limit: int | None = None):
+        self.enabled = enabled
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: float, component: str, category: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, component, category, payload))
+
+    def filter(
+        self,
+        category: str | None = None,
+        component: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        out: Iterable[TraceRecord] = self.records
+        if category is not None:
+            out = (r for r in out if r.category == category)
+        if component is not None:
+            out = (r for r in out if r.component == component)
+        if predicate is not None:
+            out = (r for r in out if predicate(r))
+        return list(out)
+
+    def count(self, category: str | None = None, component: str | None = None) -> int:
+        return len(self.filter(category=category, component=component))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

@@ -1,0 +1,39 @@
+"""Shared helpers for core-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SamhitaConfig, SamhitaSystem
+
+
+def run_threads(system, bodies, names=None):
+    """Spawn one process per body generator and run to completion."""
+    for i, body in enumerate(bodies):
+        system.process(body, name=(names[i] if names else f"t{i}"))
+    return system.run()
+
+
+def u8(value, nbytes=8):
+    """Little-endian uint8 buffer holding an int64 (or repeated byte)."""
+    if nbytes == 8:
+        return np.frombuffer(np.int64(value).tobytes(), np.uint8)
+    return np.full(nbytes, value, dtype=np.uint8)
+
+
+def as_i64(buf):
+    return int(np.asarray(buf, dtype=np.uint8)[:8].view(np.int64)[0])
+
+
+@pytest.fixture
+def cluster2():
+    """A 2-thread paper-style cluster system with threads pre-registered."""
+    system = SamhitaSystem.cluster(n_threads=2)
+    tids = [system.add_thread(), system.add_thread()]
+    return system, tids
+
+
+@pytest.fixture
+def cluster4():
+    system = SamhitaSystem.cluster(n_threads=4)
+    tids = [system.add_thread() for _ in range(4)]
+    return system, tids

@@ -1,0 +1,80 @@
+"""Tests for update-style (eager-refresh) barriers."""
+
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.kernels import (
+    Allocation,
+    MicrobenchParams,
+    microbench_reference,
+    spawn_microbench,
+)
+from repro.runtime import Runtime
+
+STRIDED = MicrobenchParams(N=4, M=2, S=2, B=256,
+                           allocation=Allocation.GLOBAL_STRIDED)
+
+
+def run(eager, functional=True, params=STRIDED):
+    config = SamhitaConfig(barrier_eager_refresh=eager,
+                           functional=functional)
+    rt = Runtime("samhita", n_threads=4, config=config)
+    spawn_microbench(rt, params)
+    return rt.run()
+
+
+class TestCorrectness:
+    def test_results_identical_to_lazy_mode(self):
+        eager = run(True)
+        expected = microbench_reference(STRIDED, 4)
+        assert eager.value_of(0) == pytest.approx(expected, rel=1e-9)
+
+    def test_invariants_hold(self):
+        from repro.core.invariants import check_invariants
+        config = SamhitaConfig(barrier_eager_refresh=True)
+        rt = Runtime("samhita", n_threads=4, config=config)
+        spawn_microbench(rt, STRIDED)
+        rt.run()
+        assert check_invariants(rt.backend.system) > 0
+
+
+class TestTradeoff:
+    def test_moves_fault_time_from_compute_to_sync(self):
+        lazy = run(False, functional=False)
+        eager = run(True, functional=False)
+        # Compute-phase fault stalls shrink...
+        assert eager.mean_compute_time < lazy.mean_compute_time
+        # ...paid for inside the barrier.
+        assert eager.mean_sync_time > lazy.mean_sync_time
+
+    def test_batching_reduces_fault_events(self):
+        lazy = run(False, functional=False)
+        eager = run(True, functional=False)
+        lazy_faults = lazy.stats["compute_servers"].get("faults", 0)
+        eager_faults = eager.stats["compute_servers"].get("faults", 0)
+        assert eager_faults < lazy_faults
+
+
+class TestTrafficMatrix:
+    def test_memory_server_is_the_top_talker(self):
+        result = run(False, functional=False)
+        # In the paper's cluster layout node1 is the memory server: it
+        # sources nearly all page traffic.
+        rt_stats = result.stats["fabric"]
+        assert rt_stats.get("bytes.page", 0) > 0
+
+    def test_matrix_accessors(self):
+        config = SamhitaConfig(functional=False)
+        rt = Runtime("samhita", n_threads=4, config=config)
+        spawn_microbench(rt, STRIDED)
+        rt.run()
+        fabric = rt.backend.system.fabric
+        talkers = fabric.top_talkers(5)
+        assert talkers and all(v > 0 for _, v in talkers)
+        # The memory server (node1) dominates outbound bytes.
+        assert fabric.out_bytes("node1") > fabric.out_bytes("node0")
+        total_in = sum(fabric.in_bytes(c)
+                       for c in rt.backend.system.topology.components)
+        total_out = sum(fabric.out_bytes(c)
+                        for c in rt.backend.system.topology.components)
+        assert total_in == total_out == fabric.stats.get("bytes")

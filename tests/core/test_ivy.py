@@ -1,0 +1,170 @@
+"""Tests for the eager write-invalidate (IVY-style) coherence baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import SamhitaConfig, SamhitaSystem
+from repro.errors import ReproError
+from repro.kernels import (
+    Allocation,
+    JacobiParams,
+    MicrobenchParams,
+    jacobi_reference,
+    microbench_reference,
+    spawn_jacobi,
+    spawn_microbench,
+)
+from repro.runtime import Runtime
+
+IVY = SamhitaConfig(coherence="ivy")
+
+
+def test_unknown_coherence_rejected():
+    with pytest.raises(ReproError):
+        SamhitaConfig(coherence="mesi")
+
+
+class TestIvyCorrectness:
+    def test_single_writer_roundtrip(self):
+        rt = Runtime("samhita", n_threads=1, config=IVY)
+
+        def body(ctx):
+            addr = yield from ctx.malloc(128 << 10)
+            yield from ctx.write(addr, 8, np.full(8, 9, np.uint8))
+            data = yield from ctx.read(addr, 8)
+            return int(data[0])
+
+        rt.spawn(body)
+        assert rt.run().value_of(0) == 9
+
+    def test_writes_are_immediately_visible_without_sync(self):
+        """The defining IVY property RegC deliberately gives up: a write is
+        globally visible as soon as it completes."""
+        rt = Runtime("samhita", n_threads=2, config=IVY)
+        bar = rt.create_barrier()
+        shared = {}
+
+        def writer(ctx):
+            shared["addr"] = yield from ctx.malloc_shared(64)
+            yield from ctx.write(shared["addr"], 8, np.full(8, 42, np.uint8))
+            yield from ctx.barrier(bar)
+            yield from ctx.barrier(bar)
+
+        def reader(ctx):
+            yield from ctx.barrier(bar)
+            # No flush/invalidate happened at this barrier (IVY barriers are
+            # pure rendezvous); the read must still see 42 via the home.
+            data = yield from ctx.read(shared["addr"], 8)
+            yield from ctx.barrier(bar)
+            return int(data[0])
+
+        rt.spawn(writer)
+        rt.spawn(reader)
+        assert rt.run().value_of(1) == 42
+
+    def test_write_invalidates_other_readers_copies(self):
+        rt = Runtime("samhita", n_threads=2, config=IVY)
+        bar = rt.create_barrier()
+        shared = {}
+
+        def writer(ctx):
+            shared["addr"] = yield from ctx.malloc_shared(64)
+            yield from ctx.write(shared["addr"], 8, np.full(8, 1, np.uint8))
+            yield from ctx.barrier(bar)       # reader caches the page now
+            yield from ctx.barrier(bar)
+            yield from ctx.write(shared["addr"], 8, np.full(8, 2, np.uint8))
+            yield from ctx.barrier(bar)
+
+        def reader(ctx):
+            yield from ctx.barrier(bar)
+            first = yield from ctx.read(shared["addr"], 8)   # cache the page
+            yield from ctx.barrier(bar)
+            yield from ctx.barrier(bar)
+            second = yield from ctx.read(shared["addr"], 8)  # refetch fresh
+            return int(first[0]), int(second[0])
+
+        rt.spawn(writer)
+        rt.spawn(reader)
+        result = rt.run()
+        assert result.value_of(1) == (1, 2)
+        # The second write really invalidated the reader's copy.
+        servers = result.stats["memory_servers"]
+        assert servers.get("upgrades", 0) >= 2
+
+    @pytest.mark.parametrize("allocation", list(Allocation))
+    def test_microbench_functionally_correct(self, allocation):
+        params = MicrobenchParams(N=2, M=2, S=2, B=64, allocation=allocation)
+        rt = Runtime("samhita", n_threads=4, config=IVY)
+        spawn_microbench(rt, params)
+        result = rt.run()
+        expected = microbench_reference(params, 4)
+        assert result.value_of(0) == pytest.approx(expected, rel=1e-9)
+
+    def test_jacobi_functionally_correct(self):
+        params = JacobiParams(rows=12, cols=32, iterations=3,
+                              collect_result=True)
+        rt = Runtime("samhita", n_threads=2, config=IVY)
+        spawn_jacobi(rt, params)
+        result = rt.run()
+        _, grid = result.value_of(0)
+        _, ref = jacobi_reference(params)
+        assert np.allclose(grid, ref)
+
+
+class TestIvyCosts:
+    def test_false_sharing_ping_pong_is_catastrophic(self):
+        """The historical result: under strided false sharing the eager
+        protocol ping-pongs pages on every write, while RegC batches the
+        damage into barrier-time diffs."""
+        params = MicrobenchParams(N=4, M=2, S=2, B=256,
+                                  allocation=Allocation.GLOBAL_STRIDED)
+
+        def compute_time(config):
+            rt = Runtime("samhita", n_threads=4, config=config)
+            spawn_microbench(rt, params)
+            return rt.run().mean_compute_time
+
+        ivy = compute_time(IVY)
+        regc = compute_time(SamhitaConfig())
+        assert ivy > 3 * regc
+
+    def test_ivy_barriers_do_no_consistency_work(self):
+        """IVY pays per write instead of per synchronization: its barriers
+        are pure rendezvous (no notices, flushes or invalidations)."""
+        params = MicrobenchParams(N=6, M=1, S=2, B=256,
+                                  allocation=Allocation.GLOBAL_STRIDED)
+
+        def barrier_bytes(config):
+            rt = Runtime("samhita", n_threads=4, config=config)
+            spawn_microbench(rt, params)
+            fabric = rt.run().stats["fabric"]
+            return fabric.get("bytes.barrier_diff", 0)
+
+        assert barrier_bytes(IVY) == 0
+        assert barrier_bytes(SamhitaConfig()) > 0
+
+    def test_private_data_steady_state_costs_the_same(self):
+        """Once a thread owns its private pages, repeated writes are local
+        under both protocols: the eager penalty is sharing-specific."""
+        def steady_compute(config):
+            rt = Runtime("samhita", n_threads=2, config=config)
+            bar = rt.create_barrier()
+
+            def body(ctx):
+                addr = yield from ctx.malloc(16 << 10)
+                payload = np.full(1024, ctx.tid + 1, np.uint8)
+                yield from ctx.write(addr, 1024, payload)  # take ownership
+                yield from ctx.barrier(bar)
+                ctx.reset_clock()
+                for _ in range(50):
+                    yield from ctx.write(addr, 1024, payload)
+                    yield from ctx.read(addr, 1024)
+                return ctx.clock.compute
+
+            rt.spawn_all(body)
+            result = rt.run()
+            return max(result.value_of(t) for t in result.threads)
+
+        ivy = steady_compute(IVY)
+        regc = steady_compute(SamhitaConfig())
+        assert ivy == pytest.approx(regc, rel=0.25)

@@ -1,0 +1,62 @@
+"""Tests for RegC region tracking (the store-instrumentation analogue)."""
+
+import pytest
+
+from repro.core.regions import RegionTracker
+from repro.errors import ConsistencyError
+
+
+def test_starts_outside_region():
+    t = RegionTracker()
+    assert not t.in_consistency_region
+    assert t.depth == 0
+
+
+def test_enter_leave():
+    t = RegionTracker()
+    t.enter()
+    assert t.in_consistency_region
+    t.leave()
+    assert not t.in_consistency_region
+
+
+def test_nesting():
+    t = RegionTracker()
+    t.enter()
+    t.enter()
+    t.leave()
+    assert t.in_consistency_region
+    t.leave()
+    assert not t.in_consistency_region
+
+
+def test_leave_without_enter_rejected():
+    with pytest.raises(ConsistencyError):
+        RegionTracker().leave()
+
+
+def test_context_manager():
+    t = RegionTracker()
+    with t.region():
+        assert t.in_consistency_region
+    assert not t.in_consistency_region
+
+
+def test_context_manager_restores_on_exception():
+    t = RegionTracker()
+    with pytest.raises(RuntimeError):
+        with t.region():
+            raise RuntimeError("boom")
+    assert not t.in_consistency_region
+
+
+def test_classify_store_counts_by_region():
+    t = RegionTracker()
+    assert t.classify_store(8) is False
+    t.enter()
+    assert t.classify_store(16) is True
+    t.leave()
+    assert t.stats.get("ordinary_stores") == 1
+    assert t.stats.get("cr_stores") == 1
+    assert t.stats.get("cr_store_bytes") == 16
+    assert t.stats.get("ordinary_store_bytes") == 8

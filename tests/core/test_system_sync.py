@@ -1,0 +1,395 @@
+"""Integration tests: locks, barriers, condition variables and the RegC
+consistency semantics across threads."""
+
+import numpy as np
+import pytest
+
+from repro.core import SamhitaConfig, SamhitaSystem
+from tests.core.conftest import as_i64, run_threads, u8
+
+PAGE = 4096
+
+
+def setup_shared(system, tid, size, shared, key="addr"):
+    """First-thread allocation published through a Python-level dict."""
+    addr = yield from system.malloc(tid, size)
+    shared[key] = addr
+
+
+class TestLocks:
+    def test_mutex_counter_is_race_free(self, cluster4):
+        system, tids = cluster4
+        lock = system.create_lock()
+        bar = system.create_barrier(4)
+        shared = {}
+        rounds = 5
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 64, shared)
+            yield from system.barrier_wait(tid, bar)
+            for _ in range(rounds):
+                yield from system.acquire_lock(tid, lock)
+                cur = yield from system.mem_read(tid, shared["addr"], 8)
+                val = as_i64(cur) + 1
+                yield from system.mem_write(tid, shared["addr"], 8, u8(val))
+                yield from system.release_lock(tid, lock)
+            yield from system.barrier_wait(tid, bar)
+            final = yield from system.mem_read(tid, shared["addr"], 8)
+            assert as_i64(final) == 4 * rounds
+
+        run_threads(system, [body(t, t == tids[0]) for t in tids])
+
+    def test_lock_updates_visible_to_next_acquirer_without_barrier(self, cluster2):
+        system, (t0, t1) = cluster2
+        lock = system.create_lock()
+        bar = system.create_barrier(2)
+        shared = {}
+        seen = {}
+
+        # Sequence reader after writer deterministically via a first barrier.
+        def writer2():
+            yield from setup_shared(system, t0, 64, shared)
+            yield from system.acquire_lock(t0, lock)
+            yield from system.mem_write(t0, shared["addr"], 8, u8(99))
+            yield from system.release_lock(t0, lock)
+            yield from system.barrier_wait(t0, bar)
+            yield from system.barrier_wait(t0, bar)
+
+        def reader2():
+            yield from system.barrier_wait(t1, bar)
+            yield from system.acquire_lock(t1, lock)
+            data = yield from system.mem_read(t1, shared["addr"], 8)
+            seen["v"] = as_i64(data)
+            yield from system.release_lock(t1, lock)
+            yield from system.barrier_wait(t1, bar)
+
+        run_threads(system, [writer2(), reader2()])
+        assert seen["v"] == 99
+
+    def test_lock_contention_serializes(self, cluster4):
+        system, tids = cluster4
+        lock = system.create_lock()
+        intervals = []
+
+        def body(tid):
+            yield from system.acquire_lock(tid, lock)
+            start = system.engine.now
+            # Hold the lock for 10us of "work".
+            from repro.sim import Timeout
+            yield Timeout(10e-6)
+            intervals.append((start, system.engine.now))
+            yield from system.release_lock(tid, lock)
+
+        run_threads(system, [body(t) for t in tids])
+        intervals.sort()
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert s2 >= e1  # no overlap
+
+    def test_fine_grain_updates_are_small_on_the_wire(self, cluster2):
+        system, (t0, t1) = cluster2
+        lock = system.create_lock()
+        bar = system.create_barrier(2)
+        shared = {}
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 64, shared)
+            yield from system.barrier_wait(tid, bar)
+            yield from system.acquire_lock(tid, lock)
+            yield from system.mem_write(tid, shared["addr"], 8, u8(tid))
+            yield from system.release_lock(tid, lock)
+            yield from system.barrier_wait(tid, bar)
+
+        run_threads(system, [body(t, t == t0) for t in (t0, t1)])
+        # The CR traffic is bytes, not pages.
+        assert 0 < system.fabric.stats.get("bytes.fine_grain") < PAGE
+
+
+class TestBarriers:
+    def test_barrier_blocks_until_all_arrive(self, cluster4):
+        system, tids = cluster4
+        bar = system.create_barrier(4)
+        release_times = []
+
+        def body(tid, delay):
+            from repro.sim import Timeout
+            yield Timeout(delay)
+            yield from system.barrier_wait(tid, bar)
+            release_times.append(system.engine.now)
+
+        run_threads(system, [body(t, i * 10e-6) for i, t in enumerate(tids)])
+        assert min(release_times) >= 30e-6
+
+    def test_barrier_reusable_across_iterations(self, cluster2):
+        system, (t0, t1) = cluster2
+        bar = system.create_barrier(2)
+        counts = {"rounds": 0}
+
+        def body(tid):
+            for _ in range(5):
+                yield from system.barrier_wait(tid, bar)
+            if tid == t0:
+                counts["rounds"] = system.manager.stats.get("barrier_rounds")
+
+        run_threads(system, [body(t0), body(t1)])
+        assert counts["rounds"] == 5
+
+    def test_single_writer_pages_not_flushed_at_barrier(self, cluster2):
+        system, (t0, t1) = cluster2
+        bar = system.create_barrier(2)
+        shared = {}
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 256 << 10, shared)
+            yield from system.barrier_wait(tid, bar)
+            # Disjoint pages: no false sharing.
+            offset = 0 if tid == t0 else 32 * PAGE
+            yield from system.mem_write(tid, shared["addr"] + offset, 8, u8(tid))
+            yield from system.barrier_wait(tid, bar)
+
+        run_threads(system, [body(t, t == t0) for t in (t0, t1)])
+        assert system.fabric.stats.get("bytes.barrier_diff") == 0
+        # Lazy ownership recorded instead.
+        assert len(system.directory) >= 2
+
+    def test_multi_writer_page_merges_both_writers(self, cluster2):
+        system, (t0, t1) = cluster2
+        bar = system.create_barrier(2)
+        shared = {}
+        out = {}
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 128 << 10, shared)
+            yield from system.barrier_wait(tid, bar)
+            # Both threads write disjoint halves of the SAME page.
+            offset = 0 if tid == t0 else PAGE // 2
+            yield from system.mem_write(tid, shared["addr"] + offset, 16,
+                                        u8(tid + 1, nbytes=16))
+            yield from system.barrier_wait(tid, bar)
+            lo = yield from system.mem_read(tid, shared["addr"], 16)
+            hi = yield from system.mem_read(tid, shared["addr"] + PAGE // 2, 16)
+            out[tid] = (lo[0], hi[0])
+
+        run_threads(system, [body(t, t == t0) for t in (t0, t1)])
+        # Multiple-writer protocol: both updates survive the merge.
+        assert out[t0] == (1, 2)
+        assert out[t1] == (1, 2)
+        assert system.fabric.stats.get("bytes.barrier_diff") > 0
+
+    def test_reader_of_owned_page_triggers_recall(self, cluster2):
+        system, (t0, t1) = cluster2
+        bar = system.create_barrier(2)
+        shared = {}
+        out = {}
+
+        def writer():
+            yield from setup_shared(system, t0, 128 << 10, shared)
+            yield from system.barrier_wait(t0, bar)
+            yield from system.mem_write(t0, shared["addr"], 8, u8(4242))
+            yield from system.barrier_wait(t0, bar)  # single writer: lazy
+            yield from system.barrier_wait(t0, bar)
+
+        def reader():
+            yield from system.barrier_wait(t1, bar)
+            yield from system.barrier_wait(t1, bar)
+            data = yield from system.mem_read(t1, shared["addr"], 8)
+            out["v"] = as_i64(data)
+            yield from system.barrier_wait(t1, bar)
+
+        run_threads(system, [writer(), reader()])
+        assert out["v"] == 4242
+        recalls = sum(s.stats.get("recalls") for s in system.memory_servers)
+        assert recalls >= 1
+
+    def test_false_sharing_increases_barrier_traffic(self):
+        """Strided writers inside shared pages move more sync data than
+        page-disjoint writers -- the core claim of Figures 10 and 11."""
+        def traffic(stride_pages):
+            system = SamhitaSystem.cluster(n_threads=2)
+            tids = [system.add_thread(), system.add_thread()]
+            bar = system.create_barrier(2)
+            shared = {}
+
+            def body(tid, first):
+                if first:
+                    yield from setup_shared(system, tid, 128 << 10, shared)
+                yield from system.barrier_wait(tid, bar)
+                for i in range(4):
+                    if stride_pages:
+                        off = (2 * i + (0 if tid == tids[0] else 1)) * PAGE
+                    else:
+                        off = (0 if tid == tids[0] else 8 * PAGE) + i * PAGE
+                        off += PAGE // 2 * 0
+                    # Interleave *within* pages for the false-sharing case.
+                    if not stride_pages:
+                        yield from system.mem_write(tid, shared["addr"] + off,
+                                                    256, u8(1, 256))
+                    else:
+                        half = 0 if tid == tids[0] else PAGE // 2
+                        yield from system.mem_write(
+                            tid, shared["addr"] + i * PAGE + half, 256, u8(1, 256))
+                yield from system.barrier_wait(tid, bar)
+
+            run_threads(system, [body(t, t == tids[0]) for t in tids])
+            return system.fabric.stats.get("bytes.barrier_diff")
+
+        assert traffic(stride_pages=True) > traffic(stride_pages=False)
+
+
+class TestConditionVariables:
+    def test_wait_signal_roundtrip(self, cluster2):
+        system, (t0, t1) = cluster2
+        lock = system.create_lock()
+        cond = system.create_cond()
+        shared = {}
+        order = []
+
+        def consumer():
+            yield from setup_shared(system, t0, 64, shared)
+            yield from system.acquire_lock(t0, lock)
+            while True:
+                data = yield from system.mem_read(t0, shared["addr"], 8)
+                if as_i64(data) == 7:
+                    break
+                yield from system.cond_wait(t0, cond, lock)
+            order.append("consumed")
+            yield from system.release_lock(t0, lock)
+
+        def producer():
+            from repro.sim import Timeout
+            yield Timeout(50e-6)
+            yield from system.acquire_lock(t1, lock)
+            yield from system.mem_write(t1, shared["addr"], 8, u8(7))
+            yield from system.cond_signal(t1, cond)
+            order.append("produced")
+            yield from system.release_lock(t1, lock)
+
+        run_threads(system, [consumer(), producer()])
+        assert order == ["produced", "consumed"]
+
+    def test_broadcast_wakes_all(self, cluster4):
+        system, tids = cluster4
+        lock = system.create_lock()
+        cond = system.create_cond()
+        shared = {"go": False}
+        woke = []
+
+        def waiter(tid):
+            yield from system.acquire_lock(tid, lock)
+            while not shared["go"]:
+                yield from system.cond_wait(tid, cond, lock)
+            woke.append(tid)
+            yield from system.release_lock(tid, lock)
+
+        def waker(tid):
+            from repro.sim import Timeout
+            yield Timeout(100e-6)
+            yield from system.acquire_lock(tid, lock)
+            shared["go"] = True
+            count = yield from system.cond_signal(tid, cond, broadcast=True)
+            shared["woken"] = count
+            yield from system.release_lock(tid, lock)
+
+        run_threads(system, [waiter(t) for t in tids[:3]] + [waker(tids[3])])
+        assert sorted(woke) == sorted(tids[:3])
+        assert shared["woken"] == 3
+
+
+class TestAblations:
+    def test_page_grain_cr_ablation_still_correct(self):
+        """With regc_fine_grain=False the protocol falls back to page-grain
+        invalidation at acquire -- slower, but still race-free."""
+        config = SamhitaConfig(regc_fine_grain=False)
+        system = SamhitaSystem.cluster(n_threads=4, config=config)
+        tids = [system.add_thread() for _ in range(4)]
+        lock = system.create_lock()
+        bar = system.create_barrier(4)
+        shared = {}
+        finals = []
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 64, shared)
+            yield from system.barrier_wait(tid, bar)
+            for _ in range(3):
+                yield from system.acquire_lock(tid, lock)
+                cur = yield from system.mem_read(tid, shared["addr"], 8)
+                yield from system.mem_write(tid, shared["addr"], 8,
+                                            u8(as_i64(cur) + 1))
+                yield from system.release_lock(tid, lock)
+            yield from system.barrier_wait(tid, bar)
+            final = yield from system.mem_read(tid, shared["addr"], 8)
+            finals.append(as_i64(final))
+
+        run_threads(system, [body(t, t == tids[0]) for t in tids])
+        assert finals == [12, 12, 12, 12]
+
+    def test_page_grain_moves_more_sync_bytes_than_fine_grain(self):
+        def lock_bytes(fine_grain):
+            config = SamhitaConfig(regc_fine_grain=fine_grain)
+            system = SamhitaSystem.cluster(n_threads=2, config=config)
+            tids = [system.add_thread(), system.add_thread()]
+            lock = system.create_lock()
+            bar = system.create_barrier(2)
+            shared = {}
+
+            def body(tid, first):
+                if first:
+                    yield from setup_shared(system, tid, 64, shared)
+                yield from system.barrier_wait(tid, bar)
+                for _ in range(5):
+                    yield from system.acquire_lock(tid, lock)
+                    cur = yield from system.mem_read(tid, shared["addr"], 8)
+                    yield from system.mem_write(tid, shared["addr"], 8,
+                                                u8(as_i64(cur) + 1))
+                    yield from system.release_lock(tid, lock)
+                yield from system.barrier_wait(tid, bar)
+
+            run_threads(system, [body(t, t == tids[0]) for t in tids])
+            stats = system.fabric.stats
+            return (stats.get("bytes.fine_grain") + stats.get("bytes.cr_page")
+                    + stats.get("bytes.page"))
+
+        assert lock_bytes(False) > lock_bytes(True)
+
+    def test_single_writer_ablation_ships_whole_pages(self):
+        config = SamhitaConfig(multiple_writer=False)
+        system = SamhitaSystem.cluster(n_threads=2, config=config)
+        tids = [system.add_thread(), system.add_thread()]
+        bar = system.create_barrier(2)
+        shared = {}
+
+        def body(tid, first):
+            if first:
+                yield from setup_shared(system, tid, 128 << 10, shared)
+            yield from system.barrier_wait(tid, bar)
+            half = 0 if tid == tids[0] else PAGE // 2
+            yield from system.mem_write(tid, shared["addr"] + half, 16,
+                                        u8(tid + 1, 16))
+            yield from system.barrier_wait(tid, bar)
+
+        run_threads(system, [body(t, t == tids[0]) for t in tids])
+        # Two whole-page write-backs instead of two 16-byte diffs.
+        assert system.fabric.stats.get("bytes.barrier_diff") >= 2 * PAGE
+
+    def test_local_sync_optimization_reduces_sync_cost(self):
+        def barrier_time(local_opt):
+            config = SamhitaConfig(local_sync_optimization=local_opt)
+            system = SamhitaSystem.single_node(config=config)
+            tids = [system.add_thread() for _ in range(4)]
+            bar = system.create_barrier(4)
+            elapsed = {}
+
+            def body(tid):
+                start = system.engine.now
+                for _ in range(10):
+                    yield from system.barrier_wait(tid, bar)
+                elapsed[tid] = system.engine.now - start
+
+            run_threads(system, [body(t) for t in tids])
+            return max(elapsed.values())
+
+        assert barrier_time(True) < barrier_time(False)

@@ -1,0 +1,63 @@
+"""Tests for the post-run utilization analysis."""
+
+import pytest
+
+from repro.experiments import analyze
+from repro.kernels import Allocation, MicrobenchParams, spawn_microbench
+from repro.runtime import Runtime
+
+
+@pytest.fixture(scope="module")
+def run():
+    rt = Runtime("samhita", n_threads=4)
+    params = MicrobenchParams(N=4, M=2, S=2, B=256,
+                              allocation=Allocation.GLOBAL_STRIDED)
+    spawn_microbench(rt, params)
+    result = rt.run()
+    return rt.backend, result
+
+
+class TestAnalyze:
+    def test_report_fields_populated(self, run):
+        backend, result = run
+        report = analyze(backend, result)
+        assert report.sim_time == result.elapsed > 0
+        assert report.manager.requests > 0
+        assert report.manager.busy_time > 0
+        assert 0 < report.manager.utilization < 1
+        assert len(report.memory_servers) == 1
+        assert report.memory_servers[0].requests > 0
+
+    def test_traffic_categories_present(self, run):
+        backend, result = run
+        report = analyze(backend, result)
+        assert report.traffic.get("page", 0) > 0
+        assert report.traffic.get("barrier_diff", 0) > 0  # false sharing
+        assert report.traffic.get("fine_grain", 0) > 0    # CR updates
+
+    def test_ratios_bounded(self, run):
+        backend, result = run
+        report = analyze(backend, result)
+        assert 0.0 <= report.cache_hit_ratio <= 1.0
+        assert 0.0 <= report.prefetch_hit_ratio <= 1.0
+        assert 0.0 < report.compute_balance <= 1.0
+        assert 0.0 <= report.sync_share <= 1.0
+
+    def test_cache_mostly_hits_for_repeated_access(self, run):
+        backend, result = run
+        report = analyze(backend, result)
+        # N*M passes over the same rows: residency dominates.
+        assert report.cache_hit_ratio > 0.5
+
+    def test_format_is_readable(self, run):
+        backend, result = run
+        text = analyze(backend, result).format()
+        assert "component utilization" in text
+        assert "manager" in text
+        assert "traffic by category" in text
+        assert "sync share" in text
+
+    def test_balanced_workload_reports_high_balance(self, run):
+        backend, result = run
+        report = analyze(backend, result)
+        assert report.compute_balance > 0.5  # symmetric threads

@@ -1,0 +1,29 @@
+"""Tests for the one-command campaign report."""
+
+from repro.experiments.campaign import run_campaign
+
+
+def test_campaign_writes_report_and_tables(tmp_path):
+    report = run_campaign(tmp_path, quick=True,
+                          figure_names=["fig06", "fig10"], echo=False)
+    assert report.exists()
+    text = report.read_text()
+    assert "# Reproduction campaign report" in text
+    assert "| fig06 |" in text and "| fig10 |" in text
+    assert "PASS" in text
+    assert "### fig06" in text and "### fig10" in text
+    assert (tmp_path / "fig06.txt").exists()
+    assert (tmp_path / "fig10.txt").exists()
+
+
+def test_campaign_tables_match_figure_format(tmp_path):
+    run_campaign(tmp_path, quick=True, figure_names=["fig06"], echo=False)
+    table = (tmp_path / "fig06.txt").read_text()
+    assert table.startswith("# fig06")
+    assert "S = " in table
+
+
+def test_campaign_reports_wall_time(tmp_path):
+    report = run_campaign(tmp_path, quick=True, figure_names=["fig06"],
+                          echo=False)
+    assert "Campaign wall time" in report.read_text()

@@ -1,0 +1,59 @@
+"""Tests for the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.experiments.timeline import export_chrome_trace
+from repro.kernels import Allocation, MicrobenchParams, spawn_microbench
+from repro.runtime import Runtime
+
+
+@pytest.fixture(scope="module")
+def traced():
+    rt = Runtime("samhita", n_threads=2, trace=True)
+    spawn_microbench(rt, MicrobenchParams(N=2, M=1, S=1, B=64,
+                                          allocation=Allocation.LOCAL))
+    result = rt.run()
+    return rt.backend, result
+
+
+def test_export_writes_valid_trace_json(traced, tmp_path):
+    backend, _ = traced
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(backend.tracer, str(path))
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert count == len(events) > 0
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert set(event) >= {"name", "ts", "dur", "pid", "tid"}
+
+
+def test_events_map_threads_to_tids(traced, tmp_path):
+    backend, result = traced
+    path = tmp_path / "trace.json"
+    export_chrome_trace(backend.tracer, str(path))
+    events = json.loads(path.read_text())["traceEvents"]
+    tids = {e["tid"] for e in events}
+    assert tids == set(result.threads)
+
+
+def test_time_scale_applied(traced, tmp_path):
+    backend, _ = traced
+    path = tmp_path / "trace.json"
+    export_chrome_trace(backend.tracer, str(path), time_scale=1.0)
+    seconds = json.loads(path.read_text())["traceEvents"]
+    export_chrome_trace(backend.tracer, str(path), time_scale=1e6)
+    micros = json.loads(path.read_text())["traceEvents"]
+    nonzero = next(i for i, e in enumerate(seconds) if e["ts"] > 0)
+    assert micros[nonzero]["ts"] == pytest.approx(
+        seconds[nonzero]["ts"] * 1e6)
+
+
+def test_empty_trace_exports_empty_list(tmp_path):
+    from repro.sim.trace import Tracer
+    path = tmp_path / "empty.json"
+    assert export_chrome_trace(Tracer(), str(path)) == 0
+    assert json.loads(path.read_text())["traceEvents"] == []

@@ -1,0 +1,41 @@
+"""Tests for the interconnect-eras extension figure."""
+
+import pytest
+
+from repro.experiments.extended import interconnect_era_figure
+
+
+@pytest.fixture(scope="module")
+def fr():
+    return interconnect_era_figure(core_counts=(8,))
+
+
+def test_history_ordering(fr):
+    """1990s Ethernet made DSM hopeless; Myrinet helped; InfiniBand made it
+    viable -- the paper's motivation, measured."""
+    gbe = fr.series["1gbe-1990s"].y_at(8)
+    myr = fr.series["myrinet-2000s"].y_at(8)
+    qdr = fr.series["qdr-2013"].y_at(8)
+    assert gbe > myr > qdr
+    assert gbe > 10 * qdr
+
+
+def test_latency_wall(fr):
+    """Relative overhead RISES again on 2020s hardware: cores outpaced
+    network latency."""
+    qdr = fr.series["qdr-2013"].y_at(8)
+    hdr = fr.series["hdr-2020s"].y_at(8)
+    assert hdr > qdr
+
+
+def test_modern_links_exist():
+    from repro.interconnect import ib_hdr, myrinet_2000
+    page = 4096
+    assert ib_hdr().transfer_time(page) < 1e-6
+    assert myrinet_2000().transfer_time(page) > ib_hdr().transfer_time(page)
+
+
+def test_modern_node_spec():
+    from repro.hardware import MODERN_NODE, PENRYN_NODE
+    assert MODERN_NODE.cores == 64
+    assert MODERN_NODE.cpu.element_op_time < PENRYN_NODE.cpu.element_op_time

@@ -1,0 +1,82 @@
+"""Tests for interval tracing and the timeline renderer."""
+
+import pytest
+
+from repro.experiments import render_timeline
+from repro.kernels import Allocation, MicrobenchParams, spawn_microbench
+from repro.runtime import Runtime
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    rt = Runtime("samhita", n_threads=4, trace=True)
+    params = MicrobenchParams(N=3, M=2, S=2, B=256,
+                              allocation=Allocation.GLOBAL_STRIDED)
+    spawn_microbench(rt, params)
+    result = rt.run()
+    return rt.backend, result
+
+
+class TestTracing:
+    def test_disabled_by_default(self):
+        rt = Runtime("pthreads", n_threads=1)
+
+        def body(ctx):
+            yield from ctx.compute(1000)
+
+        rt.spawn(body)
+        rt.run()
+        assert rt.backend.tracer.records == []
+
+    def test_intervals_recorded_with_durations(self, traced_run):
+        backend, result = traced_run
+        records = backend.tracer.records
+        assert records
+        assert all(r.payload.get("duration", 0) > 0 for r in records)
+        categories = {r.category for r in records}
+        assert {"cpu", "barrier", "lock"} <= categories
+
+    def test_interval_time_sums_match_clocks(self, traced_run):
+        backend, result = traced_run
+        for tid, tr in result.threads.items():
+            total = sum(r.payload["duration"] for r in backend.tracer.records
+                        if r.component == f"t{tid}")
+            # Trace covers the whole run; clocks only the post-reset region.
+            assert total >= tr.clock.total - 1e-12
+
+
+class TestTimelineRender:
+    def test_renders_one_row_per_thread(self, traced_run):
+        backend, result = traced_run
+        text = render_timeline(backend.tracer, result, width=60)
+        for tid in result.threads:
+            assert f"t{tid} |" in text
+
+    def test_row_width_respected(self, traced_run):
+        backend, result = traced_run
+        text = render_timeline(backend.tracer, result, width=48)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert all(len(r.split("|")[1]) == 48 for r in rows)
+
+    def test_legend_and_span_present(self, traced_run):
+        backend, result = traced_run
+        text = render_timeline(backend.tracer, result)
+        assert "#=cpu" in text
+        assert "==barrier" in text
+        assert "timeline:" in text
+
+    def test_sync_glyphs_present_for_contended_run(self, traced_run):
+        backend, result = traced_run
+        text = render_timeline(backend.tracer, result, width=100)
+        assert "=" in text  # barrier waits are visible
+        assert "#" in text  # so is compute
+
+    def test_empty_trace_handled(self):
+        from repro.sim.trace import Tracer
+        assert "no trace records" in render_timeline(Tracer(), None)
+
+    def test_window_selection(self, traced_run):
+        backend, result = traced_run
+        text = render_timeline(backend.tracer, result, width=40,
+                               t0=0.0, t1=result.elapsed / 2)
+        assert "timeline: 0.000 ms" in text

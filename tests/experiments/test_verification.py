@@ -1,0 +1,32 @@
+"""Tests for the claim-verification machinery (structure + a fast subset)."""
+
+from repro.experiments.verification import CLAIMS, Claim, verify
+
+
+def test_one_claim_per_figure():
+    figures = [c.figure for c in CLAIMS]
+    assert figures == sorted(figures)
+    assert len(set(figures)) == 11
+    assert figures[0] == "fig03" and figures[-1] == "fig13"
+
+
+def test_claims_have_statements():
+    for claim in CLAIMS:
+        assert claim.statement
+        assert claim.figure.startswith("fig")
+
+
+def test_verify_runs_a_fast_subset(capsys):
+    subset = [c for c in CLAIMS if c.figure in ("fig06", "fig10")]
+    ok = verify(subset, echo=True)
+    out = capsys.readouterr().out
+    assert ok
+    assert out.count("[PASS]") == 2
+    assert "all paper claims reproduced" in out
+
+
+def test_verify_reports_failures():
+    broken = Claim("figXX", "always false",
+                   build=lambda: None,
+                   check=lambda fr: (False, "intentionally failing"))
+    assert verify([broken], echo=False) is False

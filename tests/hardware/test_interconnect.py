@@ -1,0 +1,181 @@
+"""Tests for link models, the fabric, and SCL."""
+
+import pytest
+
+from repro.hardware import cluster_topology, hetero_node_topology
+from repro.interconnect import (
+    Fabric,
+    LinkModel,
+    SCL,
+    gigabit_ethernet,
+    ib_ddr,
+    ib_fdr,
+    ib_qdr,
+    ib_sdr,
+    pcie_gen2_x16,
+)
+from repro.interconnect.scl import CONTROL_BYTES
+from repro.sim import Engine, Timeout
+
+
+class TestLinkModel:
+    def test_transfer_time_is_latency_plus_serialization(self):
+        link = LinkModel("l", latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(1000) == pytest.approx(1e-6 + 1000 / 1e9)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkModel("l", latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(0) == pytest.approx(1e-6)
+
+    def test_mtu_segmentation_overhead(self):
+        link = LinkModel("l", latency=0.0, bandwidth=1e9,
+                         per_packet_overhead=1e-6, mtu=1000)
+        # 2500 bytes => 3 packets
+        assert link.transfer_time(2500) == pytest.approx(2500 / 1e9 + 3e-6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel("bad", latency=-1.0, bandwidth=1e9)
+        with pytest.raises(ValueError):
+            LinkModel("bad", latency=0.0, bandwidth=0.0)
+
+    def test_with_returns_modified_copy(self):
+        link = ib_qdr()
+        slower = link.with_(bandwidth=1e9)
+        assert slower.bandwidth == 1e9
+        assert link.bandwidth != 1e9
+
+    def test_generation_ordering(self):
+        # Later IB generations are strictly better for a page transfer.
+        page = 4096
+        times = [l().transfer_time(page) for l in (ib_sdr, ib_ddr, ib_qdr, ib_fdr)]
+        assert times == sorted(times, reverse=True)
+
+    def test_ethernet_is_much_slower_than_ib(self):
+        page = 4096
+        assert gigabit_ethernet().transfer_time(page) > 10 * ib_qdr().transfer_time(page)
+
+
+class TestFabric:
+    def _run(self, gen):
+        eng = self.eng
+        proc = eng.process(gen, name="xfer")
+        eng.run()
+        return eng.now
+
+    def test_path_time_uses_bottleneck_serialization(self):
+        eng = Engine()
+        topo = cluster_topology(2)
+        fabric = Fabric(eng, topo)
+        nbytes = 1 << 20
+        t = fabric.path_time("node0", "node1", nbytes)
+        links = topo.route("node0", "node1")
+        latency = sum(l.latency for l in links)
+        bottleneck = max(l.serialize_time(nbytes) for l in links)
+        assert t == pytest.approx(latency + bottleneck)
+
+    def test_transfer_advances_clock_by_path_time(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2), model_contention=False)
+        expected = fabric.path_time("node0", "node1", 4096)
+        elapsed = self._run(fabric.transfer("node0", "node1", 4096))
+        assert elapsed == pytest.approx(expected)
+
+    def test_local_transfer_is_free(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2))
+        elapsed = self._run(fabric.transfer("node0", "node0", 1 << 20))
+        assert elapsed == 0.0
+
+    def test_stats_account_messages_and_bytes(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2))
+        self._run(fabric.transfer("node0", "node1", 4096, category="page"))
+        assert fabric.stats.get("messages") == 1
+        assert fabric.stats.get("bytes.page") == 4096
+
+    def test_contended_bus_serializes_concurrent_transfers(self):
+        eng = Engine()
+        topo = hetero_node_topology()  # PCIe bus is contended
+        fabric = Fabric(eng, topo, model_contention=True)
+        nbytes = 6 << 20  # ~1s/6 GB/s = 1 ms serialization each
+
+        def client():
+            yield from fabric.transfer("mic0", "host", nbytes)
+
+        for _ in range(4):
+            eng.process(client(), name="c")
+        eng.run()
+        serialize = topo.route("mic0", "host")[0].serialize_time(nbytes)
+        # Four transfers cannot overlap their serialization.
+        assert eng.now >= 4 * serialize
+
+    def test_uncontended_mode_overlaps_transfers(self):
+        eng = Engine()
+        topo = hetero_node_topology()
+        fabric = Fabric(eng, topo, model_contention=False)
+        nbytes = 6 << 20
+
+        def client():
+            yield from fabric.transfer("mic0", "host", nbytes)
+
+        for _ in range(4):
+            eng.process(client(), name="c")
+        eng.run()
+        assert eng.now == pytest.approx(fabric.path_time("mic0", "host", nbytes))
+
+    def test_link_utilization_reported(self):
+        eng = Engine()
+        fabric = Fabric(eng, hetero_node_topology(), model_contention=True)
+
+        def client():
+            yield from fabric.transfer("mic0", "host", 1 << 20)
+
+        eng.process(client())
+        eng.run()
+        util = fabric.link_utilization()
+        assert len(util) == 1
+        assert next(iter(util.values())) > 0
+
+
+class TestSCL:
+    def _elapsed(self, gen):
+        eng = self.eng
+        eng.process(gen, name="scl-op")
+        eng.run()
+        return eng.now
+
+    def test_rdma_get_is_request_plus_data(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2), model_contention=False)
+        scl = SCL(fabric)
+        elapsed = self._elapsed(scl.rdma_get("node0", "node1", 4096))
+        expected = (fabric.path_time("node0", "node1", CONTROL_BYTES)
+                    + fabric.path_time("node1", "node0", 4096))
+        assert elapsed == pytest.approx(expected)
+        assert scl.stats.get("rdma_get") == 1
+
+    def test_rdma_put_is_one_way(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2), model_contention=False)
+        scl = SCL(fabric)
+        elapsed = self._elapsed(scl.rdma_put("node0", "node1", 4096))
+        assert elapsed == pytest.approx(fabric.path_time("node0", "node1", 4096))
+
+    def test_request_response_round_trip(self):
+        self.eng = eng = Engine()
+        fabric = Fabric(eng, cluster_topology(2), model_contention=False)
+        scl = SCL(fabric)
+        elapsed = self._elapsed(scl.request_response("node0", "node1"))
+        one_way = fabric.path_time("node0", "node1", CONTROL_BYTES)
+        assert elapsed == pytest.approx(2 * one_way)
+
+    def test_get_bigger_payload_costs_more(self):
+        eng1, eng2 = Engine(), Engine()
+        f1 = Fabric(eng1, cluster_topology(2), model_contention=False)
+        f2 = Fabric(eng2, cluster_topology(2), model_contention=False)
+        s1, s2 = SCL(f1), SCL(f2)
+        eng1.process(s1.rdma_get("node0", "node1", 4096))
+        eng2.process(s2.rdma_get("node0", "node1", 64 * 4096))
+        eng1.run(), eng2.run()
+        assert eng2.now > eng1.now

@@ -1,0 +1,63 @@
+"""Tests for the optional NUMA (cross-socket) refinement of the baseline."""
+
+import pytest
+
+from repro.hardware import CoherentCacheModel
+from repro.hardware.specs import CacheSpec
+
+NUMA = CacheSpec(line_bytes=64, cold_miss_time=60e-9,
+                 coherence_miss_time=80e-9, cross_socket_factor=2.0)
+
+
+def test_same_socket_coherence_miss_costs_base(
+        ):
+    c = CoherentCacheModel(NUMA, cores_per_socket=4)
+    c.access(0, 0, 8, True)
+    cost = c.access(1, 0, 8, False)  # cores 0,1 share socket 0
+    assert cost == pytest.approx(NUMA.coherence_miss_time)
+    assert c.stats.get("cross_socket_misses") == 0
+
+
+def test_cross_socket_coherence_miss_pays_factor():
+    c = CoherentCacheModel(NUMA, cores_per_socket=4)
+    c.access(0, 0, 8, True)
+    cost = c.access(4, 0, 8, False)  # core 4 is on socket 1
+    assert cost == pytest.approx(2.0 * NUMA.coherence_miss_time)
+    assert c.stats.get("cross_socket_misses") == 1
+
+
+def test_factor_one_disables_numa():
+    spec = CacheSpec(cross_socket_factor=1.0)
+    c = CoherentCacheModel(spec, cores_per_socket=4)
+    c.access(0, 0, 8, True)
+    cost = c.access(4, 0, 8, False)
+    assert cost == pytest.approx(spec.coherence_miss_time)
+    assert c.stats.get("cross_socket_misses") == 0
+
+
+def test_no_socket_info_disables_numa():
+    c = CoherentCacheModel(NUMA, cores_per_socket=None)
+    c.access(0, 0, 8, True)
+    cost = c.access(4, 0, 8, False)
+    assert cost == pytest.approx(NUMA.coherence_miss_time)
+
+
+def test_block_access_mixes_local_and_remote():
+    c = CoherentCacheModel(NUMA, cores_per_socket=4)
+    # Socket-0 core dirties line 0; socket-1 core dirties line 1.
+    c.access(0, 0, 8, True)
+    c.access(4, 64, 8, True)
+    # Core 1 (socket 0) reads both lines in one block access.
+    cost = c.access(1, 0, 128, False)
+    expected = NUMA.coherence_miss_time + 2.0 * NUMA.coherence_miss_time
+    assert cost == pytest.approx(expected)
+
+
+def test_numa_node_in_pthreads_backend():
+    from dataclasses import replace
+    from repro.hardware.specs import PENRYN_NODE
+    from repro.runtime import PthreadsBackend
+
+    numa_node = replace(PENRYN_NODE, cache=NUMA)
+    backend = PthreadsBackend(8, node=numa_node)
+    assert backend.cache.cores_per_socket == 4

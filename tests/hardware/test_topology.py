@@ -1,0 +1,123 @@
+"""Tests for topology builders and routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware import (
+    Component,
+    ComponentKind,
+    Topology,
+    cluster_topology,
+    hetero_node_topology,
+    smp_topology,
+)
+from repro.interconnect import ib_qdr, scif_link, verbs_proxy_link
+
+
+class TestTopologyCore:
+    def test_duplicate_component_rejected(self):
+        topo = Topology()
+        topo.add(Component("a", ComponentKind.SWITCH))
+        with pytest.raises(TopologyError):
+            topo.add(Component("a", ComponentKind.SWITCH))
+
+    def test_connect_unknown_component_rejected(self):
+        topo = Topology()
+        topo.add(Component("a", ComponentKind.SWITCH))
+        with pytest.raises(TopologyError):
+            topo.connect("a", "ghost", ib_qdr())
+
+    def test_route_to_self_is_empty(self):
+        topo = smp_topology()
+        assert topo.route("host", "host") == []
+
+    def test_route_unknown_endpoint_rejected(self):
+        topo = smp_topology()
+        with pytest.raises(TopologyError):
+            topo.route("host", "ghost")
+
+    def test_no_path_rejected(self):
+        topo = Topology()
+        topo.add(Component("a", ComponentKind.SWITCH))
+        topo.add(Component("b", ComponentKind.SWITCH))
+        with pytest.raises(TopologyError):
+            topo.route("a", "b")
+
+    def test_component_lookup(self):
+        topo = smp_topology()
+        assert topo.component("host").kind is ComponentKind.HOST
+        with pytest.raises(TopologyError):
+            topo.component("nope")
+
+
+class TestSMP:
+    def test_single_component_with_cores(self):
+        topo = smp_topology()
+        assert list(topo.components) == ["host"]
+        assert topo.component("host").cores == 8
+        assert topo.compute_components() == [topo.component("host")]
+
+
+class TestCluster:
+    def test_six_node_paper_testbed(self):
+        topo = cluster_topology(6)
+        nodes = [c for c in topo.components.values()
+                 if c.kind is ComponentKind.CLUSTER_NODE]
+        assert len(nodes) == 6
+        assert all(n.cores == 8 for n in nodes)
+
+    def test_route_crosses_pcie_ib_switch_ib_pcie(self):
+        topo = cluster_topology(4)
+        links = topo.route("node0", "node3")
+        names = [l.name for l in links]
+        # pcie, half-IB, half-IB, pcie
+        assert len(links) == 4
+        assert names[0].startswith("pcie")
+        assert "ib" in names[1] and "ib" in names[2]
+        assert names[3].startswith("pcie")
+
+    def test_end_to_end_latency_matches_published_qdr(self):
+        topo = cluster_topology(2)
+        links = topo.route("node0", "node1")
+        latency = sum(l.latency for l in links)
+        # Full IB latency plus two PCIe hops.
+        assert latency == pytest.approx(1.3e-6 + 2 * 0.3e-6)
+
+    def test_route_is_symmetric(self):
+        topo = cluster_topology(3)
+        fwd = topo.route("node0", "node2")
+        back = topo.route("node2", "node0")
+        assert [l.name for l in back] == [l.name for l in reversed(fwd)]
+
+    def test_too_small_cluster_rejected(self):
+        with pytest.raises(TopologyError):
+            cluster_topology(1)
+
+    def test_compute_components_excludes_switches(self):
+        topo = cluster_topology(3)
+        names = [c.name for c in topo.compute_components()]
+        assert names == ["node0", "node1", "node2"]
+
+
+class TestHeteroNode:
+    def test_figure1_shape(self):
+        topo = hetero_node_topology(n_coprocessors=2)
+        assert topo.component("host").kind is ComponentKind.HOST
+        assert topo.component("mic0").kind is ComponentKind.COPROCESSOR
+        assert len(topo.route("host", "mic1")) == 1
+
+    def test_scif_path_faster_than_verbs_proxy(self):
+        scif = hetero_node_topology(bus=scif_link())
+        proxy = hetero_node_topology(bus=verbs_proxy_link())
+        page = 4096
+        t_scif = sum(l.transfer_time(page) for l in scif.route("host", "mic0"))
+        t_proxy = sum(l.transfer_time(page) for l in proxy.route("host", "mic0"))
+        assert t_scif < t_proxy
+
+    def test_zero_coprocessors_rejected(self):
+        with pytest.raises(TopologyError):
+            hetero_node_topology(n_coprocessors=0)
+
+    def test_coprocessor_has_many_cores(self):
+        topo = hetero_node_topology()
+        assert topo.component("mic0").cores >= 32

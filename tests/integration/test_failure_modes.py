@@ -1,0 +1,141 @@
+"""Failure injection: misuse must fail loudly, never hang or corrupt."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    DeadlockError,
+    SimulationError,
+    SynchronizationError,
+)
+from repro.runtime import Runtime
+
+BACKENDS = ["pthreads", "samhita"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_missing_barrier_party_deadlocks_loudly(backend):
+    rt = Runtime(backend, n_threads=2)
+    bar = rt.create_barrier(parties=3)  # one party will never come
+
+    def body(ctx):
+        yield from ctx.barrier(bar)
+
+    rt.spawn_all(body)
+    with pytest.raises(DeadlockError):
+        rt.run()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unlock_without_lock_raises(backend):
+    rt = Runtime(backend, n_threads=1)
+    lock = rt.create_lock()
+
+    def body(ctx):
+        with pytest.raises((SynchronizationError, Exception)):
+            yield from ctx.unlock(lock)
+        return "caught"
+
+    rt.spawn(body)
+    assert rt.run().value_of(0) == "caught"
+
+
+def test_samhita_unlock_by_non_holder_raises():
+    rt = Runtime("samhita", n_threads=2)
+    lock = rt.create_lock()
+    bar = rt.create_barrier()
+
+    def holder(ctx):
+        yield from ctx.lock(lock)
+        yield from ctx.barrier(bar)
+        yield from ctx.barrier(bar)
+        yield from ctx.unlock(lock)
+
+    def intruder(ctx):
+        yield from ctx.barrier(bar)
+        # The region tracker (store instrumentation) catches this first:
+        # the intruder never entered a consistency region.
+        from repro.errors import ConsistencyError
+        with pytest.raises((SynchronizationError, ConsistencyError)):
+            yield from ctx.unlock(lock)
+        yield from ctx.barrier(bar)
+        return "caught"
+
+    rt.spawn(holder)
+    rt.spawn(intruder)
+    assert rt.run().value_of(1) == "caught"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cond_wait_without_lock_raises(backend):
+    rt = Runtime(backend, n_threads=1)
+    lock, cond = rt.create_lock(), rt.create_cond()
+
+    def body(ctx):
+        with pytest.raises(SynchronizationError):
+            yield from ctx.cond_wait(cond, lock)
+        return "caught"
+
+    rt.spawn(body)
+    assert rt.run().value_of(0) == "caught"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_double_free_raises(backend):
+    rt = Runtime(backend, n_threads=1)
+
+    def body(ctx):
+        addr = yield from ctx.malloc(256 << 10)
+        yield from ctx.free(addr)
+        with pytest.raises(AllocationError):
+            yield from ctx.free(addr)
+        return "caught"
+
+    rt.spawn(body)
+    assert rt.run().value_of(0) == "caught"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_zero_byte_malloc_raises(backend):
+    rt = Runtime(backend, n_threads=1)
+
+    def body(ctx):
+        with pytest.raises(AllocationError):
+            yield from ctx.malloc(0)
+        return "caught"
+
+    rt.spawn(body)
+    assert rt.run().value_of(0) == "caught"
+
+
+def test_thread_exception_aborts_run_with_context():
+    rt = Runtime("samhita", n_threads=1)
+
+    def body(ctx):
+        yield from ctx.compute(10)
+        raise RuntimeError("application bug")
+
+    rt.spawn(body)
+    with pytest.raises(SimulationError, match="thread0"):
+        rt.run()
+
+
+def test_lost_lock_holder_deadlocks_waiters():
+    """A thread that exits while holding a lock leaves waiters stuck --
+    and the engine reports exactly who."""
+    rt = Runtime("samhita", n_threads=2)
+    lock = rt.create_lock()
+
+    def holder(ctx):
+        yield from ctx.lock(lock)
+        # exits without unlocking
+
+    def waiter(ctx):
+        yield from ctx.compute(10_000)
+        yield from ctx.lock(lock)
+
+    rt.spawn(holder)
+    rt.spawn(waiter)
+    with pytest.raises(DeadlockError) as exc:
+        rt.run()
+    assert "thread1" in str(exc.value)

@@ -1,0 +1,87 @@
+"""Golden-number regression tests.
+
+The simulator is deterministic, so these workloads' virtual makespans are
+exact constants. Any change to a protocol path, cost constant or scheduling
+decision moves specific numbers here -- making unintended performance
+regressions (or accidental protocol changes) impossible to miss.
+
+If a change is *intentional*, regenerate with:
+
+    python -m pytest tests/integration/test_golden.py --collect-only  # names
+    python - <<'PY'
+    ... (see the regen() helper at the bottom)
+    PY
+"""
+
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.kernels import (
+    Allocation,
+    JacobiParams,
+    MDParams,
+    MicrobenchParams,
+    spawn_jacobi,
+    spawn_md,
+    spawn_microbench,
+)
+from repro.runtime import Runtime
+
+GOLDEN = {
+    "microbench-strided-smh-4": 0.00029749660000000005,
+    "microbench-local-pth-4": 1.0563199999999992e-05,
+    "jacobi-smh-4": 0.000990909949999998,
+    "md-smh-8": 0.0006517063499999995,
+    "ivy-strided-smh-4": 0.0014574856999999982,
+}
+
+CASES = {
+    "microbench-strided-smh-4": dict(
+        backend="samhita", spawn_fn=spawn_microbench, n_threads=4,
+        params=MicrobenchParams(N=3, M=2, S=2, B=128,
+                                allocation=Allocation.GLOBAL_STRIDED)),
+    "microbench-local-pth-4": dict(
+        backend="pthreads", spawn_fn=spawn_microbench, n_threads=4,
+        params=MicrobenchParams(N=3, M=2, S=2, B=128,
+                                allocation=Allocation.LOCAL)),
+    "jacobi-smh-4": dict(
+        backend="samhita", spawn_fn=spawn_jacobi, n_threads=4,
+        params=JacobiParams(rows=32, cols=256, iterations=3),
+        config=SamhitaConfig(functional=False)),
+    "md-smh-8": dict(
+        backend="samhita", spawn_fn=spawn_md, n_threads=8,
+        params=MDParams(n_particles=64, steps=3, collect_energy=False),
+        config=SamhitaConfig(functional=False)),
+    "ivy-strided-smh-4": dict(
+        backend="samhita", spawn_fn=spawn_microbench, n_threads=4,
+        params=MicrobenchParams(N=3, M=2, S=2, B=128,
+                                allocation=Allocation.GLOBAL_STRIDED),
+        config=SamhitaConfig(coherence="ivy")),
+}
+
+
+def run_case(name: str) -> float:
+    case = dict(CASES[name])
+    spawn_fn = case.pop("spawn_fn")
+    params = case.pop("params")
+    backend = case.pop("backend")
+    n_threads = case.pop("n_threads")
+    rt = Runtime(backend, n_threads=n_threads, **case)
+    spawn_fn(rt, params)
+    return rt.run().elapsed
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_virtual_makespan_is_bit_stable(name):
+    assert run_case(name) == pytest.approx(GOLDEN[name], rel=1e-12), (
+        f"{name} drifted from its golden value -- if the change is "
+        f"intentional, regenerate GOLDEN (see module docstring)")
+
+
+def regen():  # pragma: no cover - manual tool
+    for name in sorted(CASES):
+        print(f'    "{name}": {run_case(name)!r},')
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regen()

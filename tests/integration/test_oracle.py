@@ -1,0 +1,123 @@
+"""Randomized RegC visibility oracle.
+
+Generates random multi-threaded programs (disjoint 8-byte writes into
+*shared* pages -- maximum false sharing without data races -- separated by
+barriers) and checks every read against an oracle of the model's guarantees:
+
+* a thread sees its own epoch writes immediately;
+* everyone sees all committed (pre-barrier) writes after the barrier;
+* nothing else changes a byte.
+
+Runs the same programs under RegC and under the IVY baseline (whose oracle
+is stricter: IVY writes are visible immediately, but since the generated
+reads only target bytes written by the reader or committed at a barrier,
+the same expectations hold).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.runtime import Runtime
+
+PAGE = 4096
+N_PAGES = 4
+WORDS_PER_PAGE = PAGE // 8
+
+
+def build_program(seed: int, n_threads: int, epochs: int, ops_per_epoch: int):
+    """Pre-generate each thread's (write, read) plan, plus the oracle."""
+    rng = random.Random(seed)
+    # Word w belongs to thread (w % n_threads): disjoint writes, shared pages.
+    plans = {t: [] for t in range(n_threads)}
+    committed: dict[int, int] = {}
+    next_value = 1
+
+    for _epoch in range(epochs):
+        pending: dict[int, int] = {}
+        epoch_plan = {t: {"writes": [], "reads": []} for t in range(n_threads)}
+        for t in range(n_threads):
+            for _ in range(ops_per_epoch):
+                word = rng.randrange(0, N_PAGES * WORDS_PER_PAGE)
+                my_word = word - (word % n_threads) + t
+                if my_word >= N_PAGES * WORDS_PER_PAGE:
+                    my_word -= n_threads
+                value = next_value
+                next_value += 1
+                epoch_plan[t]["writes"].append((my_word, value))
+                pending[(t, my_word)] = value
+        # Reads happen after this epoch's writes, before the barrier. To be
+        # valid under BOTH RegC (others' pending writes invisible) and IVY
+        # (immediately visible), a thread reads only its own pending words
+        # or committed words nobody is currently rewriting.
+        pending_words = {w for (_tt, w) in pending}
+        for t in range(n_threads):
+            my_pending = [w for (tt, w) in pending if tt == t]
+            safe_committed = [w for w in committed
+                              if w not in pending_words or (t, w) in pending]
+            for _ in range(ops_per_epoch):
+                if my_pending and (rng.random() < 0.5 or not safe_committed):
+                    word = rng.choice(my_pending)
+                elif safe_committed:
+                    word = rng.choice(safe_committed)
+                else:
+                    word = t  # untouched word reads as zero
+                expect = pending.get((t, word), committed.get(word, 0))
+                epoch_plan[t]["reads"].append((word, expect))
+        for t in range(n_threads):
+            plans[t].append(epoch_plan[t])
+        for (t, word), value in pending.items():
+            committed[word] = value
+    return plans
+
+
+def thread_body(ctx, shared, bar, plan):
+    if ctx.tid == 0:
+        shared["base"] = yield from ctx.malloc_shared(N_PAGES * PAGE)
+    yield from ctx.barrier(bar)
+    base = shared["base"]
+    failures = []
+    for epoch in plan:
+        for word, value in epoch["writes"]:
+            payload = np.frombuffer(np.int64(value).tobytes(), np.uint8)
+            yield from ctx.write(base + word * 8, 8, payload)
+        for word, expect in epoch["reads"]:
+            raw = yield from ctx.read(base + word * 8, 8)
+            got = int(np.asarray(raw).view(np.int64)[0])
+            if got != expect:
+                failures.append((epoch, word, expect, got))
+        yield from ctx.barrier(bar)
+    return failures
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("coherence", ["regc", "ivy"])
+def test_random_programs_respect_the_memory_model(seed, coherence):
+    n_threads, epochs, ops = 4, 4, 8
+    plans = build_program(seed, n_threads, epochs, ops)
+    rt = Runtime("samhita", n_threads=n_threads,
+                 config=SamhitaConfig(coherence=coherence))
+    bar = rt.create_barrier()
+    shared = {}
+    for t in range(n_threads):
+        rt.spawn(thread_body, shared, bar, plans[t])
+    result = rt.run()
+    for t in range(n_threads):
+        assert result.value_of(t) == [], f"visibility violations: {result.value_of(t)}"
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_random_programs_on_pthreads_baseline(seed):
+    """The hardware-coherent baseline satisfies the same oracle."""
+    n_threads, epochs, ops = 4, 3, 8
+    plans = build_program(seed, n_threads, epochs, ops)
+    rt = Runtime("pthreads", n_threads=n_threads)
+    bar = rt.create_barrier()
+    shared = {}
+    for t in range(n_threads):
+        rt.spawn(thread_body, shared, bar, plans[t])
+    result = rt.run()
+    for t in range(n_threads):
+        assert result.value_of(t) == []

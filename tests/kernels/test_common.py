@@ -1,0 +1,48 @@
+"""Tests for work-distribution helpers."""
+
+import pytest
+
+from repro.kernels import block_partition, strided_rows
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        parts = [block_partition(8, 4, t) for t in range(4)]
+        assert parts == [(0, 2), (2, 2), (4, 2), (6, 2)]
+
+    def test_remainder_goes_to_low_tids(self):
+        parts = [block_partition(10, 4, t) for t in range(4)]
+        assert parts == [(0, 3), (3, 3), (6, 2), (8, 2)]
+
+    def test_covers_everything_once(self):
+        for total, p in [(7, 3), (100, 8), (5, 8)]:
+            owned = []
+            for t in range(p):
+                start, count = block_partition(total, p, t)
+                owned.extend(range(start, start + count))
+            assert owned == list(range(total))
+
+    def test_more_threads_than_items(self):
+        parts = [block_partition(2, 4, t) for t in range(4)]
+        assert parts == [(0, 1), (1, 1), (2, 0), (2, 0)]
+
+    def test_bad_tid_rejected(self):
+        with pytest.raises(ValueError):
+            block_partition(8, 4, 4)
+        with pytest.raises(ValueError):
+            block_partition(8, 4, -1)
+
+
+class TestStridedRows:
+    def test_round_robin(self):
+        assert strided_rows(3, 4, 0) == [0, 4, 8]
+        assert strided_rows(3, 4, 1) == [1, 5, 9]
+        assert strided_rows(3, 4, 3) == [3, 7, 11]
+
+    def test_partition_property(self):
+        rows = sorted(r for t in range(4) for r in strided_rows(3, 4, t))
+        assert rows == list(range(12))
+
+    def test_bad_tid_rejected(self):
+        with pytest.raises(ValueError):
+            strided_rows(3, 4, 7)

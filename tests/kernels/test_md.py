@@ -1,0 +1,68 @@
+"""Functional tests for the molecular dynamics kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.kernels import MDParams, md_reference, spawn_md
+from repro.runtime import Runtime
+
+SMALL = MDParams(n_particles=32, steps=5)
+
+
+def run(backend, n_threads, params=SMALL):
+    rt = Runtime(backend, n_threads=n_threads)
+    spawn_md(rt, params)
+    return rt.run()
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("backend", ["pthreads", "samhita"])
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_energies_match_sequential_reference(self, backend, n_threads):
+        result = run(backend, n_threads)
+        ref = md_reference(SMALL)
+        got = result.value_of(0)
+        assert len(got) == SMALL.steps
+        assert got == pytest.approx(ref, rel=1e-9)
+
+    def test_energy_is_conserved(self):
+        params = MDParams(n_particles=32, steps=50, dt=1e-3)
+        result = run("samhita", 4, params)
+        energies = result.value_of(0)
+        drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+        assert drift < 1e-3
+
+    def test_all_threads_see_same_energy_trace(self):
+        result = run("samhita", 4)
+        traces = [tuple(result.value_of(t)) for t in sorted(result.threads)]
+        assert len(set(traces)) == 1
+
+    def test_uneven_particle_split(self):
+        params = MDParams(n_particles=10, steps=3)
+        result = run("pthreads", 4, params)
+        assert result.value_of(0) == pytest.approx(md_reference(params), rel=1e-9)
+
+    def test_timing_mode(self):
+        rt = Runtime("samhita", n_threads=2,
+                     config=SamhitaConfig(functional=False))
+        spawn_md(rt, SMALL)
+        result = rt.run()
+        assert result.elapsed > 0
+
+
+class TestPerformanceShape:
+    def test_compute_per_thread_shrinks_with_threads(self):
+        """Strong scaling: per-thread compute time drops with P because the
+        O(n^2) force work is divided."""
+        params = MDParams(n_particles=64, steps=3)
+        t2 = run("samhita", 2, params).mean_compute_time
+        t4 = run("samhita", 4, params).mean_compute_time
+        assert t4 < t2
+
+    def test_computation_masks_sync_overhead(self):
+        """The paper: computationally intensive apps mask Samhita's sync
+        cost. With enough particles compute time dwarfs sync time."""
+        params = MDParams(n_particles=512, steps=3)
+        result = run("samhita", 4, params)
+        assert result.mean_compute_time > result.mean_sync_time

@@ -1,0 +1,101 @@
+"""Functional tests for the Figure 2 micro-benchmark kernel."""
+
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.kernels import (
+    Allocation,
+    MicrobenchParams,
+    microbench_reference,
+    spawn_microbench,
+)
+from repro.runtime import Runtime
+
+SMALL = dict(N=3, M=2, S=2, B=64)
+
+
+def run(backend, n_threads, allocation, **overrides):
+    params = MicrobenchParams(allocation=allocation, **{**SMALL, **overrides})
+    rt = Runtime(backend, n_threads=n_threads)
+    spawn_microbench(rt, params)
+    result = rt.run()
+    return result, params
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("backend", ["pthreads", "samhita"])
+    @pytest.mark.parametrize("allocation", list(Allocation))
+    def test_gsum_matches_reference(self, backend, allocation):
+        result, params = run(backend, 4, allocation)
+        expected = microbench_reference(params, 4)
+        for t in sorted(result.threads):
+            assert result.value_of(t) == pytest.approx(expected, rel=1e-9)
+
+    @pytest.mark.parametrize("allocation", list(Allocation))
+    def test_both_backends_agree_exactly(self, allocation):
+        pth, params = run("pthreads", 2, allocation)
+        smh, _ = run("samhita", 2, allocation)
+        assert pth.value_of(0) == pytest.approx(smh.value_of(0), rel=1e-12)
+
+    def test_single_thread(self):
+        result, params = run("samhita", 1, Allocation.LOCAL)
+        assert result.value_of(0) == pytest.approx(
+            microbench_reference(params, 1), rel=1e-9)
+
+    def test_timing_mode_runs_without_data(self):
+        params = MicrobenchParams(allocation=Allocation.GLOBAL, **SMALL)
+        rt = Runtime("samhita", n_threads=2,
+                     config=SamhitaConfig(functional=False))
+        spawn_microbench(rt, params)
+        result = rt.run()
+        assert result.value_of(0) is None
+        assert result.elapsed > 0
+
+
+class TestPerformanceShape:
+    def test_false_sharing_ordering_of_allocation_modes(self):
+        """Samhita sync traffic: local < global <= strided (Figures 10/11)."""
+        def barrier_diff_bytes(allocation):
+            params = MicrobenchParams(N=4, M=2, S=2, B=256,
+                                      allocation=allocation)
+            rt = Runtime("samhita", n_threads=4)
+            spawn_microbench(rt, params)
+            result = rt.run()
+            return result.stats["fabric"].get("bytes.barrier_diff", 0)
+
+        local = barrier_diff_bytes(Allocation.LOCAL)
+        glob = barrier_diff_bytes(Allocation.GLOBAL)
+        strided = barrier_diff_bytes(Allocation.GLOBAL_STRIDED)
+        assert local == 0            # thread-private pages never flush
+        assert strided >= glob > 0   # shared pages flush, strided most
+
+    def test_local_allocation_uses_arena_not_manager(self):
+        params = MicrobenchParams(allocation=Allocation.LOCAL, **SMALL)
+        rt = Runtime("samhita", n_threads=4)
+        spawn_microbench(rt, params)
+        result = rt.run()
+        assert result.stats["allocator"].get("arena_allocs", 0) >= 4
+
+    def test_more_compute_amortizes_overhead(self):
+        """Raising M amortizes DSM overheads (Figures 4/5): the ratio of
+        samhita to pthreads compute time falls."""
+        def ratio(M):
+            params = MicrobenchParams(N=2, M=M, S=2, B=256,
+                                      allocation=Allocation.GLOBAL_STRIDED)
+            times = {}
+            for backend in ("pthreads", "samhita"):
+                rt = Runtime(backend, n_threads=4)
+                spawn_microbench(rt, params)
+                times[backend] = rt.run().mean_compute_time
+            return times["samhita"] / times["pthreads"]
+
+        assert ratio(20) < ratio(1)
+
+    def test_sync_time_grows_with_false_sharing(self):
+        def sync(allocation):
+            params = MicrobenchParams(N=4, M=2, S=4, B=256, allocation=allocation)
+            rt = Runtime("samhita", n_threads=4)
+            spawn_microbench(rt, params)
+            return rt.run().mean_sync_time
+
+        assert sync(Allocation.GLOBAL_STRIDED) > sync(Allocation.LOCAL)

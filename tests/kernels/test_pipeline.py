@@ -1,0 +1,65 @@
+"""Functional tests for the producer/consumer pipeline kernel."""
+
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.kernels import PipelineParams, spawn_pipeline
+from repro.runtime import Runtime
+
+
+def run(backend, n_threads, params):
+    rt = Runtime(backend, n_threads=n_threads)
+    spawn_pipeline(rt, params)
+    return rt.run()
+
+
+def collect(result, params):
+    """(total produced, merged sorted consumption list)."""
+    produced = 0
+    consumed = []
+    for tid in sorted(result.threads):
+        value = result.value_of(tid)
+        if tid < params.producers:
+            produced += value
+        else:
+            consumed.extend(value)
+    return produced, sorted(consumed)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("backend", ["pthreads", "samhita"])
+    def test_single_producer_single_consumer(self, backend):
+        params = PipelineParams(items=24, capacity=4)
+        result = run(backend, 2, params)
+        produced, consumed = collect(result, params)
+        assert produced == 24
+        assert consumed == list(range(24))
+
+    @pytest.mark.parametrize("backend", ["pthreads", "samhita"])
+    def test_multiple_consumers_partition_the_stream(self, backend):
+        params = PipelineParams(items=30, capacity=4)
+        result = run(backend, 4, params)  # 1 producer, 3 consumers
+        produced, consumed = collect(result, params)
+        assert produced == 30
+        assert consumed == list(range(30))  # nothing lost or duplicated
+
+    def test_multiple_producers_share_the_quota(self):
+        params = PipelineParams(items=20, capacity=4, producers=2)
+        result = run("samhita", 4, params)
+        produced, consumed = collect(result, params)
+        assert produced == 20
+        assert consumed == list(range(20))
+
+    def test_tiny_buffer_forces_backpressure(self):
+        params = PipelineParams(items=16, capacity=1)
+        result = run("samhita", 2, params)
+        produced, consumed = collect(result, params)
+        assert consumed == list(range(16))
+
+    def test_timing_mode_terminates(self):
+        params = PipelineParams(items=8, capacity=2)
+        rt = Runtime("samhita", n_threads=2,
+                     config=SamhitaConfig(functional=False))
+        spawn_pipeline(rt, params)
+        result = rt.run()
+        assert result.elapsed > 0

@@ -1,0 +1,128 @@
+"""Tests for the backing store and the fine-grain store log."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import BackingStore, MemoryLayout, PageDiff, StoreLog
+from repro.memory.diff import compute_diff_spans
+
+L = MemoryLayout()
+
+
+class TestBackingStore:
+    def test_first_touch_creates_zero_page(self):
+        store = BackingStore(L)
+        data = store.read_page(5)
+        assert data.shape == (4096,)
+        assert not data.any()
+        assert store.resident_pages == 1
+
+    def test_read_returns_copy(self):
+        store = BackingStore(L)
+        a = store.read_page(0)
+        a[:] = 9
+        assert not store.read_page(0).any()
+
+    def test_write_page_replaces_contents(self):
+        store = BackingStore(L)
+        payload = np.full(4096, 3, dtype=np.uint8)
+        store.write_page(2, payload)
+        assert (store.read_page(2) == 3).all()
+        assert store.version_of(2) == 1
+
+    def test_write_page_size_mismatch_rejected(self):
+        store = BackingStore(L)
+        with pytest.raises(MemoryError_):
+            store.write_page(0, np.zeros(10, np.uint8))
+
+    def test_apply_diff_merges(self):
+        store = BackingStore(L)
+        base = store.read_page(0)
+        new = base.copy()
+        new[10:20] = 7
+        diff = PageDiff(0, spans=compute_diff_spans(base, new))
+        store.apply_diff(diff)
+        assert (store.read_page(0)[10:20] == 7).all()
+        assert store.version_of(0) == 1
+
+    def test_timing_mode_has_no_data(self):
+        store = BackingStore(L, functional=False)
+        assert store.read_page(0) is None
+        store.apply_diff(PageDiff(0, spans=[(0, None)], sizes=[16]))
+        assert store.version_of(0) == 1
+        assert store.stats.get("diff_bytes") == 16
+
+    def test_resident_bytes(self):
+        store = BackingStore(L)
+        store.ensure(0)
+        store.ensure(1)
+        assert store.resident_bytes == 8192
+
+
+class TestStoreLog:
+    def test_empty_log(self):
+        log = StoreLog(L)
+        assert log.empty and log.payload_bytes == 0 and len(log) == 0
+
+    def test_record_accumulates(self):
+        log = StoreLog(L)
+        log.record(0, 8, np.zeros(8, np.uint8))
+        log.record(100, 4, np.ones(4, np.uint8))
+        assert len(log) == 2
+        assert log.payload_bytes == 12
+        assert log.wire_bytes == 12 + 2 * StoreLog.ENTRY_HEADER_BYTES
+
+    def test_zero_byte_store_ignored(self):
+        log = StoreLog(L)
+        log.record(0, 0, None)
+        assert log.empty
+
+    def test_data_length_mismatch_rejected(self):
+        log = StoreLog(L)
+        with pytest.raises(MemoryError_):
+            log.record(0, 8, np.zeros(4, np.uint8))
+
+    def test_to_page_diffs_single_page(self):
+        log = StoreLog(L)
+        log.record(10, 8, np.full(8, 5, np.uint8))
+        diffs = log.to_page_diffs()
+        assert len(diffs) == 1
+        assert diffs[0].page == 0
+        buf = np.zeros(4096, np.uint8)
+        diffs[0].apply_to(buf)
+        assert (buf[10:18] == 5).all()
+
+    def test_to_page_diffs_splits_across_pages(self):
+        log = StoreLog(L)
+        addr = 4096 - 4
+        log.record(addr, 8, np.arange(8, dtype=np.uint8))
+        diffs = log.to_page_diffs()
+        assert [d.page for d in diffs] == [0, 1]
+        p0 = np.zeros(4096, np.uint8)
+        p1 = np.zeros(4096, np.uint8)
+        diffs[0].apply_to(p0)
+        diffs[1].apply_to(p1)
+        assert list(p0[-4:]) == [0, 1, 2, 3]
+        assert list(p1[:4]) == [4, 5, 6, 7]
+
+    def test_later_stores_win(self):
+        log = StoreLog(L)
+        log.record(0, 4, np.full(4, 1, np.uint8))
+        log.record(0, 4, np.full(4, 2, np.uint8))
+        buf = np.zeros(4096, np.uint8)
+        for d in log.to_page_diffs():
+            d.apply_to(buf)
+        assert (buf[:4] == 2).all()
+
+    def test_timing_mode_sizes_without_data(self):
+        log = StoreLog(L)
+        log.record(0, 8, None)
+        diffs = log.to_page_diffs()
+        assert diffs[0].payload_bytes == 8
+
+    def test_clear(self):
+        log = StoreLog(L)
+        log.record(0, 8, None)
+        log.clear()
+        assert log.empty

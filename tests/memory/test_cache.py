@@ -1,0 +1,232 @@
+"""Tests for the per-thread software cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConsistencyError, MemoryError_, ProtectionError
+from repro.memory import EvictionPolicy, MemoryLayout, PageDiff, SoftwareCache
+
+L = MemoryLayout(page_bytes=4096, pages_per_line=4)
+
+
+def make(capacity=64, functional=True, policy=EvictionPolicy.DIRTY_BIASED):
+    return SoftwareCache(L, capacity_pages=capacity, functional=functional, policy=policy)
+
+
+def install_zero(cache, *pages, prefetched=False):
+    for p in pages:
+        data = np.zeros(4096, np.uint8) if cache.functional else None
+        cache.install(p, data, prefetched=prefetched)
+
+
+class TestResidency:
+    def test_missing_pages_and_lines(self):
+        c = make()
+        install_zero(c, 0, 1)
+        assert c.missing_pages(0, 3 * 4096) == [2]
+        assert c.missing_lines(0, 3 * 4096) == [0]
+        install_zero(c, 2, 3)
+        assert c.missing_lines(0, 4 * 4096) == []
+
+    def test_capacity_must_fit_a_line(self):
+        with pytest.raises(MemoryError_):
+            SoftwareCache(L, capacity_pages=2)
+
+    def test_install_over_capacity_rejected(self):
+        c = make(capacity=4)
+        install_zero(c, 0, 1, 2, 3)
+        with pytest.raises(MemoryError_):
+            install_zero(c, 4)
+
+    def test_access_nonresident_page_rejected(self):
+        c = make()
+        with pytest.raises(ProtectionError):
+            c.read(0, 8)
+        with pytest.raises(ProtectionError):
+            c.write(0, 8, np.zeros(8, np.uint8))
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        c = make()
+        install_zero(c, 0)
+        payload = np.arange(16, dtype=np.uint8)
+        c.write(100, 16, payload)
+        assert np.array_equal(c.read(100, 16), payload)
+
+    def test_read_across_page_boundary(self):
+        c = make()
+        install_zero(c, 0, 1)
+        payload = np.arange(32, dtype=np.uint8)
+        c.write(4096 - 16, 32, payload)
+        assert np.array_equal(c.read(4096 - 16, 32), payload)
+
+    def test_zero_length_ops(self):
+        c = make()
+        assert c.read(0, 0).size == 0
+        c.write(0, 0, None)  # no residency required for empty writes
+
+    def test_timing_mode_read_returns_none(self):
+        c = make(functional=False)
+        install_zero(c, 0)
+        assert c.read(0, 64) is None
+
+    def test_write_data_length_mismatch_rejected(self):
+        c = make()
+        install_zero(c, 0)
+        with pytest.raises(MemoryError_):
+            c.write(0, 16, np.zeros(8, np.uint8))
+
+
+class TestTwinsAndDiffs:
+    def test_first_ordinary_write_creates_twin(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.ones(8, np.uint8))
+        assert c.stats.get("twins_created") == 1
+        c.write(8, 8, np.ones(8, np.uint8))
+        assert c.stats.get("twins_created") == 1  # only once per dirty epoch
+
+    def test_take_diff_contains_exact_changes(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(10, 4, np.full(4, 9, np.uint8))
+        diff = c.take_diff(0)
+        assert diff.payload_bytes == 4
+        buf = np.zeros(4096, np.uint8)
+        diff.apply_to(buf)
+        assert (buf[10:14] == 9).all()
+
+    def test_take_diff_cleans_page(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.ones(8, np.uint8))
+        assert c.dirty_page_ids() == [0]
+        c.take_diff(0)
+        assert c.dirty_page_ids() == []
+        assert c.take_diff(0) is None
+
+    def test_rewriting_same_bytes_produces_empty_diff(self):
+        # Value-based diffing: writing identical bytes moves no data.
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.zeros(8, np.uint8))
+        diff = c.take_diff(0)
+        assert diff is not None and diff.payload_bytes == 0
+
+    def test_timing_mode_diff_uses_dirty_ranges(self):
+        c = make(functional=False)
+        install_zero(c, 0)
+        c.write(0, 8, None)
+        c.write(100, 50, None)
+        diff = c.take_diff(0)
+        assert diff.payload_bytes == 58
+
+    def test_cr_write_does_not_dirty_page(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.ones(8, np.uint8), ordinary=False)
+        assert c.dirty_page_ids() == []
+        # But the data is visible locally.
+        assert (c.read(0, 8) == 1).all()
+
+
+class TestEviction:
+    def test_dirty_biased_prefers_dirty_pages(self):
+        c = make(policy=EvictionPolicy.DIRTY_BIASED)
+        install_zero(c, 0, 1, 2)
+        c.write(4096, 8, np.ones(8, np.uint8))  # page 1 dirty
+        assert c.choose_victims(1) == [1]
+
+    def test_clean_first_prefers_clean_pages(self):
+        c = make(policy=EvictionPolicy.CLEAN_FIRST)
+        install_zero(c, 0, 1, 2)
+        c.write(4096, 8, np.ones(8, np.uint8))
+        victims = c.choose_victims(2)
+        assert 1 not in victims
+
+    def test_lru_order(self):
+        c = make(policy=EvictionPolicy.LRU)
+        install_zero(c, 0, 1, 2)
+        c.read(0, 8)      # touch page 0
+        c.read(2 * 4096, 8)  # touch page 2
+        assert c.choose_victims(1) == [1]
+
+    def test_protect_excludes_pages(self):
+        c = make()
+        install_zero(c, 0, 1)
+        assert c.choose_victims(1, protect=[0]) == [1]
+
+    def test_cannot_evict_more_than_unprotected(self):
+        c = make()
+        install_zero(c, 0)
+        with pytest.raises(MemoryError_):
+            c.choose_victims(1, protect=[0])
+
+    def test_evict_dirty_returns_diff(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.ones(8, np.uint8))
+        diff = c.evict(0)
+        assert diff is not None and diff.payload_bytes == 8
+        assert not c.resident(0)
+
+    def test_evict_clean_returns_none(self):
+        c = make()
+        install_zero(c, 0)
+        assert c.evict(0) is None
+
+    def test_evict_nonresident_rejected(self):
+        with pytest.raises(MemoryError_):
+            make().evict(0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_clean_copies(self):
+        c = make()
+        install_zero(c, 0, 1, 2)
+        dropped = c.invalidate([0, 2, 99])
+        assert dropped == [0, 2]
+        assert c.resident(1)
+
+    def test_invalidate_dirty_page_is_protocol_error(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(0, 8, np.ones(8, np.uint8))
+        with pytest.raises(ConsistencyError):
+            c.invalidate([0])
+
+
+class TestFineGrain:
+    def test_apply_fine_grain_updates_resident_copy(self):
+        c = make()
+        install_zero(c, 0)
+        diff = PageDiff(0, spans=[(5, np.full(3, 8, np.uint8))])
+        applied = c.apply_fine_grain([diff])
+        assert applied == 3
+        assert (c.read(5, 3) == 8).all()
+
+    def test_apply_fine_grain_skips_nonresident(self):
+        c = make()
+        diff = PageDiff(0, spans=[(0, np.ones(4, np.uint8))])
+        assert c.apply_fine_grain([diff]) == 0
+
+    def test_fine_grain_does_not_reappear_in_own_diff(self):
+        c = make()
+        install_zero(c, 0)
+        c.write(100, 4, np.full(4, 1, np.uint8))  # ordinary: twin exists
+        incoming = PageDiff(0, spans=[(0, np.full(4, 9, np.uint8))])
+        c.apply_fine_grain([incoming])
+        diff = c.take_diff(0)
+        applied_offsets = {off for off, _ in diff.spans}
+        assert 0 not in applied_offsets  # incoming bytes not re-shipped
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_hit_counted_once(self):
+        c = make()
+        install_zero(c, 0, prefetched=True)
+        c.read(0, 8)
+        c.read(0, 8)
+        assert c.stats.get("prefetch_hits") == 1
+        assert c.stats.get("prefetch_installs") == 1

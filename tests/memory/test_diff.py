@@ -1,0 +1,178 @@
+"""Tests (incl. property tests) for ByteRanges, diff spans and PageDiff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import ByteRanges, PageDiff, compute_diff_spans
+
+PAGE = 4096
+
+
+class TestByteRanges:
+    def test_empty(self):
+        r = ByteRanges()
+        assert r.empty and r.nbytes == 0 and len(r) == 0
+
+    def test_single_range(self):
+        r = ByteRanges([(10, 20)])
+        assert r.nbytes == 10
+        assert list(r) == [(10, 20)]
+
+    def test_adjacent_ranges_coalesce(self):
+        r = ByteRanges()
+        r.add(0, 10)
+        r.add(10, 20)
+        assert list(r) == [(0, 20)]
+
+    def test_overlapping_ranges_coalesce(self):
+        r = ByteRanges()
+        r.add(0, 15)
+        r.add(10, 25)
+        assert list(r) == [(0, 25)]
+
+    def test_disjoint_ranges_stay_sorted(self):
+        r = ByteRanges()
+        r.add(100, 110)
+        r.add(0, 10)
+        assert list(r) == [(0, 10), (100, 110)]
+
+    def test_bridge_merges_three(self):
+        r = ByteRanges([(0, 10), (20, 30)])
+        r.add(5, 25)
+        assert list(r) == [(0, 30)]
+
+    def test_empty_add_ignored(self):
+        r = ByteRanges()
+        r.add(5, 5)
+        assert r.empty
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(MemoryError_):
+            ByteRanges().add(10, 5)
+        with pytest.raises(MemoryError_):
+            ByteRanges().add(-1, 5)
+
+    def test_contains(self):
+        r = ByteRanges([(10, 20)])
+        assert r.contains(10) and r.contains(19)
+        assert not r.contains(20) and not r.contains(9)
+
+    def test_merge_other(self):
+        a = ByteRanges([(0, 10)])
+        b = ByteRanges([(5, 15), (20, 30)])
+        a.merge(b)
+        assert list(a) == [(0, 15), (20, 30)]
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 50)), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_set_semantics(self, pairs):
+        r = ByteRanges()
+        reference = set()
+        for start, length in pairs:
+            r.add(start, start + length)
+            reference.update(range(start, start + length))
+        assert r.nbytes == len(reference)
+        # Ranges are sorted, disjoint, non-touching.
+        spans = list(r)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2
+        covered = set()
+        for s, e in spans:
+            covered.update(range(s, e))
+        assert covered == reference
+
+
+class TestComputeDiffSpans:
+    def test_identical_pages_have_empty_diff(self):
+        buf = np.arange(PAGE, dtype=np.uint8) % 251
+        assert compute_diff_spans(buf, buf.copy()) == []
+
+    def test_single_changed_byte(self):
+        twin = np.zeros(PAGE, dtype=np.uint8)
+        cur = twin.copy()
+        cur[100] = 7
+        spans = compute_diff_spans(twin, cur)
+        assert len(spans) == 1
+        off, data = spans[0]
+        assert off == 100 and list(data) == [7]
+
+    def test_contiguous_run_coalesces(self):
+        twin = np.zeros(PAGE, dtype=np.uint8)
+        cur = twin.copy()
+        cur[10:20] = 9
+        spans = compute_diff_spans(twin, cur)
+        assert len(spans) == 1
+        assert spans[0][0] == 10 and len(spans[0][1]) == 10
+
+    def test_disjoint_runs_split(self):
+        twin = np.zeros(PAGE, dtype=np.uint8)
+        cur = twin.copy()
+        cur[0:4] = 1
+        cur[100:104] = 2
+        spans = compute_diff_spans(twin, cur)
+        assert [s[0] for s in spans] == [0, 100]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MemoryError_):
+            compute_diff_spans(np.zeros(10, np.uint8), np.zeros(11, np.uint8))
+
+    @given(st.lists(st.tuples(st.integers(0, PAGE - 9), st.integers(1, 8),
+                              st.integers(1, 255)), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_apply_diff_reconstructs_page(self, writes):
+        twin = np.zeros(PAGE, dtype=np.uint8)
+        cur = twin.copy()
+        for off, length, value in writes:
+            cur[off:off + length] = value
+        spans = compute_diff_spans(twin, cur)
+        rebuilt = twin.copy()
+        PageDiff(0, spans=spans).apply_to(rebuilt)
+        assert np.array_equal(rebuilt, cur)
+
+
+class TestPageDiff:
+    def test_payload_and_wire_bytes(self):
+        d = PageDiff(3, spans=[(0, np.ones(10, np.uint8)), (50, np.ones(6, np.uint8))])
+        assert d.payload_bytes == 16
+        assert d.wire_bytes == 16 + 2 * PageDiff.SPAN_HEADER_BYTES
+
+    def test_timing_mode_from_ranges(self):
+        r = ByteRanges([(0, 100), (200, 250)])
+        d = PageDiff.from_ranges(7, r)
+        assert d.page == 7
+        assert d.payload_bytes == 150
+        assert all(data is None for _, data in d.spans)
+
+    def test_timing_mode_apply_is_noop(self):
+        d = PageDiff.from_ranges(0, ByteRanges([(0, 10)]))
+        buf = np.zeros(PAGE, dtype=np.uint8)
+        d.apply_to(buf)
+        assert not buf.any()
+
+    def test_apply_out_of_bounds_rejected(self):
+        d = PageDiff(0, spans=[(PAGE - 2, np.ones(8, np.uint8))])
+        with pytest.raises(MemoryError_):
+            d.apply_to(np.zeros(PAGE, np.uint8))
+
+    def test_multiple_writer_merge_disjoint(self):
+        # Two writers modify disjoint ranges of the same page; applying both
+        # diffs in any order yields both updates -- the core multiple-writer
+        # property.
+        base = np.zeros(PAGE, dtype=np.uint8)
+        w1, w2 = base.copy(), base.copy()
+        w1[0:100] = 1
+        w2[200:300] = 2
+        d1 = PageDiff(0, spans=compute_diff_spans(base, w1))
+        d2 = PageDiff(0, spans=compute_diff_spans(base, w2))
+        for order in ((d1, d2), (d2, d1)):
+            home = base.copy()
+            for d in order:
+                d.apply_to(home)
+            assert (home[0:100] == 1).all() and (home[200:300] == 2).all()
+
+    def test_empty_flag(self):
+        assert PageDiff(0).empty
+        assert not PageDiff(0, spans=[(0, np.ones(1, np.uint8))]).empty

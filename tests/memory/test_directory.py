@@ -1,0 +1,38 @@
+"""Tests for the page-ownership directory."""
+
+from repro.memory import PageDirectory
+
+
+def test_record_and_lookup_owner():
+    d = PageDirectory()
+    d.record_owner(5, 2)
+    assert d.owner_of(5) == 2
+    assert 5 in d
+    assert d.owner_of(6) is None
+
+
+def test_reassignment_overwrites():
+    d = PageDirectory()
+    d.record_owner(5, 2)
+    d.record_owner(5, 3)
+    assert d.owner_of(5) == 3
+    assert len(d) == 1
+
+
+def test_clear_owner_idempotent():
+    d = PageDirectory()
+    d.record_owner(5, 2)
+    d.clear_owner(5)
+    d.clear_owner(5)
+    assert d.owner_of(5) is None
+    assert len(d) == 0
+
+
+def test_owned_by_lists_thread_pages_sorted():
+    d = PageDirectory()
+    d.record_owner(9, 1)
+    d.record_owner(3, 1)
+    d.record_owner(7, 2)
+    assert d.owned_by(1) == [3, 9]
+    assert d.owned_by(2) == [7]
+    assert d.owned_by(3) == []

@@ -1,0 +1,76 @@
+"""Property test: the vectorized MESI-lite model against a per-line
+reference implementation (the obvious dict-based version)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import CoherentCacheModel
+from repro.hardware.specs import CacheSpec
+
+SPEC = CacheSpec(line_bytes=64, cold_miss_time=60e-9, coherence_miss_time=80e-9)
+
+
+class ReferenceCache:
+    """Straightforward per-line implementation of the same protocol."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.lines: dict[int, dict] = {}
+
+    def access(self, core, addr, nbytes, is_write):
+        if nbytes <= 0:
+            return 0.0
+        lb = self.spec.line_bytes
+        cost = 0.0
+        for line in range(addr // lb, (addr + nbytes - 1) // lb + 1):
+            state = self.lines.get(line)
+            if state is None:
+                state = {"sharers": set(), "writer": None}
+                self.lines[line] = state
+                cost += self.spec.cold_miss_time
+            elif core not in state["sharers"]:
+                if state["writer"] is not None and state["writer"] != core:
+                    cost += self.spec.coherence_miss_time
+                else:
+                    cost += self.spec.cold_miss_time
+            elif is_write and len(state["sharers"]) > 1:
+                cost += self.spec.coherence_miss_time
+            else:
+                cost += self.spec.hit_time
+            if is_write:
+                state["sharers"] = {core}
+                state["writer"] = core
+            else:
+                state["sharers"].add(core)
+        return cost
+
+
+accesses = st.lists(
+    st.tuples(st.integers(0, 7),            # core
+              st.integers(0, 4000),         # addr
+              st.integers(1, 512),          # nbytes
+              st.booleans()),               # is_write
+    min_size=1, max_size=60)
+
+
+@given(accesses)
+@settings(max_examples=120, deadline=None)
+def test_vectorized_model_matches_reference(ops):
+    fast = CoherentCacheModel(SPEC)
+    ref = ReferenceCache(SPEC)
+    for core, addr, nbytes, is_write in ops:
+        got = fast.access(core, addr, nbytes, is_write)
+        want = ref.access(core, addr, nbytes, is_write)
+        assert got == pytest.approx(want), (core, addr, nbytes, is_write)
+
+
+@given(accesses)
+@settings(max_examples=60, deadline=None)
+def test_costs_are_nonnegative_and_bounded(ops):
+    model = CoherentCacheModel(SPEC)
+    for core, addr, nbytes, is_write in ops:
+        cost = model.access(core, addr, nbytes, is_write)
+        lines = (addr + nbytes - 1) // 64 - addr // 64 + 1
+        assert 0.0 <= cost <= lines * SPEC.coherence_miss_time + 1e-18

@@ -1,0 +1,67 @@
+"""Property tests: RegC barrier-plan invariants under random write notices."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import plan_barrier
+from repro.memory import PageDirectory
+
+notice_maps = st.dictionaries(
+    keys=st.integers(0, 7),
+    values=st.lists(st.integers(0, 30), max_size=12),
+    min_size=1, max_size=8,
+)
+
+
+@given(notice_maps)
+@settings(max_examples=150, deadline=None)
+def test_plan_invariants(notices):
+    directory = PageDirectory()
+    plan = plan_barrier(notices, directory)
+    notice_sets = {t: set(p) for t, p in notices.items()}
+    all_pages = set().union(*notice_sets.values()) if notice_sets else set()
+
+    for tid, mine in notice_sets.items():
+        flush = set(plan.flush[tid])
+        inv = set(plan.invalidate[tid])
+        # 1. You only flush pages you actually wrote.
+        assert flush <= mine
+        # 2. Flushed pages are exactly your multi-writer pages.
+        assert flush == mine & plan.multi_writer_pages
+        # 3. You never invalidate your own single-writer pages.
+        assert not (inv & (mine - plan.multi_writer_pages))
+        # 4. You invalidate every page someone else wrote.
+        others = all_pages - (mine - plan.multi_writer_pages)
+        assert inv == others
+        # 5. Flush implies invalidate (after merging, refetch from home).
+        assert flush <= inv
+
+
+@given(notice_maps)
+@settings(max_examples=150, deadline=None)
+def test_ownership_postconditions(notices):
+    directory = PageDirectory()
+    plan = plan_barrier(notices, directory)
+    writers: dict[int, list[int]] = {}
+    for tid, pages in notices.items():
+        for page in set(pages):
+            writers.setdefault(page, []).append(tid)
+    for page, tids in writers.items():
+        if len(tids) == 1:
+            assert directory.owner_of(page) == tids[0]
+        else:
+            assert directory.owner_of(page) is None
+            assert page in plan.multi_writer_pages
+
+
+@given(notice_maps, notice_maps)
+@settings(max_examples=80, deadline=None)
+def test_prior_ownership_only_changes_for_noticed_pages(first, second):
+    directory = PageDirectory()
+    plan_barrier(first, directory)
+    before = {p: directory.owner_of(p) for p in range(31)}
+    plan_barrier(second, directory)
+    touched = set().union(*(set(p) for p in second.values())) if second else set()
+    for page in range(31):
+        if page not in touched:
+            assert directory.owner_of(page) == before[page]

@@ -1,0 +1,59 @@
+"""Property tests: engine scheduling and determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, Timeout
+
+delays = st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1,
+                  max_size=30)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delay_list):
+    eng = Engine()
+    fired = []
+    for d in delay_list:
+        eng.schedule(d, lambda d=d: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+    assert eng.now == max(delay_list)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_equal_simulations_are_identical(delay_list):
+    def run_once():
+        eng = Engine()
+        log = []
+
+        def proc(i, d):
+            yield Timeout(d)
+            log.append((eng.now, i))
+            yield Timeout(d / 2 + 0.1)
+            log.append((eng.now, i))
+
+        for i, d in enumerate(delay_list):
+            eng.process(proc(i, d), name=f"p{i}")
+        eng.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@given(st.lists(st.floats(0.1, 50.0, allow_nan=False), min_size=2, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_process_total_time_is_sum_of_timeouts(delay_list):
+    eng = Engine()
+    done = {}
+
+    def proc():
+        for d in delay_list:
+            yield Timeout(d)
+        done["at"] = eng.now
+
+    eng.process(proc())
+    eng.run()
+    assert abs(done["at"] - sum(delay_list)) < 1e-9 * max(1.0, sum(delay_list))

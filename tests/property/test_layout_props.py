@@ -1,0 +1,60 @@
+"""Property tests: address-layout arithmetic invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryLayout
+
+layouts = st.builds(
+    MemoryLayout,
+    page_bytes=st.sampled_from([256, 1024, 4096, 16384]),
+    pages_per_line=st.integers(1, 8),
+)
+
+
+@given(layouts, st.integers(0, 1 << 30))
+@settings(max_examples=150, deadline=None)
+def test_page_decomposition_roundtrips(layout, addr):
+    page = layout.page_of(addr)
+    offset = layout.page_offset(addr)
+    assert layout.page_addr(page) + offset == addr
+    assert 0 <= offset < layout.page_bytes
+
+
+@given(layouts, st.integers(0, 1 << 30), st.integers(0, 1 << 16))
+@settings(max_examples=150, deadline=None)
+def test_pages_spanning_covers_exactly_the_range(layout, addr, nbytes):
+    pages = list(layout.pages_spanning(addr, nbytes))
+    if nbytes == 0:
+        assert pages == []
+        return
+    # First/last byte fall in the first/last page; pages are contiguous.
+    assert pages[0] == layout.page_of(addr)
+    assert pages[-1] == layout.page_of(addr + nbytes - 1)
+    assert pages == list(range(pages[0], pages[-1] + 1))
+    # Total coverage equals the span, counted bytewise per page.
+    covered = 0
+    for page in pages:
+        start = max(addr, layout.page_addr(page))
+        end = min(addr + nbytes, layout.page_addr(page + 1))
+        covered += end - start
+    assert covered == nbytes
+
+
+@given(layouts, st.integers(0, 1 << 20))
+@settings(max_examples=100, deadline=None)
+def test_lines_partition_pages(layout, page):
+    line = layout.line_of_page(page)
+    assert page in layout.line_pages(line)
+    assert len(layout.line_pages(line)) == layout.pages_per_line
+    # Adjacent lines don't overlap and tile the page space.
+    assert layout.line_pages(line)[-1] + 1 == layout.line_pages(line + 1)[0]
+
+
+@given(layouts, st.integers(0, 1 << 24))
+@settings(max_examples=100, deadline=None)
+def test_align_up_properties(layout, nbytes):
+    aligned = layout.align_up(nbytes)
+    assert aligned >= nbytes
+    assert aligned % layout.page_bytes == 0
+    assert aligned - nbytes < layout.page_bytes

@@ -1,0 +1,57 @@
+"""Property tests: store logs reconstruct exactly the bytes they recorded."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryLayout, StoreLog
+
+LAYOUT = MemoryLayout(page_bytes=512, pages_per_line=2)
+SPAN = 4 * 512
+
+stores = st.lists(
+    st.tuples(st.integers(0, SPAN - 33), st.integers(1, 32),
+              st.integers(0, 255)),
+    min_size=1, max_size=40)
+
+
+@given(stores)
+@settings(max_examples=120, deadline=None)
+def test_page_diffs_reconstruct_the_store_sequence(ops):
+    log = StoreLog(LAYOUT)
+    image = np.zeros(SPAN, dtype=np.uint8)
+    for addr, nbytes, value in ops:
+        data = np.full(nbytes, value, dtype=np.uint8)
+        log.record(addr, nbytes, data)
+        image[addr:addr + nbytes] = data
+
+    rebuilt = np.zeros(SPAN, dtype=np.uint8)
+    for diff in log.to_page_diffs():
+        page_view = rebuilt[diff.page * 512:(diff.page + 1) * 512]
+        diff.apply_to(page_view)
+    assert np.array_equal(rebuilt, image)
+
+
+@given(stores)
+@settings(max_examples=80, deadline=None)
+def test_wire_size_accounts_every_byte_plus_headers(ops):
+    log = StoreLog(LAYOUT)
+    total = 0
+    for addr, nbytes, value in ops:
+        log.record(addr, nbytes, np.full(nbytes, value, np.uint8))
+        total += nbytes
+    assert log.payload_bytes == total
+    assert log.wire_bytes == total + len(ops) * StoreLog.ENTRY_HEADER_BYTES
+    # Splitting across pages preserves total payload.
+    assert sum(d.payload_bytes for d in log.to_page_diffs()) == total
+
+
+@given(stores)
+@settings(max_examples=60, deadline=None)
+def test_diff_pages_are_sorted_and_within_bounds(ops):
+    log = StoreLog(LAYOUT)
+    for addr, nbytes, value in ops:
+        log.record(addr, nbytes, np.full(nbytes, value, np.uint8))
+    pages = [d.page for d in log.to_page_diffs()]
+    assert pages == sorted(pages)
+    assert all(0 <= p < SPAN // 512 for p in pages)

@@ -1,0 +1,106 @@
+"""Tests for the SharedArray helper on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.runtime import Runtime, SharedArray
+
+BACKENDS = ["pthreads", "samhita"]
+
+
+def run_single(backend, body, **rt_kwargs):
+    rt = Runtime(backend, n_threads=1, **rt_kwargs)
+    rt.spawn(body)
+    return rt.run().value_of(0)
+
+
+class TestSharedArray:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_write_read_roundtrip(self, backend):
+        def body(ctx):
+            arr = yield from SharedArray.allocate(ctx, rows=8, cols=256)
+            values = np.arange(256, dtype=np.float64)
+            yield from arr.write_rows(3, values)
+            row = yield from arr.read_rows(3)
+            return row.copy()
+
+        out = run_single(backend, body)
+        assert np.array_equal(out[0], np.arange(256, dtype=np.float64))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_row_block(self, backend):
+        def body(ctx):
+            arr = yield from SharedArray.allocate(ctx, rows=8, cols=16)
+            block = np.arange(48, dtype=np.float64).reshape(3, 16)
+            yield from arr.write_rows(2, block)
+            back = yield from arr.read_rows(2, 3)
+            return back.copy()
+
+        out = run_single(backend, body)
+        assert np.array_equal(out, np.arange(48, dtype=np.float64).reshape(3, 16))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fill_and_read_all(self, backend):
+        def body(ctx):
+            arr = yield from SharedArray.allocate(ctx, rows=4, cols=8)
+            yield from arr.fill(2.5)
+            whole = yield from arr.read_all()
+            return float(whole.sum())
+
+        assert run_single(backend, body) == pytest.approx(4 * 8 * 2.5)
+
+    def test_timing_mode_returns_none(self):
+        from repro.core import SamhitaConfig
+
+        def body(ctx):
+            arr = yield from SharedArray.allocate(ctx, rows=4, cols=8)
+            yield from arr.write_rows(0, None, nrows=4)
+            data = yield from arr.read_rows(0, 4)
+            return data
+
+        out = run_single("samhita", body, config=SamhitaConfig(functional=False))
+        assert out is None
+
+    def test_row_addressing(self):
+        def body(ctx):
+            arr = yield from SharedArray.allocate(ctx, rows=4, cols=256)
+            assert arr.row_bytes == 2048
+            assert arr.row_addr(1) == arr.addr + 2048
+            with pytest.raises(MemoryError_):
+                arr.row_addr(4)
+            with pytest.raises(MemoryError_):
+                yield from arr.read_rows(3, 2)
+            return True
+
+        assert run_single("pthreads", body)
+
+    def test_view_shares_storage_between_threads(self):
+        rt = Runtime("pthreads", n_threads=2)
+        bar = rt.create_barrier()
+        shared = {}
+
+        def body(ctx):
+            if ctx.tid == 0:
+                shared["arr"] = yield from SharedArray.allocate(ctx, 2, 8)
+                yield from shared["arr"].write_rows(
+                    0, np.full(8, 7.0, dtype=np.float64))
+            yield from ctx.barrier(bar)
+            mine = shared["arr"].view(ctx)
+            row = yield from mine.read_rows(0)
+            return float(row.sum())
+
+        rt.spawn_all(body)
+        result = rt.run()
+        assert result.value_of(1) == pytest.approx(56.0)
+
+    def test_bad_dimensions_rejected(self):
+        def body(ctx):
+            with pytest.raises(MemoryError_):
+                SharedArray(ctx, 0, rows=0, cols=4)
+            yield from ctx.compute(0)
+            return True
+
+        rt = Runtime("pthreads", n_threads=1)
+        rt.spawn(body)
+        assert rt.run().value_of(0)

@@ -1,0 +1,84 @@
+"""Tests for the tracer and the StatSet accumulator."""
+
+from repro.sim import StatSet, Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.emit(1.0, "cache", "miss", page=3)
+        assert tr.records == []
+
+    def test_enabled_tracer_records(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "cache", "miss", page=3)
+        tr.emit(2.0, "cache", "hit", page=3)
+        assert len(tr.records) == 2
+        assert tr.records[0].payload == {"page": 3}
+
+    def test_filter_by_category_and_component(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "cache0", "miss")
+        tr.emit(2.0, "cache1", "miss")
+        tr.emit(3.0, "cache0", "hit")
+        assert tr.count(category="miss") == 2
+        assert tr.count(component="cache0") == 2
+        assert tr.count(category="miss", component="cache1") == 1
+
+    def test_filter_predicate(self):
+        tr = Tracer(enabled=True)
+        for t in range(5):
+            tr.emit(float(t), "x", "tick")
+        assert len(tr.filter(predicate=lambda r: r.time >= 3.0)) == 2
+
+    def test_limit_drops_excess(self):
+        tr = Tracer(enabled=True, limit=2)
+        for t in range(5):
+            tr.emit(float(t), "x", "tick")
+        assert len(tr.records) == 2
+        assert tr.dropped == 3
+
+    def test_clear(self):
+        tr = Tracer(enabled=True)
+        tr.emit(0.0, "x", "tick")
+        tr.clear()
+        assert tr.records == [] and tr.dropped == 0
+
+
+class TestStatSet:
+    def test_incr_and_add(self):
+        s = StatSet("s")
+        s.incr("misses")
+        s.incr("misses", 4)
+        s.add("bytes", 1.5)
+        assert s.get("misses") == 5
+        assert s.get("bytes") == 1.5
+        assert s.get("absent") == 0.0
+
+    def test_merge_combines_both_kinds(self):
+        a, b = StatSet("a"), StatSet("b")
+        a.incr("n", 1)
+        a.add("t", 0.5)
+        b.incr("n", 2)
+        b.add("t", 1.5)
+        b.incr("only_b")
+        a.merge(b)
+        assert a.get("n") == 3
+        assert a.get("t") == 2.0
+        assert a.get("only_b") == 1
+
+    def test_snapshot_is_plain_dict(self):
+        s = StatSet()
+        s.incr("n", 2)
+        s.add("t", 3.0)
+        snap = s.snapshot()
+        assert snap == {"n": 2, "t": 3.0}
+        snap["n"] = 99
+        assert s.get("n") == 2
+
+    def test_reset(self):
+        s = StatSet()
+        s.incr("n")
+        s.add("t", 1.0)
+        s.reset()
+        assert s.snapshot() == {}

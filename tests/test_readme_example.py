@@ -1,0 +1,39 @@
+"""The README quickstart snippet must actually run (kept in sync by hand --
+this test IS the snippet, modulo the print)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Runtime, SharedArray
+
+
+def test_top_level_exports():
+    assert repro.__version__
+    for name in ("Runtime", "SharedArray", "SamhitaConfig", "SamhitaSystem",
+                 "PlacementPolicy"):
+        assert hasattr(repro, name)
+
+
+@pytest.mark.parametrize("backend", ["pthreads", "samhita"])
+def test_readme_quickstart(backend):
+    rt = Runtime(backend, n_threads=4)
+    lock, bar = rt.create_lock(), rt.create_barrier()
+    shared = {}
+
+    def kernel(ctx, shared, lock, bar):
+        if ctx.tid == 0:
+            shared["arr"] = yield from SharedArray.allocate(ctx, rows=4, cols=16)
+        yield from ctx.barrier(bar)                 # RegC global sync point
+        arr = shared["arr"].view(ctx)
+        yield from arr.write_rows(ctx.tid, np.full(16, float(ctx.tid)))
+        yield from ctx.lock(lock)                   # consistency region begins
+        yield from ctx.unlock(lock)
+        yield from ctx.barrier(bar)
+        return (yield from arr.read_all()).sum()
+
+    rt.spawn_all(kernel, shared, lock, bar)
+    result = rt.run()
+    expected = 16 * (0 + 1 + 2 + 3)
+    for t in result.threads:
+        assert result.value_of(t) == pytest.approx(expected)
