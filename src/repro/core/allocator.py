@@ -85,6 +85,11 @@ class SamhitaAllocator:
         self._arenas: dict[int, _Arena] = {}
         self._regions: list[_Region] = []
         self._region_starts: list[int] = []
+        #: page -> home-server memo. Safe because addresses never recycle:
+        #: once a page belongs to a region its home can never change (free()
+        #: only marks the allocation, it never unmaps the extent). Misses
+        #: are NOT cached -- an unallocated page may be carved later.
+        self._home_cache: dict[int, int] = {}
         self.allocations: dict[int, Allocation] = {}
         self._zone_rr = 0
         self.stats = StatSet("allocator")
@@ -130,11 +135,16 @@ class SamhitaAllocator:
 
     def home_of_page(self, page: int) -> int:
         """Memory-server index that homes ``page``."""
+        home = self._home_cache.get(page)
+        if home is not None:
+            return home
         index = bisect.bisect(self._region_starts, page) - 1
         if index >= 0:
             region = self._regions[index]
             if region.start_page <= page < region.start_page + region.n_pages:
-                return region.home_of(page, self.layout.pages_per_line)
+                home = region.home_of(page, self.layout.pages_per_line)
+                self._home_cache[page] = home
+                return home
         raise MemoryError_(f"page {page} is not part of any allocation")
 
     def home_of_line(self, line: int) -> int:

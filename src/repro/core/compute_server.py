@@ -78,7 +78,8 @@ class ComputeServer:
             self.stats.incr("prefetch_waits")
             yield in_flight
 
-        missing = [p for p in cache.layout.line_pages(line) if not cache.resident(p)]
+        entries = cache.entries
+        missing = [p for p in cache.layout.line_pages(line) if p not in entries]
         missing = self._allocated_only(missing)
         if missing:
             self.stats.incr("faults")
@@ -91,10 +92,11 @@ class ComputeServer:
 
     def _allocated_only(self, pages: list[int]) -> list[int]:
         """Drop pages outside any allocation (line tails past a region)."""
+        home_of_page = self.system.allocator.home_of_page
         out = []
         for page in pages:
             try:
-                self.system.allocator.home_of_page(page)
+                home_of_page(page)
             except MemoryError_:
                 continue
             out.append(page)
@@ -108,26 +110,31 @@ class ComputeServer:
         before an invalidation of that page (barrier directive, page-grain
         acquire, IVY upgrade) is dropped instead of installed.
         """
-        cache = self.system.cache_of(tid)
-        config = self.system.config
+        system = self.system
+        cache = system.cache_of(tid)
+        config = system.config
+        home_of_page = system.allocator.home_of_page
         by_server: dict[int, list[int]] = {}
         for page in pages:
-            by_server.setdefault(self.system.allocator.home_of_page(page), []).append(page)
+            by_server.setdefault(home_of_page(page), []).append(page)
 
+        epoch_get = cache.inval_epoch.get
+        entries = cache.entries
+        install_time = config.install_page_time
         for server_index, server_pages in sorted(by_server.items()):
-            server = self.system.memory_servers[server_index]
-            snapshots = {p: cache.inval_epoch_of(p) for p in server_pages}
+            server = system.memory_servers[server_index]
+            snapshots = {p: epoch_get(p, 0) for p in server_pages}
             # Request message out, server service (+ recalls), data back.
-            yield from self.system.scl.send(self.component, server.component,
-                                            category="fetch_req")
+            yield from system.scl.send(self.component, server.component,
+                                       category="fetch_req")
             data = yield from server.serve_fetch(tid, server_pages)
             nbytes = len(server_pages) * cache.layout.page_bytes
-            yield from self.system.fabric.transfer(server.component, self.component,
-                                                   nbytes, category="page")
+            yield from system.fabric.transfer(server.component, self.component,
+                                              nbytes, category="page")
             for page in server_pages:
-                if cache.resident(page):
+                if page in entries:
                     continue  # raced with another fill
-                if cache.inval_epoch_of(page) != snapshots[page]:
+                if epoch_get(page, 0) != snapshots[page]:
                     self.stats.incr("stale_fetch_dropped")
                     continue
                 if cache.free_pages == 0:
@@ -135,8 +142,8 @@ class ComputeServer:
                         self.stats.incr("prefetch_skipped_full")
                         continue
                     yield from self._evict(tid, 1, protect | set(server_pages))
-                yield Timeout(config.install_page_time)
-                if cache.inval_epoch_of(page) != snapshots[page]:
+                yield Timeout(install_time)
+                if epoch_get(page, 0) != snapshots[page]:
                     self.stats.incr("stale_fetch_dropped")
                     continue
                 cache.install(page, data.get(page), prefetched=prefetched)
@@ -174,7 +181,8 @@ class ComputeServer:
         pending = self.pending[tid]
         if line in pending:
             return
-        missing = [p for p in cache.layout.line_pages(line) if not cache.resident(p)]
+        entries = cache.entries
+        missing = [p for p in cache.layout.line_pages(line) if p not in entries]
         missing = self._allocated_only(missing)
         if not missing:
             return

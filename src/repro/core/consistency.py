@@ -19,6 +19,7 @@ RegC distinguishes two propagation mechanisms:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -49,25 +50,25 @@ def plan_barrier(notices: Mapping[int, Iterable[int]],
     the eager merge makes the home authoritative again.
     """
     notice_sets = {tid: set(pages) for tid, pages in notices.items()}
-    writers: dict[int, list[int]] = {}
-    for tid, pages in notice_sets.items():
-        for page in pages:
-            writers.setdefault(page, []).append(tid)
+    # Multi-writer detection via a page -> writer-count histogram: C-level
+    # set/Counter operations replace the per-(page, tid) Python loop.
+    counts: Counter = Counter()
+    for pages in notice_sets.values():
+        counts.update(pages)
+    multi = {page for page, n in counts.items() if n > 1}
+    for page in multi:
+        directory.clear_owner(page)
+    for tid, mine in notice_sets.items():
+        for page in mine - multi:
+            directory.record_owner(page, tid)
 
-    multi = {page for page, ws in writers.items() if len(ws) > 1}
-    for page, ws in writers.items():
-        if len(ws) == 1:
-            directory.record_owner(page, ws[0])
-        else:
-            directory.clear_owner(page)
-
-    all_pages = set(writers)
+    all_pages = set(counts)
     invalidate: dict[int, list[int]] = {}
     flush: dict[int, list[int]] = {}
     for tid, mine in notice_sets.items():
-        single_mine = {p for p in mine if p not in multi}
-        invalidate[tid] = sorted(all_pages - single_mine)
-        flush[tid] = sorted(mine & multi)
+        mine_multi = mine & multi
+        invalidate[tid] = sorted((all_pages - mine) | mine_multi)
+        flush[tid] = sorted(mine_multi)
     total = sum(len(p) for p in notice_sets.values())
     return BarrierPlan(invalidate=invalidate, flush=flush,
                        multi_writer_pages=multi, total_notices=total)

@@ -64,26 +64,33 @@ class MemoryServer:
         yield from self.resource.request()
         try:
             yield Timeout(self.config.memserver_service_time)
-            self.stats.incr("fetches")
-            self.stats.incr("pages_served", len(pages))
+            counters = self.stats.counters
+            counters["fetches"] += 1
+            counters["pages_served"] += len(pages)
+            owner_of = self.directory.owner_of
+            add_sharer = self.directory.add_sharer
+            read_page = self.backing.read_page
             result = {}
             for page in pages:
-                owner = self.directory.owner_of(page)
+                owner = owner_of(page)
                 if owner is not None and owner != requester_tid:
                     yield from self._recall(page, owner)
-                self.directory.add_sharer(page, requester_tid)
-                result[page] = self.backing.read_page(page)
+                add_sharer(page, requester_tid)
+                result[page] = read_page(page)
             return result
         finally:
             self.resource.release()
 
     def _recall(self, page: int, owner_tid: int):
-        """Generator: pull the owner's unflushed diff and merge it."""
-        assert self._system is not None, "memory server not bound to a system"
+        """Generator: pull the owner's unflushed diff and merge it.
+
+        Requires :meth:`bind` to have run (every recall is reached through a
+        bound system, so no per-call assert).
+        """
         system = self._system
         owner_cache = system.cache_of(owner_tid)
         owner_comp = system.component_of(owner_tid)
-        self.stats.incr("recalls")
+        self.stats.counters["recalls"] += 1
         # Recall request to the owner's node, diff data back.
         yield from system.scl.send(self.component, owner_comp, category="recall")
         entry = owner_cache.entries.get(page)

@@ -427,11 +427,25 @@ class SamhitaSystem:
             applied = cache.apply_fine_grain(cr_diffs)
             if applied:
                 yield Timeout(applied * self.config.apply_time_per_byte)
-        targets = [p for p in invalidate
-                   if p not in cache.entries or not cache.entries[p].is_dirty]
-        targets += [p for p in cr_invalidate
-                    if (p not in cache.entries
-                        or not cache.entries[p].is_dirty) and p not in targets]
+        entries = cache.entries
+        # Skip locally-dirty pages (lazily-held diffs the directory still
+        # credits to this thread). Resident pages are a tiny subset of the
+        # directive, so find the dirty ones by set intersection and only
+        # fall back to filtering the full list when there are any.
+        dirty_skip = {p for p in entries.keys() & invalidate
+                      if not entries[p].dirty.empty}
+        if dirty_skip:
+            targets = [p for p in invalidate if p not in dirty_skip]
+        else:
+            targets = invalidate
+        if cr_invalidate:
+            seen = set(targets)
+            extra = [p for p in cr_invalidate
+                     if (p not in entries or entries[p].dirty.empty)
+                     and p not in seen]
+            if extra:
+                # Never extend in place: ``invalidate`` may alias the plan.
+                targets = list(targets) + extra
         dropped = cache.invalidate(targets)
         if dropped:
             yield Timeout(len(dropped) * self.config.invalidate_page_time)

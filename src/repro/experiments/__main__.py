@@ -49,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="campaign only: paper-scale sweeps")
     parser.add_argument("--plot", action="store_true",
                         help="render an ASCII chart instead of a table")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="fan sweep cells over N worker processes "
+                             "(with a result cache; 0 = serial, uncached)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist the cell result cache to DIR "
+                             "(re-runs of identical cells become free)")
     args = parser.parse_args(argv)
 
     if args.figure is None:
@@ -63,13 +69,20 @@ def main(argv: list[str] | None = None) -> int:
         print("Special: 'all' (every paper figure), 'verify' (claim checks)")
         return 0
 
+    from repro.experiments.parallel import activate, make_executor
+
+    executor = (make_executor(args.workers, args.cache_dir)
+                if args.workers > 0 or args.cache_dir else None)
+
     if args.figure == "verify":
         from repro.experiments.verification import verify
-        return 0 if verify() else 1
+        with activate(executor):
+            return 0 if verify() else 1
 
     if args.figure == "campaign":
         from repro.experiments.campaign import run_campaign
-        run_campaign(quick=args.quick or not args.full)
+        run_campaign(quick=args.quick or not args.full,
+                     workers=args.workers, cache_dir=args.cache_dir)
         return 0
 
     if args.figure == "report":
@@ -90,14 +103,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        kwargs = _QUICK_KWARGS.get(name, {}) if args.quick else {}
-        fr = ALL_FIGURES[name](**kwargs)
-        if args.plot:
-            from repro.experiments.plots import print_chart
-            print_chart(fr)
-        else:
-            print_figure(fr)
+    with activate(executor):
+        for name in names:
+            kwargs = _QUICK_KWARGS.get(name, {}) if args.quick else {}
+            fr = ALL_FIGURES[name](**kwargs)
+            if args.plot:
+                from repro.experiments.plots import print_chart
+                print_chart(fr)
+            else:
+                print_figure(fr)
     return 0
 
 

@@ -24,11 +24,23 @@ from repro.experiments.__main__ import _QUICK_KWARGS
 def run_campaign(out_dir: str | pathlib.Path = "campaign",
                  quick: bool = True,
                  figure_names: list[str] | None = None,
-                 echo: bool = True) -> pathlib.Path:
-    """Run the campaign; returns the path of the written report."""
+                 echo: bool = True,
+                 workers: int = 0,
+                 cache_dir: str | pathlib.Path | None = None) -> pathlib.Path:
+    """Run the campaign; returns the path of the written report.
+
+    ``workers > 0`` fans the sweep cells of each figure over a process pool
+    and shares one result cache across the whole campaign (repeated cells --
+    e.g. every figure's 1-thread Pthreads baseline -- run once).
+    ``cache_dir`` persists that cache so re-running the campaign is free.
+    """
+    from repro.experiments.parallel import activate, make_executor
+
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     names = figure_names if figure_names is not None else sorted(FIGURES)
+    executor = (make_executor(workers, cache_dir)
+                if workers > 0 or cache_dir else None)
     started = time.time()
 
     lines = [
@@ -47,22 +59,24 @@ def run_campaign(out_dir: str | pathlib.Path = "campaign",
     claims_by_figure = {c.figure: c for c in CLAIMS}
     results = {}
     all_ok = True
-    for name in names:
-        kwargs = _QUICK_KWARGS.get(name, {}) if quick else {}
-        fr = FIGURES[name](**kwargs)
-        results[name] = fr
-        (out / f"{name}.txt").write_text(format_figure(fr) + "\n")
-        claim = claims_by_figure.get(name)
-        if claim is not None:
-            # Claim checks use their own reduced builds so their thresholds
-            # match; run them independently of the sweep above.
-            cfr = claim.build()
-            ok, detail = claim.check(cfr)
-            all_ok &= ok
-            status = "PASS" if ok else "**FAIL**"
-            lines.append(f"| {name} | {claim.statement} | {status} | {detail} |")
-            if echo:
-                print(f"[{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+    with activate(executor):
+        for name in names:
+            kwargs = _QUICK_KWARGS.get(name, {}) if quick else {}
+            fr = FIGURES[name](**kwargs)
+            results[name] = fr
+            (out / f"{name}.txt").write_text(format_figure(fr) + "\n")
+            claim = claims_by_figure.get(name)
+            if claim is not None:
+                # Claim checks use their own reduced builds so their
+                # thresholds match; run them independently of the sweep
+                # above (the shared result cache dedups any overlap).
+                cfr = claim.build()
+                ok, detail = claim.check(cfr)
+                all_ok &= ok
+                status = "PASS" if ok else "**FAIL**"
+                lines.append(f"| {name} | {claim.statement} | {status} | {detail} |")
+                if echo:
+                    print(f"[{'PASS' if ok else 'FAIL'}] {name}: {detail}")
 
     lines += ["", "## Figure tables", ""]
     for name in names:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.params import SamhitaConfig
+from repro.experiments import parallel
 from repro.runtime import Runtime
 from repro.runtime.results import RunResult
 
@@ -26,7 +27,26 @@ def run_workload(backend: str, n_threads: int, spawn_fn: Callable, params,
 
     ``spawn_fn(rt, params)`` must create handles and spawn all threads (the
     kernels' ``spawn_*`` functions have this signature).
+
+    When a :mod:`repro.experiments.parallel` executor is active, the cell is
+    routed through it (result cache + optional worker pool); otherwise it
+    runs inline, exactly as before.
     """
+    if not backend_kwargs:
+        executor = parallel.get_active()
+        if executor is not None:
+            return executor.run(parallel.CellSpec(
+                backend, n_threads, spawn_fn, params, functional, config))
+    return run_workload_direct(backend, n_threads, spawn_fn, params,
+                               functional=functional, config=config,
+                               **backend_kwargs)
+
+
+def run_workload_direct(backend: str, n_threads: int, spawn_fn: Callable,
+                        params, functional: bool = False,
+                        config: SamhitaConfig | None = None,
+                        **backend_kwargs) -> RunResult:
+    """The uncached, in-process cell execution (also the pool worker body)."""
     if backend == "samhita":
         cfg = config or SamhitaConfig()
         if cfg.functional != functional:
@@ -47,7 +67,20 @@ def sweep(backend: str, core_counts, spawn_fn, params_fn, metric,
     ``params_fn(cores)`` builds the workload parameters for each cell (strong
     scaling usually ignores ``cores``); ``metric(result)`` extracts the
     plotted value.
+
+    With an active executor the whole sweep is submitted as one batch, so a
+    worker pool runs the cells concurrently; the metric is applied in the
+    caller in submission order, keeping the points deterministic.
     """
+    if not backend_kwargs:
+        executor = parallel.get_active()
+        if executor is not None:
+            specs = [parallel.CellSpec(backend, cores, spawn_fn,
+                                       params_fn(cores), functional, config)
+                     for cores in core_counts]
+            results = executor.map(specs)
+            return [(cores, metric(result))
+                    for cores, result in zip(core_counts, results)]
     points = []
     for cores in core_counts:
         result = run_workload(backend, cores, spawn_fn, params_fn(cores),

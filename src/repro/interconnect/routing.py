@@ -22,6 +22,18 @@ from repro.sim.stats import StatSet
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.topology import Topology
 
+#: Memoized per-category stat keys: transfer() runs hundreds of thousands of
+#: times per simulation and the f-string formatting showed up in profiles.
+_CATEGORY_KEYS: dict[str, tuple[str, str]] = {}
+
+
+def _category_keys(category: str) -> tuple[str, str]:
+    keys = _CATEGORY_KEYS.get(category)
+    if keys is None:
+        keys = (f"messages.{category}", f"bytes.{category}")
+        _CATEGORY_KEYS[category] = keys
+    return keys
+
 
 class Fabric:
     """Binds a topology to an engine and moves bytes across it."""
@@ -58,18 +70,38 @@ class Fabric:
 
         Accounts per-category message and byte counts in :attr:`stats`.
         """
-        self.stats.incr(f"messages.{category}")
-        self.stats.incr("messages")
-        self.stats.incr("bytes", nbytes)
-        self.stats.incr(f"bytes.{category}", nbytes)
+        msg_key, bytes_key = _category_keys(category)
+        counters = self.stats.counters
+        counters[msg_key] += 1
+        counters["messages"] += 1
+        counters["bytes"] += nbytes
+        counters[bytes_key] += nbytes
         key = (src, dst)
-        self.traffic[key] = self.traffic.get(key, 0) + nbytes
+        traffic = self.traffic
+        traffic[key] = traffic.get(key, 0) + nbytes
         links = self.topology.route(src, dst)
         if not links:
             return  # local delivery is free
-        latency = sum(link.latency for link in links)
-        bottleneck = max(links, key=lambda l: l.serialize_time(nbytes))
-        serialize = bottleneck.serialize_time(nbytes)
+        if len(links) == 1:  # single-hop fast path (the common case)
+            bottleneck = links[0]
+            latency = bottleneck.latency
+            # serialize_time() inlined for the overhead-free link shape.
+            if nbytes <= 0:
+                serialize = 0.0
+            elif not bottleneck.per_packet_overhead:
+                serialize = nbytes / bottleneck.bandwidth
+            else:
+                serialize = bottleneck.serialize_time(nbytes)
+        else:
+            latency = 0.0
+            serialize = -1.0
+            bottleneck = links[0]
+            for link in links:
+                latency += link.latency
+                s = link.serialize_time(nbytes)
+                if s > serialize:  # first maximum, matching max(..., key=...)
+                    serialize = s
+                    bottleneck = link
         if self.model_contention and bottleneck.contended and serialize > 0.0:
             yield Timeout(latency)
             yield from self._resource_for(bottleneck).use(serialize)

@@ -23,6 +23,7 @@ class SCL:
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
         self.stats = StatSet("scl")
+        self._counters = self.stats.counters
 
     def rdma_get(self, local: str, remote: str, nbytes: int, category: str = "page"):
         """Generator: one-sided read of ``nbytes`` from remote memory.
@@ -30,18 +31,18 @@ class SCL:
         Costed as a control round-trip carrying the work request followed by
         the data flowing back -- the standard RDMA-read shape.
         """
-        self.stats.incr("rdma_get")
+        self._counters["rdma_get"] += 1
         yield from self.fabric.transfer(local, remote, CONTROL_BYTES, category="control")
         yield from self.fabric.transfer(remote, local, nbytes, category=category)
 
     def rdma_put(self, local: str, remote: str, nbytes: int, category: str = "diff"):
         """Generator: one-sided write of ``nbytes`` into remote memory."""
-        self.stats.incr("rdma_put")
+        self._counters["rdma_put"] += 1
         yield from self.fabric.transfer(local, remote, nbytes, category=category)
 
     def send(self, src: str, dst: str, nbytes: int = CONTROL_BYTES, category: str = "control"):
         """Generator: small eager message (work request / notification)."""
-        self.stats.incr("send")
+        self._counters["send"] += 1
         yield from self.fabric.transfer(src, dst, nbytes, category=category)
 
     def request_response(self, src: str, dst: str,
@@ -49,6 +50,6 @@ class SCL:
                          response_bytes: int = CONTROL_BYTES,
                          category: str = "rpc"):
         """Generator: synchronous RPC-shaped exchange."""
-        self.stats.incr("rpc")
+        self._counters["rpc"] += 1
         yield from self.fabric.transfer(src, dst, request_bytes, category=category)
         yield from self.fabric.transfer(dst, src, response_bytes, category=category)

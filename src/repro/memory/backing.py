@@ -48,9 +48,12 @@ class BackingStore:
 
     def read_page(self, page: int) -> np.ndarray | None:
         """A *copy* of the page's bytes (what goes over the wire)."""
-        self.stats.incr("page_reads")
-        frame = self.ensure(page)
-        return frame.data.copy() if frame.data is not None else None
+        self.stats.counters["page_reads"] += 1
+        frame = self.frames.get(page)
+        if frame is None:
+            frame = self.ensure(page)
+        data = frame.data
+        return data.copy() if data is not None else None
 
     def write_page(self, page: int, data: np.ndarray | None) -> None:
         """Replace the page's contents wholesale."""
@@ -81,11 +84,15 @@ class BackingStore:
         if nbytes == 0:
             return np.empty(0, dtype=np.uint8)
         pieces = []
+        page_bytes = self.layout.page_bytes
+        end_addr = addr + nbytes
         for page in self.layout.pages_spanning(addr, nbytes):
             frame = self.ensure(page)
-            start = max(addr, self.layout.page_addr(page))
-            end = min(addr + nbytes, self.layout.page_addr(page + 1))
-            off = start - self.layout.page_addr(page)
+            page_start = page * page_bytes
+            start = addr if addr > page_start else page_start
+            page_end = page_start + page_bytes
+            end = end_addr if end_addr < page_end else page_end
+            off = start - page_start
             pieces.append(frame.data[off:off + (end - start)])
         if len(pieces) == 1:
             return pieces[0].copy()
@@ -98,13 +105,18 @@ class BackingStore:
         if self.functional and data is not None and len(data) != nbytes:
             raise MemoryError_("write_range data length mismatch")
         consumed = 0
+        functional = self.functional
+        page_bytes = self.layout.page_bytes
+        end_addr = addr + nbytes
         for page in self.layout.pages_spanning(addr, nbytes):
             frame = self.ensure(page)
-            start = max(addr, self.layout.page_addr(page))
-            end = min(addr + nbytes, self.layout.page_addr(page + 1))
-            off = start - self.layout.page_addr(page)
+            page_start = page * page_bytes
+            start = addr if addr > page_start else page_start
+            page_end = page_start + page_bytes
+            end = end_addr if end_addr < page_end else page_end
+            off = start - page_start
             chunk = end - start
-            if self.functional and data is not None:
+            if functional and data is not None:
                 frame.data[off:off + chunk] = data[consumed:consumed + chunk]
             consumed += chunk
             frame.version += 1

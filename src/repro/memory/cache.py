@@ -15,6 +15,7 @@ Policy knobs reproduced from the paper:
 
 from __future__ import annotations
 
+from collections import Counter
 from enum import Enum
 from typing import Iterable
 
@@ -33,6 +34,27 @@ class EvictionPolicy(Enum):
     LRU = "lru"
     #: Prefer clean pages -- the conventional write-back heuristic (ablation).
     CLEAN_FIRST = "clean-first"
+
+
+# Module-level eviction key functions: keeps choose_victims lint-clean and
+# avoids allocating a fresh closure on every eviction decision.
+def _victim_key_dirty_biased(entry: "CacheEntry"):
+    return (entry.dirty.empty, entry.last_access)  # dirty first, then LRU
+
+
+def _victim_key_clean_first(entry: "CacheEntry"):
+    return (not entry.dirty.empty, entry.last_access)
+
+
+def _victim_key_lru(entry: "CacheEntry"):
+    return entry.last_access
+
+
+_VICTIM_KEYS = {
+    EvictionPolicy.DIRTY_BIASED: _victim_key_dirty_biased,
+    EvictionPolicy.CLEAN_FIRST: _victim_key_clean_first,
+    EvictionPolicy.LRU: _victim_key_lru,
+}
 
 
 class CacheEntry:
@@ -83,7 +105,9 @@ class SoftwareCache:
         #: Per-page invalidation counters. A fetch in flight when the page
         #: is invalidated must not install its (pre-invalidation) data; the
         #: fetcher snapshots this counter and checks it at install time.
-        self.inval_epoch: dict[int, int] = {}
+        #: A Counter so invalidate() can advance thousands of counters with
+        #: one C-level update() call.
+        self.inval_epoch: Counter = Counter()
         self.stats = StatSet(name)
         self._tick = 0
 
@@ -98,12 +122,21 @@ class SoftwareCache:
                 if p not in self.entries]
 
     def missing_lines(self, addr: int, nbytes: int) -> list[int]:
-        """Lines with at least one non-resident page, for the span."""
-        out = []
-        for line in self.layout.lines_spanning(addr, nbytes):
-            if any(p not in self.entries for p in self.layout.line_pages(line)):
-                out.append(line)
-        return out
+        """Lines with at least one non-resident page, for the span.
+
+        A line is complete iff the set intersection of its pages with the
+        resident-page set has full cardinality -- one C-level set operation
+        per line instead of a Python-level scan over its pages.
+        """
+        resident = self.entries.keys()
+        line_pages = self.layout.line_pages
+        full = self.layout.pages_per_line
+        return [line for line in self.layout.lines_spanning(addr, nbytes)
+                if len(resident & line_pages(line)) < full]
+
+    def resident_page_set(self):
+        """Set view of the resident page numbers (live, do not mutate)."""
+        return self.entries.keys()
 
     @property
     def resident_pages(self) -> int:
@@ -143,13 +176,7 @@ class SoftwareCache:
         if len(candidates) < count:
             raise MemoryError_(f"{self.name}: cannot evict {count} pages "
                                f"({len(candidates)} unprotected)")
-        if self.policy is EvictionPolicy.DIRTY_BIASED:
-            key = lambda e: (not e.is_dirty, e.last_access)  # dirty first, then LRU
-        elif self.policy is EvictionPolicy.CLEAN_FIRST:
-            key = lambda e: (e.is_dirty, e.last_access)
-        else:  # LRU
-            key = lambda e: e.last_access
-        candidates.sort(key=key)
+        candidates.sort(key=_VICTIM_KEYS[self.policy])
         return [e.page for e in candidates[:count]]
 
     def evict(self, page: int) -> PageDiff | None:
@@ -174,18 +201,25 @@ class SoftwareCache:
         Invalidating a dirty page is a protocol error -- the consistency
         layer must flush (multi-writer) diffs before invalidating.
         """
+        if not isinstance(pages, (list, tuple, set, frozenset)):
+            pages = list(pages)
+        # Barrier directives list every page anyone else wrote -- usually
+        # thousands, nearly all non-resident. One Counter.update advances
+        # every epoch counter, one set intersection finds the residents.
+        self.inval_epoch.update(pages)
+        entries = self.entries
+        hits = entries.keys() & pages
+        if not hits:
+            return []
         dropped = []
-        for page in pages:
-            self.inval_epoch[page] = self.inval_epoch.get(page, 0) + 1
-            entry = self.entries.get(page)
-            if entry is None:
-                continue
-            if entry.is_dirty:
+        for page in sorted(hits):
+            entry = entries[page]
+            if not entry.dirty.empty:
                 raise ConsistencyError(
                     f"{self.name}: invalidating dirty page {page} without flush")
-            del self.entries[page]
+            del entries[page]
             dropped.append(page)
-        self.stats.incr("invalidations", len(dropped))
+        self.stats.counters["invalidations"] += len(dropped)
         return dropped
 
     def inval_epoch_of(self, page: int) -> int:
@@ -206,22 +240,56 @@ class SoftwareCache:
             self.stats.incr("prefetch_hits")
         return entry
 
+    def _check_span(self, addr: int, nbytes: int) -> None:
+        if addr < 0:
+            raise MemoryError_(f"negative address: {addr:#x}")
+        if nbytes < 0:
+            raise MemoryError_(f"negative span: {nbytes}")
+
     def read(self, addr: int, nbytes: int) -> np.ndarray | None:
-        """Gather bytes (functional) or just touch pages (timing)."""
+        """Gather bytes (functional) or just touch pages (timing).
+
+        The page loop is inlined (no per-page method calls) and the stat
+        counters are accumulated locally and flushed once per operation --
+        reads and writes dominate every kernel's inner loop.
+        """
         if nbytes == 0:
             return np.empty(0, dtype=np.uint8) if self.functional else None
-        pages = self.layout.pages_spanning(addr, nbytes)
-        pieces = []
-        for page in pages:
-            entry = self._entry_for_access(page)
-            if self.functional:
-                start = max(addr, self.layout.page_addr(page))
-                end = min(addr + nbytes, self.layout.page_addr(page + 1))
-                off = start - self.layout.page_addr(page)
+        self._check_span(addr, nbytes)
+        entries = self.entries
+        page_bytes = self.layout.page_bytes
+        first = addr // page_bytes
+        last = (addr + nbytes - 1) // page_bytes
+        end_addr = addr + nbytes
+        tick = self._tick
+        prefetch_hits = 0
+        pieces = [] if self.functional else None
+        for page in range(first, last + 1):
+            entry = entries.get(page)
+            if entry is None:
+                self._tick = tick
+                raise ProtectionError(
+                    f"{self.name}: access to non-resident page {page}")
+            tick += 1
+            entry.last_access = tick
+            if entry.prefetched:
+                entry.prefetched = False
+                prefetch_hits += 1
+            if pieces is not None:
+                page_start = page * page_bytes
+                start = addr if addr > page_start else page_start
+                page_end = page_start + page_bytes
+                end = end_addr if end_addr < page_end else page_end
+                off = start - page_start
                 pieces.append(entry.data[off:off + (end - start)])
-        self.stats.incr("reads")
-        self.stats.incr("read_bytes", nbytes)
-        if not self.functional:
+        self._tick = tick
+        counters = self.stats.counters
+        counters["page_touches"] += last - first + 1
+        if prefetch_hits:
+            counters["prefetch_hits"] += prefetch_hits
+        counters["reads"] += 1
+        counters["read_bytes"] += nbytes
+        if pieces is None:
             return None
         if len(pieces) == 1:
             return pieces[0]
@@ -238,25 +306,46 @@ class SoftwareCache:
         """
         if nbytes == 0:
             return 0
-        if self.functional and data is not None and len(data) != nbytes:
+        functional = self.functional
+        if functional and data is not None and len(data) != nbytes:
             raise MemoryError_("write data length mismatch")
+        self._check_span(addr, nbytes)
+        entries = self.entries
+        page_bytes = self.layout.page_bytes
+        first = addr // page_bytes
+        last = (addr + nbytes - 1) // page_bytes
+        end_addr = addr + nbytes
+        tick = self._tick
+        prefetch_hits = 0
+        use_twins = self.use_twins
+        epoch_written = self.epoch_written
         consumed = 0
         twins = 0
-        for page in self.layout.pages_spanning(addr, nbytes):
-            entry = self._entry_for_access(page)
-            start = max(addr, self.layout.page_addr(page))
-            end = min(addr + nbytes, self.layout.page_addr(page + 1))
-            off = start - self.layout.page_addr(page)
+        for page in range(first, last + 1):
+            entry = entries.get(page)
+            if entry is None:
+                self._tick = tick
+                raise ProtectionError(
+                    f"{self.name}: access to non-resident page {page}")
+            tick += 1
+            entry.last_access = tick
+            if entry.prefetched:
+                entry.prefetched = False
+                prefetch_hits += 1
+            page_start = page * page_bytes
+            start = addr if addr > page_start else page_start
+            page_end = page_start + page_bytes
+            end = end_addr if end_addr < page_end else page_end
+            off = start - page_start
             chunk = end - start
             if ordinary:
-                if (self.use_twins and self.functional
+                if (use_twins and functional
                         and entry.twin is None and entry.dirty.empty):
                     entry.twin = entry.data.copy()
                     twins += 1
-                    self.stats.incr("twins_created")
                 entry.dirty.add(off, off + chunk)
-                self.epoch_written.add(page)
-            if self.functional and data is not None:
+                epoch_written.add(page)
+            if functional and data is not None:
                 entry.data[off:off + chunk] = data[consumed:consumed + chunk]
                 if not ordinary and entry.twin is not None:
                     # Consistency-region stores propagate via the store log;
@@ -265,8 +354,15 @@ class SoftwareCache:
                     # could overwrite other threads' CR updates at the home).
                     entry.twin[off:off + chunk] = data[consumed:consumed + chunk]
             consumed += chunk
-        self.stats.incr("writes")
-        self.stats.incr("write_bytes", nbytes)
+        self._tick = tick
+        counters = self.stats.counters
+        counters["page_touches"] += last - first + 1
+        if prefetch_hits:
+            counters["prefetch_hits"] += prefetch_hits
+        if twins:
+            counters["twins_created"] += twins
+        counters["writes"] += 1
+        counters["write_bytes"] += nbytes
         return twins
 
     # ------------------------------------------------------------------

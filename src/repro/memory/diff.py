@@ -15,9 +15,13 @@ Two representations coexist:
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 from repro.errors import MemoryError_
+
+_INF = float("inf")
 
 
 class ByteRanges:
@@ -32,26 +36,39 @@ class ByteRanges:
                 self.add(start, end)
 
     def add(self, start: int, end: int) -> None:
-        """Insert [start, end), coalescing with touching/overlapping spans."""
+        """Insert [start, end), coalescing with touching/overlapping spans.
+
+        Locates the window of affected intervals by bisection and splices
+        once, so repeated adds stay O(log n) plus the splice instead of
+        rebuilding the whole list per insertion.
+        """
         if start < 0 or end < start:
             raise MemoryError_(f"invalid byte range [{start}, {end})")
         if start == end:
             return
-        merged: list[tuple[int, int]] = []
-        placed = False
-        for s, e in self._ranges:
-            if e < start or s > end:  # disjoint and not touching
-                if s > end and not placed:
-                    merged.append((start, end))
-                    placed = True
-                merged.append((s, e))
-            else:  # overlap or adjacency: absorb
-                start = min(start, s)
-                end = max(end, e)
-        if not placed:
-            merged.append((start, end))
-        merged.sort()
-        self._ranges = merged
+        ranges = self._ranges
+        if not ranges:
+            ranges.append((start, end))
+            return
+        last_s, last_e = ranges[-1]
+        if start > last_e:  # append fast path (sequential writes)
+            ranges.append((start, end))
+            return
+        # First interval that could touch [start, end): the one before the
+        # insertion point if it reaches start, otherwise the insertion point.
+        lo = bisect_right(ranges, (start,))
+        if lo and ranges[lo - 1][1] >= start:
+            lo -= 1
+        # One past the last interval whose start is <= end (touching counts).
+        hi = bisect_right(ranges, (end, _INF))
+        if lo == hi:  # disjoint from every existing interval
+            ranges.insert(lo, (start, end))
+            return
+        if ranges[lo][0] < start:
+            start = ranges[lo][0]
+        if ranges[hi - 1][1] > end:
+            end = ranges[hi - 1][1]
+        ranges[lo:hi] = [(start, end)]
 
     def merge(self, other: "ByteRanges") -> None:
         for s, e in other:
@@ -92,17 +109,18 @@ def compute_diff_spans(twin: np.ndarray, current: np.ndarray) -> list[tuple[int,
     """
     if twin.shape != current.shape:
         raise MemoryError_("twin/current shape mismatch")
-    changed = np.flatnonzero(twin != current)
+    # XOR of uint8 buffers is nonzero exactly at changed bytes; flatnonzero
+    # over the mask avoids materializing an intermediate boolean array twice.
+    changed = np.flatnonzero(np.bitwise_xor(twin, current))
     if changed.size == 0:
         return []
-    # Split at gaps in the changed-index sequence.
+    # Span boundaries are where consecutive changed indices jump by > 1.
     breaks = np.flatnonzero(np.diff(changed) > 1) + 1
-    spans = []
-    for group in np.split(changed, breaks):
-        start = int(group[0])
-        end = int(group[-1]) + 1
-        spans.append((start, current[start:end].copy()))
-    return spans
+    starts = changed[np.concatenate(([0], breaks))] if breaks.size else changed[:1]
+    ends = np.concatenate((changed[breaks - 1], changed[-1:])) + 1 if breaks.size \
+        else changed[-1:] + 1
+    return [(int(s), current[int(s):int(e)].copy())
+            for s, e in zip(starts, ends)]
 
 
 class PageDiff:

@@ -29,7 +29,11 @@ class PageDirectory:
 
     # -- sharers ---------------------------------------------------------
     def add_sharer(self, page: int, thread_id: int) -> None:
-        self._sharers.setdefault(page, set()).add(thread_id)
+        sharers = self._sharers.get(page)
+        if sharers is None:
+            self._sharers[page] = {thread_id}
+        else:
+            sharers.add(thread_id)
 
     def remove_sharer(self, page: int, thread_id: int) -> None:
         sharers = self._sharers.get(page)
@@ -43,7 +47,7 @@ class PageDirectory:
 
     def record_owner(self, page: int, thread_id: int) -> None:
         self._owner[page] = thread_id
-        self.stats.incr("owners_recorded")
+        self.stats.counters["owners_recorded"] += 1
 
     def owner_of(self, page: int) -> int | None:
         return self._owner.get(page)

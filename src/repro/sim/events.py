@@ -45,14 +45,16 @@ class SimEvent:
         return self._value
 
     def succeed(self, value=None) -> "SimEvent":
-        if self.triggered:
+        # `triggered` is inlined here and below: these run once per protocol
+        # handshake and the property descriptor showed up in profiles.
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._value = value
         self._flush()
         return self
 
     def fail(self, exc: BaseException) -> "SimEvent":
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self.name!r} triggered twice")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -66,7 +68,7 @@ class SimEvent:
             self.engine._resume_with_outcome(process, self)
 
     def _add_waiter(self, process) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             self.engine._resume_with_outcome(process, self)
         else:
             self._waiters.append(process)

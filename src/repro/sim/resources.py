@@ -15,6 +15,7 @@ from collections import deque
 
 from repro.errors import SimulationError, SynchronizationError
 from repro.sim.engine import Engine, Timeout
+from repro.sim.events import SimEvent
 
 
 class SimMutex:
@@ -165,6 +166,7 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self._wait_name = f"{name}.wait"
         self._in_use = 0
         self._waiters: deque = deque()
         self.total_requests = 0
@@ -174,14 +176,15 @@ class Resource:
     def request(self):
         """Generator: blocks until a unit is free (FIFO)."""
         self.total_requests += 1
-        t0 = self.engine.now
+        engine = self.engine
+        t0 = engine.now
         if self._in_use < self.capacity:
             self._in_use += 1
         else:
-            gate = self.engine.event(f"{self.name}.wait")
+            gate = SimEvent(engine, name=self._wait_name)
             self._waiters.append(gate)
             yield gate
-        self.total_queue_time += self.engine.now - t0
+        self.total_queue_time += engine.now - t0
         return self
 
     def release(self) -> None:

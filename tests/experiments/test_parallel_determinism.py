@@ -1,0 +1,88 @@
+"""Determinism guarantees for the parallel campaign runner.
+
+Two separate promises are pinned here:
+
+1. *Serial == parallel*: routing a figure through the pool-backed executor
+   (workers + result cache) yields exactly the same (cores, metric) points
+   as the plain in-process path, for every series of the figure. The
+   executor collects ``pool.map`` results in submission order and cells
+   share no state, so this must hold bit-for-bit.
+
+2. *Pre == post optimization*: the hot-path rework (engine event tuples,
+   bisect ByteRanges, batched cache counters, vectorized diffs, GC deferral)
+   must not move a single simulated timestamp. ``golden_metrics.json``
+   holds every series point of fig03/fig11/fig12 (--quick scale) captured
+   from the unoptimized seed commit; the current code must reproduce them
+   exactly (JSON round-trip on both sides kills float-repr ambiguity).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.parallel import (
+    CellSpec, Executor, ResultCache, activate, cell_key, make_executor)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_metrics.json"
+
+#: Reduced axes: small enough for the test suite, wide enough to cover
+#: both backends and a multi-node Samhita point.
+QUICK = {
+    "fig03": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4), m_values=(1, 10)),
+    "fig11": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4)),
+    "fig12": dict(smh_cores=(1, 4, 16), pth_cores=(1, 4)),
+}
+
+
+def points_of(fr):
+    """Canonical JSON-safe snapshot of every series of a figure."""
+    raw = {s.label: [[x, y] for (x, y) in s.points]
+           for s in fr.series.values()}
+    return json.loads(json.dumps(raw))
+
+
+class TestSerialEqualsParallel:
+    @pytest.mark.parametrize("name", ["fig03", "fig11"])
+    def test_pool_backed_sweep_matches_serial(self, name):
+        serial = points_of(figures.FIGURES[name](**QUICK[name]))
+        with activate(make_executor(workers=2)):
+            pooled = points_of(figures.FIGURES[name](**QUICK[name]))
+        assert pooled == serial
+
+    def test_cache_only_executor_matches_serial(self):
+        # workers=0 exercises the cache/dedup layer without a pool.
+        serial = points_of(figures.FIGURES["fig03"](**QUICK["fig03"]))
+        executor = Executor(workers=0, cache=ResultCache())
+        with activate(executor):
+            cached = points_of(figures.FIGURES["fig03"](**QUICK["fig03"]))
+        assert cached == serial
+        # The normalized figures re-run their 1-thread baseline: the cache
+        # must have deduplicated at least one cell.
+        assert executor.cache.hits > 0
+
+
+class TestCellKey:
+    def test_distinct_cells_hash_apart(self):
+        a = CellSpec("samhita", 4, figures.spawn_microbench, ("p",))
+        b = CellSpec("samhita", 8, figures.spawn_microbench, ("p",))
+        c = CellSpec("pthreads", 4, figures.spawn_microbench, ("p",))
+        keys = {cell_key(a), cell_key(b), cell_key(c)}
+        assert len(keys) == 3
+
+    def test_identical_cells_hash_together(self):
+        a = CellSpec("samhita", 4, figures.spawn_microbench, ("p",))
+        b = CellSpec("samhita", 4, figures.spawn_microbench, ("p",))
+        assert cell_key(a) == cell_key(b)
+
+
+class TestGoldenMetrics:
+    """Simulated results must be bit-identical to the pre-optimization seed."""
+
+    golden = json.loads(GOLDEN.read_text())
+
+    @pytest.mark.parametrize("name", sorted(golden))
+    def test_matches_seed_capture(self, name):
+        got = points_of(figures.FIGURES[name](**QUICK[name]))
+        assert got == self.golden[name]

@@ -1,0 +1,106 @@
+"""The fetch/invalidate race: stale in-flight data must never be installed.
+
+A page fetch snapshots the cache's per-page invalidation epoch before the
+request leaves the compute server. If an invalidation (barrier directive,
+page-grain acquire, IVY ownership upgrade) lands while the data is in
+flight, the epoch moves and the install is dropped -- installing would
+resurrect a copy the protocol just declared dead.
+
+These tests drive :meth:`ComputeServer._fetch_pages` directly on the event
+engine with a precisely-timed concurrent invalidation, so the race is
+deterministic rather than statistical.
+"""
+
+import pytest
+
+from repro.core import SamhitaConfig
+from repro.core.system import SamhitaSystem
+from repro.sim.engine import Timeout
+
+
+def make_system():
+    system = SamhitaSystem.cluster(1, config=SamhitaConfig(functional=True))
+    tid = system.add_thread()
+    return system, tid
+
+
+def alloc_page(system, tid):
+    """Allocate one shared page and return its page index."""
+    out = {}
+
+    def allocator():
+        addr = yield from system.malloc(tid, system.config.layout.page_bytes,
+                                        shared=True)
+        out["addr"] = addr
+
+    system.engine.process(allocator(), name="alloc")
+    system.engine.run()
+    return out["addr"] // system.config.layout.page_bytes
+
+
+class TestFetchInvalidateRace:
+    def test_fetch_without_invalidation_installs(self):
+        """Sanity: the undisturbed fetch path installs the page."""
+        system, tid = make_system()
+        page = alloc_page(system, tid)
+        cache = system.cache_of(tid)
+        cs = system.compute_servers[system.component_of(tid)]
+
+        system.engine.process(cs._fetch_pages(tid, [page], set(), False),
+                              name="fetch")
+        system.engine.run()
+
+        assert page in cache.entries
+        assert cs.stats.counters.get("stale_fetch_dropped", 0) == 0
+
+    def test_invalidation_mid_flight_drops_install(self):
+        """Invalidate after the fetch snapshot, before the install: the
+        data that comes back is stale and must be discarded."""
+        system, tid = make_system()
+        page = alloc_page(system, tid)
+        cache = system.cache_of(tid)
+        cs = system.compute_servers[system.component_of(tid)]
+
+        def invalidator():
+            # Fire strictly after the fetch snapshot (taken at t=0 before
+            # any yield) and before the request/transfer/install complete
+            # (all of which cost simulated time).
+            yield Timeout(1e-9)
+            cache.invalidate([page])
+
+        # The fetcher is scheduled first, so its snapshot precedes the
+        # invalidation deterministically.
+        system.engine.process(cs._fetch_pages(tid, [page], set(), False),
+                              name="fetch")
+        system.engine.process(invalidator(), name="invalidate")
+        system.engine.run()
+
+        assert page not in cache.entries
+        assert cs.stats.counters.get("stale_fetch_dropped", 0) >= 1
+        # The epoch bump is what tripped the guard.
+        assert cache.inval_epoch_of(page) == 1
+
+    def test_refetch_after_race_succeeds(self):
+        """The dropped install is not fatal: the next fetch (snapshotting
+        the new epoch) installs cleanly -- the protocol retries, it never
+        caches stale data."""
+        system, tid = make_system()
+        page = alloc_page(system, tid)
+        cache = system.cache_of(tid)
+        cs = system.compute_servers[system.component_of(tid)]
+
+        def invalidator():
+            yield Timeout(1e-9)
+            cache.invalidate([page])
+
+        system.engine.process(cs._fetch_pages(tid, [page], set(), False),
+                              name="fetch")
+        system.engine.process(invalidator(), name="invalidate")
+        system.engine.run()
+        assert page not in cache.entries
+
+        system.engine.process(cs._fetch_pages(tid, [page], set(), False),
+                              name="refetch")
+        system.engine.run()
+        assert page in cache.entries
+        assert cs.stats.counters.get("stale_fetch_dropped", 0) == 1

@@ -1,0 +1,96 @@
+"""Render BENCH_perf.json and enforce the perf regression gate.
+
+Reading the report::
+
+    python tools/bench_report.py                 # pretty-print ./BENCH_perf.json
+    python tools/bench_report.py path/to.json
+
+The gate (used by CI after ``benchmarks/bench_perf.py``)::
+
+    python tools/bench_report.py --check [--max-ratio 1.0]
+
+``--check`` exits non-zero when the measured serial smoke-campaign wall
+clock exceeds ``max_ratio x`` the recorded seed baseline -- i.e. when a
+change has given back the hot-path optimization wins. The default ratio of
+1.0 means "never slower than the unoptimized seed"; it is deliberately
+loose because shared CI boxes jitter by +/-30%, and the point of the gate
+is catching wholesale regressions (an accidental O(n) -> O(n^2) in the
+DES hot path), not 5% noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def render(report: dict) -> str:
+    lines = []
+    base = report["baseline_seed"]
+    lines.append(f"smoke campaign: {', '.join(report['smoke_figures'])}  "
+                 f"(host: {report['host']['cpus']} cpu, "
+                 f"python {report['host']['python']})")
+    lines.append("")
+    lines.append(f"{'configuration':<26} {'wall (s)':>9} {'vs seed':>9}")
+    lines.append("-" * 46)
+    lines.append(f"{'seed baseline (' + base['commit'] + ')':<26} "
+                 f"{base['wall_s']:>9.3f} {'1.00x':>9}")
+    for name, phase in report["phases"].items():
+        speed = phase.get("speedup_vs_seed")
+        lines.append(f"{name:<26} {phase['wall_s']:>9.3f} "
+                     f"{f'{speed:.2f}x':>9}")
+    lines.append("")
+    lines.append(f"{'cell':<34} {'wall (s)':>9} {'events/s':>10} "
+                 f"{'cache-op/s':>11}")
+    lines.append("-" * 66)
+    for cell in report["cells"]:
+        label = f"{cell['figure']}:{cell['workload']}:{cell['cell']}"
+        lines.append(f"{label:<34} {cell['wall_s']:>9.3f} "
+                     f"{cell['events_per_sec']:>10,} "
+                     f"{cell['cache_ops_per_sec']:>11,}")
+    for note in report.get("notes", ()):
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def check(report: dict, max_ratio: float) -> tuple[bool, str]:
+    """The gate: serial smoke wall clock must stay under the seed baseline."""
+    seed = report["baseline_seed"]["wall_s"]
+    serial = report["phases"]["after_serial"]["wall_s"]
+    ratio = serial / seed
+    ok = ratio <= max_ratio
+    msg = (f"serial smoke campaign: {serial:.3f} s = {ratio:.2f}x seed "
+           f"baseline ({seed:.3f} s); gate allows <= {max_ratio:.2f}x")
+    return ok, msg
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", nargs="?", default="BENCH_perf.json",
+                        help="path to BENCH_perf.json")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: exit 1 if the serial smoke "
+                             "run is slower than max-ratio x seed baseline")
+    parser.add_argument("--max-ratio", type=float, default=1.0,
+                        help="gate threshold vs seed baseline (default 1.0)")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.report)
+    if not path.exists():
+        print(f"no report at {path}; run "
+              f"`PYTHONPATH=src python benchmarks/bench_perf.py` first",
+              file=sys.stderr)
+        return 2
+    report = json.loads(path.read_text())
+    print(render(report))
+    if args.check:
+        ok, msg = check(report, args.max_ratio)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
