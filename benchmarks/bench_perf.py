@@ -50,6 +50,11 @@ BASELINE_SEED = {
     "best_of": 3,
     "commit": "cf352c7",
     "note": "same smoke campaign (fig03+fig12 --quick), serial, seed code",
+    # Scheduled-event count of the same campaign with the legacy per-event
+    # shape (measured via REPRO_NO_COALESCE=1, which restores it exactly);
+    # the seed code schedules at least this many. The --check-events gate
+    # in tools/bench_report.py compares against this.
+    "events_scheduled": 557_529,
 }
 
 
@@ -84,7 +89,9 @@ class _RecordingExecutor(Executor):
                 t0 = time.perf_counter()
                 result = super().map([spec])[0]
                 wall = time.perf_counter() - t0
-                events = result.stats.get("engine", {}).get("scheduled_events", 0)
+                engine_stats = result.stats.get("engine", {})
+                events = engine_stats.get("scheduled_events", 0)
+                coalesced = engine_stats.get("coalesced_events", 0)
                 caches = result.stats.get("caches", {})
                 cache_ops = caches.get("reads", 0) + caches.get("writes", 0)
                 rec = {
@@ -94,6 +101,7 @@ class _RecordingExecutor(Executor):
                     "workload": spec.spawn_fn.__name__,
                     "wall_s": round(wall, 4),
                     "events": events,
+                    "events_coalesced": coalesced,
                     "events_per_sec": round(events / wall) if wall else 0,
                     "cache_ops": cache_ops,
                     "cache_ops_per_sec": round(cache_ops / wall) if wall else 0,
@@ -122,9 +130,14 @@ def main(argv=None) -> int:
                         help="output JSON path (default: ./BENCH_perf.json)")
     parser.add_argument("--best-of", type=int, default=3, metavar="N",
                         help="timed repetitions per configuration (min wins)")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="pool size for the workers phase (default 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the workers phase "
+                             "(default: min(4, cpu count))")
     args = parser.parse_args(argv)
+    cpus = os.cpu_count() or 1
+    # Default clamps to the host: a 4-worker pool on a 1-CPU box only adds
+    # fork/IPC overhead. An explicit --workers is honoured as given.
+    workers = args.workers if args.workers is not None else min(4, cpus)
 
     print(f"smoke campaign: {', '.join(SMOKE_FIGURES)} (--quick scale)")
 
@@ -134,44 +147,55 @@ def main(argv=None) -> int:
     print(f"after_serial: best of {args.best_of} ...")
     serial_best, serial_runs = best_of(args.best_of, run_smoke)
 
-    print(f"after_workers{args.workers}_cold: best of {args.best_of} ...")
+    print(f"after_workers{workers}_cold: best of {args.best_of} ...")
 
     def run_cold():
         # Fresh cache every repetition: measures a genuinely cold campaign.
-        return run_smoke(Executor(workers=args.workers, cache=ResultCache()))
+        return run_smoke(Executor(workers=workers, cache=ResultCache()))
 
     cold, cold_runs = best_of(args.best_of, run_cold)
 
-    print(f"after_workers{args.workers}_cached (warm cache re-run) ...")
+    print(f"after_workers{workers}_cached (warm cache re-run) ...")
     # A shared persistent cache answers a repeated campaign without
     # simulating anything; measure that re-run cost.
     warm_cache = ResultCache()
-    run_smoke(Executor(workers=args.workers, cache=warm_cache))
-    warm_executor = Executor(workers=args.workers, cache=warm_cache)
+    run_smoke(Executor(workers=workers, cache=warm_cache))
+    warm_executor = Executor(workers=workers, cache=warm_cache)
     warm = run_smoke(warm_executor)
 
     seed = BASELINE_SEED["wall_s"]
+    events_scheduled = sum(c["events"] for c in cells)
+    events_coalesced = sum(c["events_coalesced"] for c in cells)
+    seed_events = BASELINE_SEED["events_scheduled"]
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpus": os.cpu_count(),
+            "cpus": cpus,
+            "workers": workers,
         },
         "smoke_figures": list(SMOKE_FIGURES),
         "baseline_seed": BASELINE_SEED,
+        "events": {
+            "scheduled": events_scheduled,
+            "coalesced": events_coalesced,
+            "scheduled_at_seed": seed_events,
+            "reduction_vs_seed": round(seed_events / events_scheduled, 2)
+            if events_scheduled else None,
+        },
         "phases": {
             "after_serial": {
                 "wall_s": round(serial_best, 3),
                 "runs": [round(r, 3) for r in serial_runs],
                 "speedup_vs_seed": round(seed / serial_best, 2),
             },
-            f"after_workers{args.workers}_cold": {
+            f"after_workers{workers}_cold": {
                 "wall_s": round(cold, 3),
                 "runs": [round(r, 3) for r in cold_runs],
                 "speedup_vs_seed": round(seed / cold, 2),
             },
-            f"after_workers{args.workers}_cached": {
+            f"after_workers{workers}_cached": {
                 "wall_s": round(warm, 3),
                 "speedup_vs_seed": round(seed / warm, 1),
                 "cache_hits": warm_cache.hits,
@@ -179,7 +203,7 @@ def main(argv=None) -> int:
         },
         "cells": cells,
         "notes": [
-            f"host has {os.cpu_count()} CPU(s); on a single-CPU host the "
+            f"host has {cpus} CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
             "serial fast paths and the result cache (dedup + warm re-runs)",
             "simulated results are bit-identical across all configurations "
@@ -193,10 +217,13 @@ def main(argv=None) -> int:
     print(f"  seed baseline        {seed:7.3f} s")
     print(f"  after_serial         {serial_best:7.3f} s  "
           f"({seed / serial_best:.2f}x vs seed)")
-    print(f"  workers{args.workers} cold        {cold:7.3f} s  "
+    print(f"  workers{workers} cold        {cold:7.3f} s  "
           f"({seed / cold:.2f}x vs seed)")
-    print(f"  workers{args.workers} warm cache  {warm:7.3f} s  "
+    print(f"  workers{workers} warm cache  {warm:7.3f} s  "
           f"({seed / warm:.0f}x vs seed)")
+    print(f"  scheduled events     {events_scheduled:,} "
+          f"({seed_events / events_scheduled:.2f}x fewer than seed; "
+          f"{events_coalesced:,} coalesced)")
     return 0
 
 

@@ -150,6 +150,19 @@ class SamhitaAllocator:
     def home_of_line(self, line: int) -> int:
         return self.home_of_page(line * self.layout.pages_per_line)
 
+    def allocated_span(self, page: int) -> tuple[int, int] | None:
+        """``(start, end)`` page extent of the region containing ``page``,
+        or None if the page is unallocated. A non-raising bulk-filter
+        primitive: one bisect answers residency for a whole contiguous run
+        (regions never unmap, so a returned span stays valid forever)."""
+        index = bisect.bisect(self._region_starts, page) - 1
+        if index >= 0:
+            region = self._regions[index]
+            end = region.start_page + region.n_pages
+            if region.start_page <= page < end:
+                return region.start_page, end
+        return None
+
     # ------------------------------------------------------------------
     # thread-local arena path (strategy 1)
     # ------------------------------------------------------------------

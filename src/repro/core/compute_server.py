@@ -52,6 +52,8 @@ class ComputeServer:
         can invalidate mid-flight, guaranteeing progress.
         """
         cache = self.system.cache_of(tid)
+        if cache.span_resident(addr, nbytes):
+            return
         protect = set(cache.layout.pages_spanning(addr, nbytes))
         for attempt in range(64):
             if not cache.missing_pages(addr, nbytes):
@@ -75,15 +77,18 @@ class ComputeServer:
         in_flight = pending.get(line)
         if in_flight is not None:
             # The adjacent-line prefetch is already bringing this line in.
-            self.stats.incr("prefetch_waits")
+            self.stats.counters["prefetch_waits"] += 1
             yield in_flight
 
         entries = cache.entries
         missing = [p for p in cache.layout.line_pages(line) if p not in entries]
         missing = self._allocated_only(missing)
         if missing:
-            self.stats.incr("faults")
-            yield Timeout(config.fault_handler_time)
+            self.stats.counters["faults"] += 1
+            # try_advance applies the same inline-advance rule _step would;
+            # when it succeeds the whole yield-from chain stays un-suspended.
+            if not self.engine.try_advance(config.fault_handler_time):
+                yield Timeout(config.fault_handler_time)
             yield from self._fetch_pages(tid, missing, protect,
                                          prefetched=False)
 
@@ -91,14 +96,21 @@ class ComputeServer:
             self._maybe_prefetch(tid, line + 1)
 
     def _allocated_only(self, pages: list[int]) -> list[int]:
-        """Drop pages outside any allocation (line tails past a region)."""
-        home_of_page = self.system.allocator.home_of_page
+        """Drop pages outside any allocation (line tails past a region).
+
+        Faulted spans are contiguous runs, so one region lookup usually
+        answers for the whole run instead of a raising probe per page.
+        """
+        if not pages:
+            return pages
+        allocated_span = self.system.allocator.allocated_span
+        span = None
         out = []
         for page in pages:
-            try:
-                home_of_page(page)
-            except MemoryError_:
-                continue
+            if span is None or not span[0] <= page < span[1]:
+                span = allocated_span(page)
+                if span is None:
+                    continue
             out.append(page)
         return out
 
@@ -114,23 +126,33 @@ class ComputeServer:
         cache = system.cache_of(tid)
         config = system.config
         home_of_page = system.allocator.home_of_page
-        by_server: dict[int, list[int]] = {}
-        for page in pages:
-            by_server.setdefault(home_of_page(page), []).append(page)
+        if len(pages) == 1:  # the common case: one page, one home
+            grouped = [(home_of_page(pages[0]), pages)]
+        else:
+            by_server: dict[int, list[int]] = {}
+            for page in pages:
+                by_server.setdefault(home_of_page(page), []).append(page)
+            grouped = sorted(by_server.items())
 
         epoch_get = cache.inval_epoch.get
         entries = cache.entries
         install_time = config.install_page_time
-        for server_index, server_pages in sorted(by_server.items()):
+        try_advance = self.engine.try_advance
+        for server_index, server_pages in grouped:
             server = system.memory_servers[server_index]
             snapshots = {p: epoch_get(p, 0) for p in server_pages}
             # Request message out, server service (+ recalls), data back.
-            yield from system.scl.send(self.component, server.component,
-                                       category="fetch_req")
+            t = system.scl.send(self.component, server.component,
+                                category="fetch_req")
+            if t is not None:
+                yield from t
             data = yield from server.serve_fetch(tid, server_pages)
             nbytes = len(server_pages) * cache.layout.page_bytes
-            yield from system.fabric.transfer(server.component, self.component,
+            t = system.fabric.transfer_inline(server.component,
+                                              self.component,
                                               nbytes, category="page")
+            if t is not None:
+                yield from t
             for page in server_pages:
                 if page in entries:
                     continue  # raced with another fill
@@ -142,12 +164,13 @@ class ComputeServer:
                         self.stats.incr("prefetch_skipped_full")
                         continue
                     yield from self._evict(tid, 1, protect | set(server_pages))
-                yield Timeout(install_time)
+                if not try_advance(install_time):
+                    yield Timeout(install_time)
                 if epoch_get(page, 0) != snapshots[page]:
                     self.stats.incr("stale_fetch_dropped")
                     continue
                 cache.install(page, data.get(page), prefetched=prefetched)
-            self.stats.incr("pages_fetched", len(server_pages))
+            self.stats.counters["pages_fetched"] += len(server_pages)
 
     def _fetch_pages_pinned(self, tid: int, pages: list[int], protect: set[int]):
         """Generator: starvation-proof fetch -- the home server is held for
@@ -163,8 +186,10 @@ class ComputeServer:
             # Pre-make room (evictions may need the same server).
             while cache.free_pages < len(server_pages):
                 yield from self._evict(tid, 1, protect | set(server_pages))
-            yield from self.system.scl.send(self.component, server.component,
-                                            category="fetch_req")
+            t = self.system.scl.send(self.component, server.component,
+                                     category="fetch_req")
+            if t is not None:
+                yield from t
             data = yield from server.serve_fetch_pinned(tid, self.component,
                                                         server_pages)
             for page in server_pages:
@@ -186,11 +211,14 @@ class ComputeServer:
         missing = self._allocated_only(missing)
         if not missing:
             return
-        gate = self.engine.event(f"prefetch.t{tid}.l{line}")
+        # Static names: tens of thousands of prefetches are issued per run
+        # and the per-prefetch f-strings were pure debug-label overhead (the
+        # pending dict, not the name, identifies the line).
+        gate = self.engine.event("prefetch")
         pending[line] = gate
         self.engine.process(self._prefetch_line(tid, line, missing, gate),
-                            name=f"prefetch.t{tid}.l{line}", daemon=True)
-        self.stats.incr("prefetches_issued")
+                            name="prefetch", daemon=True)
+        self.stats.counters["prefetches_issued"] += 1
 
     def _prefetch_line(self, tid: int, line: int, pages: list[int], gate):
         try:
@@ -226,7 +254,10 @@ class ComputeServer:
         """Generator: write one page diff back to its home server."""
         config = self.system.config
         server = self.system.server_of_page(diff.page)
-        yield Timeout(config.diff_scan_time)
-        yield from self.system.scl.rdma_put(self.component, server.component,
-                                            diff.wire_bytes, category="diff")
+        # Diff-scan cost rides the put's suspension (fused lead leg).
+        t = self.system.scl.rdma_put(self.component, server.component,
+                                     diff.wire_bytes, category="diff",
+                                     lead=config.diff_scan_time)
+        if t is not None:
+            yield from t
         yield from server.apply_diffs([diff])

@@ -59,8 +59,7 @@ def plan_barrier(notices: Mapping[int, Iterable[int]],
     for page in multi:
         directory.clear_owner(page)
     for tid, mine in notice_sets.items():
-        for page in mine - multi:
-            directory.record_owner(page, tid)
+        directory.record_owners(mine - multi, tid)
 
     all_pages = set(counts)
     invalidate: dict[int, list[int]] = {}

@@ -110,14 +110,18 @@ class Manager:
         """Generator: one request message into the manager + service time."""
         if self._is_local(comp):
             return  # §V: co-located threads use local atomics, no RPC
-        yield from self.scl.send(comp, self.component, nbytes, category=category)
+        t = self.scl.send(comp, self.component, nbytes, category=category)
+        if t is not None:
+            yield from t
         yield from self.resource.use(self.config.manager_service_time)
         self.stats.incr("requests")
 
     def _reply(self, comp: str, nbytes: int = CONTROL_BYTES, category: str = "sync"):
         if self._is_local(comp):
             return
-        yield from self.scl.send(self.component, comp, nbytes, category=category)
+        t = self.scl.send(self.component, comp, nbytes, category=category)
+        if t is not None:
+            yield from t
 
     # ------------------------------------------------------------------
     # allocation RPCs

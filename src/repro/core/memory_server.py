@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.memory.backing import BackingStore
+from repro.memory.backing import BackingStore, PageFrame
 from repro.memory.directory import PageDirectory
 from repro.sim.engine import Engine, Timeout
 from repro.sim.resources import Resource
@@ -61,38 +61,70 @@ class MemoryServer:
         owner-held page race -- the second would see ownership already
         cleared and read the home copy before the in-flight recall merges.
         """
-        yield from self.resource.request()
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
         try:
-            yield Timeout(self.config.memserver_service_time)
             counters = self.stats.counters
             counters["fetches"] += 1
             counters["pages_served"] += len(pages)
             owner_of = self.directory.owner_of
             add_sharer = self.directory.add_sharer
-            read_page = self.backing.read_page
+            backing = self.backing
+            read_page = backing.read_page
+            functional = backing.functional
+            frames = backing.frames
+            backing_counters = backing.stats.counters
             result = {}
             for page in pages:
                 owner = owner_of(page)
                 if owner is not None and owner != requester_tid:
-                    yield from self._recall(page, owner)
+                    r = self._recall(page, owner)
+                    if r is not None:
+                        yield from r
                 add_sharer(page, requester_tid)
-                result[page] = read_page(page)
+                if functional:
+                    result[page] = read_page(page)
+                else:
+                    # read_page() inlined for timing mode: there is no data
+                    # to copy, only the frame-existence side effect and the
+                    # read counter (fetches dominate the protocol hot path).
+                    backing_counters["page_reads"] += 1
+                    if page not in frames:
+                        frames[page] = PageFrame(None)
+                        backing_counters["frames_created"] += 1
+                    result[page] = None
             return result
         finally:
             self.resource.release()
 
     def _recall(self, page: int, owner_tid: int):
-        """Generator: pull the owner's unflushed diff and merge it.
+        """Pull the owner's unflushed diff and merge it.
 
-        Requires :meth:`bind` to have run (every recall is reached through a
-        bound system, so no per-call assert).
+        Plain function (the transfer_inline pattern): returns ``None`` when
+        the whole recall completed inline, else a generator the caller must
+        ``yield from``. Requires :meth:`bind` to have run (every recall is
+        reached through a bound system, so no per-call assert).
         """
         system = self._system
         owner_cache = system.cache_of(owner_tid)
         owner_comp = system.component_of(owner_tid)
         self.stats.counters["recalls"] += 1
         # Recall request to the owner's node, diff data back.
-        yield from system.scl.send(self.component, owner_comp, category="recall")
+        t = system.scl.send(self.component, owner_comp, category="recall")
+        if t is not None:
+            return self._recall_after_send(t, owner_cache, owner_comp, page)
+        return self._recall_merge(owner_cache, owner_comp, page)
+
+    def _recall_after_send(self, send_gen, owner_cache, owner_comp, page):
+        """Generator: recall slow path -- finish the request message first."""
+        yield from send_gen
+        r = self._recall_merge(owner_cache, owner_comp, page)
+        if r is not None:
+            yield from r
+
+    def _recall_merge(self, owner_cache, owner_comp, page):
+        """Plain: take the owner's diff and merge it; ``None`` or generator."""
+        system = self._system
         entry = owner_cache.entries.get(page)
         diff = None
         if entry is not None and entry.is_dirty:
@@ -101,12 +133,25 @@ class MemoryServer:
         # across the transfer below, the old owner's fast write path
         # (owner == tid) could re-dirty the page it is about to lose.
         self.directory.clear_owner(page)
-        if diff is not None:
-            yield from system.fabric.transfer(owner_comp, self.component,
-                                              diff.wire_bytes, category="recall_diff")
-            yield Timeout(self.config.apply_time_per_byte * diff.payload_bytes)
-            self.backing.apply_diff(diff)
-            self.stats.incr("recall_bytes", diff.payload_bytes)
+        if diff is None:
+            return None
+        # The apply cost is fused into the transfer's suspension (same
+        # float trajectory, one heap transit instead of two).
+        t = system.fabric.transfer_inline(
+            owner_comp, self.component, diff.wire_bytes,
+            category="recall_diff",
+            tail=self.config.apply_time_per_byte * diff.payload_bytes)
+        if t is not None:
+            return self._recall_apply(t, diff)
+        self.backing.apply_diff(diff)
+        self.stats.incr("recall_bytes", diff.payload_bytes)
+        return None
+
+    def _recall_apply(self, transfer_gen, diff):
+        """Generator: recall slow path -- diff transfer still in flight."""
+        yield from transfer_gen
+        self.backing.apply_diff(diff)
+        self.stats.incr("recall_bytes", diff.payload_bytes)
 
     def serve_upgrade(self, writer_tid: int, writer_comp: str, page: int):
         """Generator: grant exclusive write access to a page (the eager
@@ -123,18 +168,22 @@ class MemoryServer:
         """
         assert self._system is not None, "memory server not bound to a system"
         system = self._system
-        yield from self.resource.request()
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
         try:
-            yield Timeout(self.config.memserver_service_time)
             owner = self.directory.owner_of(page)
             if owner is not None and owner != writer_tid:
-                yield from self._recall(page, owner)
+                r = self._recall(page, owner)
+                if r is not None:
+                    yield from r
             for sharer in sorted(self.directory.sharers_of(page)):
                 if sharer == writer_tid:
                     continue
                 comp = system.component_of(sharer)
-                yield from system.scl.send(self.component, comp,
-                                           category="invalidate")
+                t = system.scl.send(self.component, comp,
+                                    category="invalidate")
+                if t is not None:
+                    yield from t
                 cache = system.cache_of(sharer)
                 entry = cache.entries.get(page)
                 if entry is not None and entry.is_dirty:
@@ -144,18 +193,23 @@ class MemoryServer:
                 # Drops the copy AND advances the page's invalidation
                 # counter, voiding any of the sharer's in-flight fetches.
                 cache.invalidate([page])
-                yield Timeout(self.config.invalidate_page_time)
-                yield from system.scl.send(comp, self.component,
-                                           category="invalidate_ack")
+                if not self.engine.try_advance(self.config.invalidate_page_time):
+                    yield Timeout(self.config.invalidate_page_time)
+                t = system.scl.send(comp, self.component,
+                                    category="invalidate_ack")
+                if t is not None:
+                    yield from t
                 self.directory.remove_sharer(page, sharer)
             self.directory.record_owner(page, writer_tid)
             self.directory.add_sharer(page, writer_tid)
             self.stats.incr("upgrades")
-            # Write fault carries the current page contents + install cost.
-            yield from system.fabric.transfer(
+            # Write fault carries the current page contents + install cost
+            # (fused into the transfer's suspension).
+            t = system.fabric.transfer_inline(
                 self.component, writer_comp, self.config.layout.page_bytes,
-                category="upgrade_data")
-            yield Timeout(self.config.install_page_time)
+                category="upgrade_data", tail=self.config.install_page_time)
+            if t is not None:
+                yield from t
             return self.backing.read_page(page)
         finally:
             self.resource.release()
@@ -166,22 +220,26 @@ class MemoryServer:
         the data transfer happens while the server resource is still held,
         so no invalidating operation (upgrade, recall) can slip between the
         read and the requester's install."""
-        yield from self.resource.request()
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
         try:
-            yield Timeout(self.config.memserver_service_time)
             self.stats.incr("pinned_fetches")
             self.stats.incr("pages_served", len(pages))
             result = {}
             for page in pages:
                 owner = self.directory.owner_of(page)
                 if owner is not None and owner != requester_tid:
-                    yield from self._recall(page, owner)
+                    r = self._recall(page, owner)
+                    if r is not None:
+                        yield from r
                 self.directory.add_sharer(page, requester_tid)
                 result[page] = self.backing.read_page(page)
             nbytes = len(pages) * self.config.layout.page_bytes
-            yield from self._system.fabric.transfer(
-                self.component, requester_comp, nbytes, category="page")
-            yield Timeout(len(pages) * self.config.install_page_time)
+            t = self._system.fabric.transfer_inline(
+                self.component, requester_comp, nbytes, category="page",
+                tail=len(pages) * self.config.install_page_time)
+            if t is not None:
+                yield from t
             return result
         finally:
             self.resource.release()
@@ -193,12 +251,14 @@ class MemoryServer:
         which the DES serializes deterministically. As with fetches, the
         resource is held until the merge is visible.
         """
-        yield from self.resource.request()
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
         try:
-            yield Timeout(self.config.memserver_service_time)
             total = sum(d.payload_bytes for d in diffs)
             if total:
-                yield Timeout(self.config.apply_time_per_byte * total)
+                delay = self.config.apply_time_per_byte * total
+                if not self.engine.try_advance(delay):
+                    yield Timeout(delay)
             for diff in diffs:
                 self.backing.apply_diff(diff)
                 self.directory.clear_owner(diff.page)

@@ -253,19 +253,32 @@ class SamhitaSystem:
             yield from self._ivy_write(tid, addr, nbytes, data)
             return
         yield from self.compute_server_of(tid).ensure_resident(tid, addr, nbytes)
+        stall = self.write_resident(tid, addr, nbytes, data)
+        if stall:
+            yield Timeout(stall)
+
+    def write_resident(self, tid: int, addr: int, nbytes: int, data) -> float:
+        """RegC store into already-resident pages (plain function).
+
+        Returns the stall the caller must charge and advance (twin-creation
+        time; 0.0 for instrumented consistency-region stores). Shared by
+        :meth:`mem_write` and the batched plan executor so classification,
+        store-log capture and CR-page bookkeeping cannot diverge.
+        """
         cache = self._caches[tid]
         in_cr = self._regions[tid].classify_store(nbytes)
         if in_cr and self.config.regc_fine_grain:
             # Instrumented store: logged for fine-grain release propagation.
             self._storelogs[tid].record(addr, nbytes, data)
             cache.write(addr, nbytes, data, ordinary=False)
-            return
+            return 0.0
         twins = cache.write(addr, nbytes, data, ordinary=True)
         if in_cr:
             # Page-grain ablation: remember which pages this CR touched.
             self._cr_pages[tid].update(cache.layout.pages_spanning(addr, nbytes))
         if twins:
-            yield Timeout(twins * self.config.twin_create_time)
+            return twins * self.config.twin_create_time
+        return 0.0
 
     def _ivy_write(self, tid: int, addr: int, nbytes: int, data):
         """Generator: eager write-invalidate store.
@@ -298,8 +311,10 @@ class SamhitaSystem:
                 if not cache.resident(page) and cache.free_pages == 0:
                     yield from cs._evict(tid, 1, {page})
                 server = self.server_of_page(page)
-                yield from self.scl.send(comp, server.component,
-                                         category="upgrade_req")
+                t = self.scl.send(comp, server.component,
+                                  category="upgrade_req")
+                if t is not None:
+                    yield from t
                 fresh = yield from server.serve_upgrade(tid, comp, page)
                 # Synchronous from here: install + store, no yields.
                 if cache.resident(page) or cache.free_pages > 0:
@@ -382,8 +397,10 @@ class SamhitaSystem:
             server = self.memory_servers[index]
             group = by_server[index]
             wire = sum(d.wire_bytes for d in group)
-            yield from self.scl.rdma_put(comp, server.component, wire,
-                                         category=category)
+            t = self.scl.rdma_put(comp, server.component, wire,
+                                  category=category)
+            if t is not None:
+                yield from t
             yield from server.apply_diffs(group)
 
     def barrier_wait(self, tid: int, barrier_id: int):

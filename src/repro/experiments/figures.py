@@ -77,12 +77,17 @@ def _normalized_compute_figure(figure: str, allocation: Allocation,
               "N": N_OUTER},
     )
     for M in m_values:
-        base = run_workload("pthreads", 1, spawn_microbench,
-                            _mb(allocation, M, S_DEFAULT)).mean_compute_time
+        pth_points = sweep("pthreads", pth_cores, spawn_microbench,
+                           lambda c: _mb(allocation, M, S_DEFAULT),
+                           _mean_compute)
+        # The 1-core Pthreads baseline is the sweep's own cores=1 cell --
+        # reuse that value instead of simulating the cell twice.
+        base = next((v for c, v in pth_points if c == 1), None)
+        if base is None:
+            base = run_workload("pthreads", 1, spawn_microbench,
+                                _mb(allocation, M, S_DEFAULT)).mean_compute_time
         pth = fr.new_series(f"pth, M={M}")
-        for cores, value in sweep("pthreads", pth_cores, spawn_microbench,
-                                  lambda c: _mb(allocation, M, S_DEFAULT),
-                                  _mean_compute):
+        for cores, value in pth_points:
             pth.add(cores, value / base)
         smh = fr.new_series(f"smh, M={M}")
         for cores, value in sweep("samhita", smh_cores, spawn_microbench,
@@ -238,10 +243,15 @@ def _speedup_figure(figure: str, title: str, spawn_fn, params,
         meta={"params": params},
     )
     metric = lambda r: r.max_total_time
-    base = metric(run_workload("pthreads", 1, spawn_fn, params))
+    pth_points = sweep("pthreads", pth_cores, spawn_fn,
+                       lambda c: params, metric)
+    # The 1-core Pthreads baseline is the sweep's own cores=1 cell -- reuse
+    # that value instead of simulating the cell twice.
+    base = next((v for c, v in pth_points if c == 1), None)
+    if base is None:
+        base = metric(run_workload("pthreads", 1, spawn_fn, params))
     pth = fr.new_series("pthreads")
-    for cores, value in sweep("pthreads", pth_cores, spawn_fn,
-                              lambda c: params, metric):
+    for cores, value in pth_points:
         pth.add(cores, base / value)
     smh = fr.new_series("samhita")
     for cores, value in sweep("samhita", smh_cores, spawn_fn,

@@ -56,7 +56,13 @@ def run_workload_direct(backend: str, n_threads: int, spawn_fn: Callable,
         rt = Runtime("pthreads", n_threads=n_threads, functional=functional,
                      **backend_kwargs)
     spawn_fn(rt, params)
-    return rt.run()
+    try:
+        return rt.run()
+    finally:
+        # The backend is throwaway here: breaking its reference cycles lets
+        # the whole run graph die by refcount, so campaign loops never build
+        # up cyclic garbage for the (deferred) collector to chase.
+        rt.backend.dispose()
 
 
 def sweep(backend: str, core_counts, spawn_fn, params_fn, metric,

@@ -74,8 +74,10 @@ class CoherentCacheModel:
 
         have = (sharers & mask) != 0
         cold = ~touched
-        foreign_dirty = touched & ~have & (writer != _NO_WRITER) & (writer != core)
-        cold_fill = cold | (touched & ~have & ~foreign_dirty)
+        not_have_touched = touched & ~have
+        foreign_dirty = (not_have_touched & (writer != _NO_WRITER)
+                         & (writer != core))
+        cold_fill = cold | (not_have_touched & ~foreign_dirty)
         n_coherence = int(foreign_dirty.sum())
         n_remote = 0
         if (n_coherence and self.cores_per_socket
@@ -98,10 +100,11 @@ class CoherentCacheModel:
                 + n_remote * (spec.cross_socket_factor - 1.0)
                 * spec.coherence_miss_time
                 + n_hits * spec.hit_time)
-        self.stats.incr("cold_misses", n_cold)
-        self.stats.incr("coherence_misses", n_coherence)
-        self.stats.incr("upgrade_misses", n_upgrades)
-        self.stats.incr("hits", n_hits)
+        counters = self.stats.counters
+        counters["cold_misses"] += n_cold
+        counters["coherence_misses"] += n_coherence
+        counters["upgrade_misses"] += n_upgrades
+        counters["hits"] += n_hits
 
         if is_write:
             sharers[:] = mask

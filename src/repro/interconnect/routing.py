@@ -12,10 +12,12 @@ configuration a real bottleneck under many coprocessor threads.
 
 from __future__ import annotations
 
+from collections import defaultdict
+from math import ceil
 from typing import TYPE_CHECKING
 
 from repro.interconnect.base import LinkModel
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import AdvanceTo, Engine, Timeout
 from repro.sim.resources import Resource
 from repro.sim.stats import StatSet
 
@@ -45,8 +47,12 @@ class Fabric:
         self.stats = StatSet("fabric")
         #: Bytes moved per (src, dst) pair -- the traffic matrix that makes
         #: hot spots (e.g. a single memory server's in-degree) visible.
-        self.traffic: dict[tuple[str, str], int] = {}
+        self.traffic: dict[tuple[str, str], int] = defaultdict(int)
         self._resources: dict[int, Resource] = {}
+        #: Flattened per-(src, dst) route data -- transfer() runs hundreds of
+        #: thousands of times per simulation and the per-call route lookup
+        #: plus per-link serialize_time() method calls dominated its cost.
+        self._route_plans: dict[tuple[str, str], tuple] = {}
 
     def _resource_for(self, link: LinkModel) -> Resource:
         key = id(link)
@@ -55,6 +61,37 @@ class Fabric:
             res = Resource(self.engine, capacity=1, name=f"link[{link.name}]")
             self._resources[key] = res
         return res
+
+    def _build_plan(self, src: str, dst: str) -> tuple:
+        """Flatten one route into ``(latency_sum, hops, size_cache)``.
+
+        ``hops`` is ``None`` for local delivery, else a tuple of
+        ``(link, bandwidth, per_packet_overhead, mtu)`` per hop. The latency
+        sum accumulates in route order so it is bit-identical to the
+        per-transfer loop it replaces. ``size_cache`` memoizes
+        ``nbytes -> (serialize, bottleneck)``: message sizes cluster on a
+        handful of values (control bytes, whole pages, row diffs), so the
+        serialize arithmetic runs once per distinct size -- reusing the
+        computed float is exact by construction.
+        """
+        links = self.topology.route(src, dst)
+        if not links:
+            plan = (0.0, None, None)
+        elif len(links) == 1:
+            link = links[0]
+            plan = (link.latency,
+                    ((link, link.bandwidth, link.per_packet_overhead,
+                      link.mtu),), {})
+        else:
+            latency = 0.0
+            hops = []
+            for link in links:
+                latency += link.latency
+                hops.append((link, link.bandwidth, link.per_packet_overhead,
+                             link.mtu))
+            plan = (latency, tuple(hops), {})
+        self._route_plans[(src, dst)] = plan
+        return plan
 
     def path_time(self, src: str, dst: str, nbytes: int) -> float:
         """Analytic uncontended transfer time (no simulation side effects)."""
@@ -65,48 +102,153 @@ class Fabric:
         serialize = max(link.serialize_time(nbytes) for link in links)
         return latency + serialize
 
-    def transfer(self, src: str, dst: str, nbytes: int, category: str = "data"):
+    def transfer(self, src: str, dst: str, nbytes: int, category: str = "data",
+                 lead: float = 0.0, tail: float = 0.0):
         """Generator: complete one message transfer, with queueing.
 
-        Accounts per-category message and byte counts in :attr:`stats`.
+        Compatibility wrapper over :meth:`transfer_inline` for callers that
+        need a generator unconditionally (tests, cold paths); the hot
+        protocol paths call :meth:`transfer_inline` directly to skip the
+        generator machinery when the transfer completes inline.
         """
-        msg_key, bytes_key = _category_keys(category)
+        t = self.transfer_inline(src, dst, nbytes, category, lead, tail)
+        if t is not None:
+            yield from t
+
+    def transfer_inline(self, src: str, dst: str, nbytes: int,
+                        category: str = "data",
+                        lead: float = 0.0, tail: float = 0.0):
+        """Charge one message transfer and complete it inline if possible.
+
+        Plain function: returns ``None`` when the whole transfer finished
+        within this call (counters charged, clock advanced via the same
+        inline-advance rule ``_step`` applies to yielded commands), else a
+        generator for the remaining legs that the caller must ``yield
+        from``. Accounts per-category message and byte counts in
+        :attr:`stats` either way.
+
+        ``lead``/``tail`` fuse a fixed local delay the caller would otherwise
+        charge as its own ``Timeout`` immediately before/after the transfer
+        (diff scan, diff apply, page install) into the same suspension. The
+        resume instant is accumulated with exactly the per-leg float rounding
+        of the unfused sequence -- ``fl(fl(now + lead) + ...)`` -- so the
+        simulated trajectory is bit-identical; only the heap traffic drops.
+        Fusion requires the intervening code to be side-effect-free, which
+        holds for every call site (counter increments commute). With
+        coalescing off the legacy multi-yield shape is kept for A/B runs.
+        """
+        keys = _CATEGORY_KEYS.get(category)
+        if keys is None:
+            keys = _category_keys(category)
+        msg_key, bytes_key = keys
         counters = self.stats.counters
         counters[msg_key] += 1
         counters["messages"] += 1
         counters["bytes"] += nbytes
         counters[bytes_key] += nbytes
         key = (src, dst)
-        traffic = self.traffic
-        traffic[key] = traffic.get(key, 0) + nbytes
-        links = self.topology.route(src, dst)
-        if not links:
-            return  # local delivery is free
-        if len(links) == 1:  # single-hop fast path (the common case)
-            bottleneck = links[0]
-            latency = bottleneck.latency
-            # serialize_time() inlined for the overhead-free link shape.
+        self.traffic[key] += nbytes
+        plan = self._route_plans.get(key)
+        if plan is None:
+            plan = self._build_plan(src, dst)
+        latency, hops, size_cache = plan
+        engine = self.engine
+        if hops is None:
+            # Local delivery is free; the lead/tail legs still cost their
+            # time.
+            if lead and not engine.try_advance(lead):
+                return self._slow_local(lead, tail)
+            if tail and not engine.try_advance(tail):
+                return self._slow_one(Timeout(tail))
+            return None
+        cached = size_cache.get(nbytes)
+        if cached is not None:
+            serialize, bottleneck = cached
+        elif len(hops) == 1:  # single-hop fast path (the common case)
+            # Per-hop serialize_time() inlined from LinkModel (same float
+            # ops in the same order).
+            bottleneck, bandwidth, ppo, mtu = hops[0]
             if nbytes <= 0:
                 serialize = 0.0
-            elif not bottleneck.per_packet_overhead:
-                serialize = nbytes / bottleneck.bandwidth
             else:
-                serialize = bottleneck.serialize_time(nbytes)
+                serialize = nbytes / bandwidth
+                if mtu and ppo:
+                    serialize += ceil(nbytes / mtu) * ppo
+                elif ppo:
+                    serialize += ppo
+            size_cache[nbytes] = (serialize, bottleneck)
         else:
-            latency = 0.0
             serialize = -1.0
-            bottleneck = links[0]
-            for link in links:
-                latency += link.latency
-                s = link.serialize_time(nbytes)
-                if s > serialize:  # first maximum, matching max(..., key=...)
+            bottleneck = hops[0][0]
+            for link, bandwidth, ppo, mtu in hops:
+                if nbytes <= 0:
+                    s = 0.0
+                else:
+                    s = nbytes / bandwidth
+                    if mtu and ppo:
+                        s += ceil(nbytes / mtu) * ppo
+                    elif ppo:
+                        s += ppo
+                # max with the first-maximum tie rule.
+                if s > serialize:
                     serialize = s
                     bottleneck = link
+            size_cache[nbytes] = (serialize, bottleneck)
         if self.model_contention and bottleneck.contended and serialize > 0.0:
-            yield Timeout(latency)
-            yield from self._resource_for(bottleneck).use(serialize)
+            return self._slow_contended(latency, serialize, bottleneck,
+                                        lead, tail)
+        if engine.coalesce:
+            # Coalescing on: the whole transfer is one resume instant,
+            # accumulated with the per-leg rounding of the unfused sequence.
+            target = engine.now
+            if lead:
+                target = target + lead
+            target = target + (latency + serialize)
+            if tail:
+                target = target + tail
+            # Engine.try_advance_to inlined (target >= now by construction):
+            # transfers are the single hottest advance site.
+            heap = engine._heap
+            if not (heap and heap[0][0] <= target) and target <= engine._until:
+                engine.now = target
+                engine._coalesced += 1
+                return None
+            return self._slow_one(AdvanceTo(target))
+        return self._slow_legacy(latency, serialize, lead, tail)
+
+    # -- slow-path generators for transfer_inline ------------------------
+    def _slow_one(self, command):
+        yield command
+
+    def _slow_local(self, lead, tail):
+        yield Timeout(lead)
+        if tail and not self.engine.try_advance(tail):
+            yield Timeout(tail)
+
+    def _slow_contended(self, latency, serialize, bottleneck, lead, tail):
+        engine = self.engine
+        fuse = (lead != 0.0 or tail != 0.0) and engine.coalesce
+        if fuse and lead:
+            # fl(fl(now + lead) + latency): the unfused two-leg rounding.
+            target = (engine.now + lead) + latency
+            if not engine.try_advance_to(target):
+                yield AdvanceTo(target)
         else:
-            yield Timeout(latency + serialize)
+            if lead and not engine.try_advance(lead):
+                yield Timeout(lead)
+            if not engine.try_advance(latency):
+                yield Timeout(latency)
+        yield from self._resource_for(bottleneck).use(serialize)
+        if tail and not engine.try_advance(tail):
+            yield Timeout(tail)
+
+    def _slow_legacy(self, latency, serialize, lead, tail):
+        # Coalescing off: keep the legacy multi-yield shape for A/B runs.
+        if lead:
+            yield Timeout(lead)
+        yield Timeout(latency + serialize)
+        if tail:
+            yield Timeout(tail)
 
     def link_utilization(self) -> dict[str, float]:
         """Busy seconds per contended link (diagnostic)."""

@@ -32,18 +32,37 @@ class SCL:
         the data flowing back -- the standard RDMA-read shape.
         """
         self._counters["rdma_get"] += 1
-        yield from self.fabric.transfer(local, remote, CONTROL_BYTES, category="control")
-        yield from self.fabric.transfer(remote, local, nbytes, category=category)
+        t = self.fabric.transfer_inline(local, remote, CONTROL_BYTES,
+                                        category="control")
+        if t is not None:
+            yield from t
+        t = self.fabric.transfer_inline(remote, local, nbytes,
+                                        category=category)
+        if t is not None:
+            yield from t
 
-    def rdma_put(self, local: str, remote: str, nbytes: int, category: str = "diff"):
-        """Generator: one-sided write of ``nbytes`` into remote memory."""
+    def rdma_put(self, local: str, remote: str, nbytes: int, category: str = "diff",
+                 lead: float = 0.0, tail: float = 0.0):
+        """One-sided write of ``nbytes`` into remote memory.
+
+        Plain function over :meth:`Fabric.transfer_inline`: returns ``None``
+        when the transfer completed inline (clock already advanced), else a
+        generator the caller must ``yield from`` -- skipping a wrapper
+        generator layer on this very hot path.
+
+        ``lead``/``tail`` fuse an adjacent fixed local delay into the
+        transfer's suspension (see :meth:`Fabric.transfer_inline`).
+        """
         self._counters["rdma_put"] += 1
-        yield from self.fabric.transfer(local, remote, nbytes, category=category)
+        return self.fabric.transfer_inline(local, remote, nbytes,
+                                           category=category,
+                                           lead=lead, tail=tail)
 
     def send(self, src: str, dst: str, nbytes: int = CONTROL_BYTES, category: str = "control"):
-        """Generator: small eager message (work request / notification)."""
+        """Small eager message (work request / notification); returns
+        ``None`` or a generator -- see :meth:`rdma_put`."""
         self._counters["send"] += 1
-        yield from self.fabric.transfer(src, dst, nbytes, category=category)
+        return self.fabric.transfer_inline(src, dst, nbytes, category=category)
 
     def request_response(self, src: str, dst: str,
                          request_bytes: int = CONTROL_BYTES,
@@ -51,5 +70,11 @@ class SCL:
                          category: str = "rpc"):
         """Generator: synchronous RPC-shaped exchange."""
         self._counters["rpc"] += 1
-        yield from self.fabric.transfer(src, dst, request_bytes, category=category)
-        yield from self.fabric.transfer(dst, src, response_bytes, category=category)
+        t = self.fabric.transfer_inline(src, dst, request_bytes,
+                                        category=category)
+        if t is not None:
+            yield from t
+        t = self.fabric.transfer_inline(dst, src, response_bytes,
+                                        category=category)
+        if t is not None:
+            yield from t

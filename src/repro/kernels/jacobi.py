@@ -16,6 +16,7 @@ import numpy as np
 from repro.kernels.common import block_partition
 from repro.runtime.context import ThreadCtx
 from repro.runtime.handles import Barrier, Lock
+from repro.runtime.plan import AccessPlan
 from repro.runtime.sharedarray import SharedArray
 
 
@@ -98,15 +99,29 @@ def jacobi_thread(ctx: ThreadCtx, shared: dict, lock: Lock, bar: Barrier,
 
         local_diff = 0.0
         if count:
-            halo = yield from src.read_rows(start - 1, count + 2)
+            # Halo read + stencil write + compute as one access plan; the
+            # residual falls out of the write callable (which runs between
+            # the read and the write, exactly where the per-access loop
+            # computed it).
+            plan = AccessPlan()
+            h = src.read_rows_op(plan, start - 1, count + 2)
             if ctx.functional:
-                new = _stencil(halo)
-                local_diff = float(np.abs(new - halo[1:-1]).max())
-                yield from dst.write_rows(start, new)
+                residual: list[float] = []
+
+                def step(results, _h=h, _src=src):
+                    halo = _src.decode(results[_h], count + 2)
+                    new = _stencil(halo)
+                    residual.append(float(np.abs(new - halo[1:-1]).max()))
+                    return new
+
+                dst.write_rows_op(plan, start, step, nrows=count)
             else:
-                yield from dst.write_rows(start, None, nrows=count)
+                dst.write_rows_op(plan, start, None, nrows=count)
             # 5-point stencil + residual magnitude + copy: ~8 flops/point.
-            yield from ctx.compute(count * cols, flops_per_element=8.0)
+            plan.compute(count * cols, flops_per_element=8.0)
+            yield from ctx.submit(plan)
+            if ctx.functional:
+                local_diff = residual[0]
         yield from ctx.barrier(bar)                              # barrier 2
 
         yield from ctx.lock(lock)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.kernels.common import block_partition
 from repro.runtime.context import ThreadCtx
 from repro.runtime.handles import Barrier, Lock
+from repro.runtime.plan import AccessPlan
 from repro.runtime.sharedarray import SharedArray
 
 
@@ -114,36 +115,62 @@ def md_thread(ctx: ThreadCtx, shared: dict, lock: Lock, bar: Barrier,
                                  np.zeros(8, np.uint8) if ctx.functional else None)
             yield from ctx.unlock(lock)
         if count:
+            plan = AccessPlan()
             if ctx.functional:
-                p = yield from pos.read_rows(start, count)
-                v = yield from vel.read_rows(start, count)
-                a = yield from acc.read_rows(start, count)
-                p = p + v * dt + 0.5 * a * dt * dt
-                yield from pos.write_rows(start, p)
+                ip = pos.read_rows_op(plan, start, count)
+                iv = vel.read_rows_op(plan, start, count)
+                ia = acc.read_rows_op(plan, start, count)
+
+                def half_step(results, _ip=ip, _iv=iv, _ia=ia):
+                    p = pos.decode(results[_ip], count)
+                    v = vel.decode(results[_iv], count)
+                    a = acc.decode(results[_ia], count)
+                    return p + v * dt + 0.5 * a * dt * dt
+
+                pos.write_rows_op(plan, start, half_step, nrows=count)
             else:
-                yield from pos.write_rows(start, None, nrows=count)
-            yield from ctx.compute(count * 3, flops_per_element=4.0)
+                pos.write_rows_op(plan, start, None, nrows=count)
+            plan.compute(count * 3, flops_per_element=4.0)
+            yield from ctx.submit(plan)
         yield from ctx.barrier(bar)                              # barrier 1
 
         # -- force + velocity update (reads ALL positions) -----------------
         local_ke = local_pe = 0.0
         if count:
-            all_pos = yield from pos.read_rows(0, n)
+            plan = AccessPlan()
+            iall = pos.read_rows_op(plan, 0, n)
             if ctx.functional:
-                new_a = _forces(all_pos, k)[start:start + count] / mass
-                v = yield from vel.read_rows(start, count)
-                a = yield from acc.read_rows(start, count)
-                v = v + 0.5 * (a + new_a) * dt
-                yield from vel.write_rows(start, v)
-                yield from acc.write_rows(start, new_a)
-                local_ke = float(0.5 * mass * (v ** 2).sum())
-                local_pe = _potential_share(all_pos[start:start + count],
-                                            all_pos, k)
+                iv = vel.read_rows_op(plan, start, count)
+                ia = acc.read_rows_op(plan, start, count)
+                # The velocity-write callable does the force evaluation and
+                # energy bookkeeping (between the reads and the writes, as
+                # the per-access loop did); the acceleration write reuses
+                # its force result.
+                state: list = []
+
+                def new_vel(results, _iall=iall, _iv=iv, _ia=ia):
+                    all_pos = pos.decode(results[_iall], n)
+                    new_a = _forces(all_pos, k)[start:start + count] / mass
+                    v = vel.decode(results[_iv], count)
+                    a = acc.decode(results[_ia], count)
+                    v = v + 0.5 * (a + new_a) * dt
+                    ke = float(0.5 * mass * (v ** 2).sum())
+                    pe = _potential_share(all_pos[start:start + count],
+                                          all_pos, k)
+                    state.append((new_a, ke, pe))
+                    return v
+
+                vel.write_rows_op(plan, start, new_vel, nrows=count)
+                acc.write_rows_op(plan, start,
+                                  lambda results: state[0][0], nrows=count)
             else:
-                yield from vel.write_rows(start, None, nrows=count)
-                yield from acc.write_rows(start, None, nrows=count)
+                vel.write_rows_op(plan, start, None, nrows=count)
+                acc.write_rows_op(plan, start, None, nrows=count)
             # O(n) pairwise interactions per particle.
-            yield from ctx.compute(count * n, flops_per_element=8.0)
+            plan.compute(count * n, flops_per_element=8.0)
+            yield from ctx.submit(plan)
+            if ctx.functional:
+                _, local_ke, local_pe = state[0]
         yield from ctx.barrier(bar)                              # barrier 2
 
         # -- energy accumulation under the mutex ---------------------------

@@ -27,6 +27,7 @@ import numpy as np
 from repro.kernels.common import strided_rows
 from repro.runtime.context import ThreadCtx
 from repro.runtime.handles import Barrier, Lock
+from repro.runtime.plan import AccessPlan
 from repro.runtime.sharedarray import SharedArray
 
 
@@ -112,20 +113,31 @@ def microbench_thread(ctx: ThreadCtx, shared: dict, lock: Lock, bar: Barrier,
     # ---- compute phase (Figure 2) -----------------------------------------
     gsum_addr = shared["gsum"]
     for _i in range(params.N):
-        local_sum = 0.0
+        # The whole M x S row sweep is one access plan: the same
+        # read / scale-write / compute sequence per row as the per-access
+        # loop, with each write a callable over the row's own read so the
+        # scaling recurrence chains through the plan.
+        plan = AccessPlan()
+        rsums: list[float] = []
         for _j in range(params.M):
             for row in my_rows:
-                data = yield from arr.read_rows(row)
+                r = arr.read_rows_op(plan, row)
+
                 if ctx.functional:
-                    scaled = params.r * data[0]
-                    rsum = float(scaled.sum())
-                    yield from arr.write_rows(row, scaled)
+                    def scale(results, _r=r):
+                        scaled = params.r * arr.decode(results[_r], 1)[0]
+                        rsums.append(float(scaled.sum()))
+                        return scaled
+
+                    arr.write_rows_op(plan, row, scale, nrows=1)
                 else:
-                    rsum = 0.0
-                    yield from arr.write_rows(row, None, nrows=1)
+                    arr.write_rows_op(plan, row, None, nrows=1)
                 # Two flops per element (multiply + accumulate).
-                yield from ctx.compute(B, flops_per_element=2.0)
-                local_sum += math.pi * rsum
+                plan.compute(B, flops_per_element=2.0)
+        yield from ctx.submit(plan)
+        local_sum = 0.0
+        for rsum in rsums:
+            local_sum += math.pi * rsum
         yield from ctx.lock(lock)
         cur = yield from ctx.read(gsum_addr, 8)
         if ctx.functional:

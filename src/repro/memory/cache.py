@@ -98,6 +98,12 @@ class SoftwareCache:
         self.use_twins = use_twins
         self.name = name
         self.entries: dict[int, CacheEntry] = {}
+        #: Residency bitmap mirroring ``entries.keys()`` -- lets span
+        #: queries (the batched-plan hit test, miss classification) run as
+        #: one vectorized slice check instead of a per-page dict probe.
+        #: Maintained by install/evict/invalidate/clear, the only methods
+        #: that change residency.
+        self._resident_mask = np.zeros(1024, dtype=bool)
         #: Pages ordinary-written since the last barrier (the write-notice
         #: set). Independent of residency: an evicted page's notice must
         #: still reach threads holding stale copies.
@@ -117,9 +123,38 @@ class SoftwareCache:
     def resident(self, page: int) -> bool:
         return page in self.entries
 
+    def span_resident(self, addr: int, nbytes: int) -> bool:
+        """True iff every page of ``[addr, addr+nbytes)`` is resident.
+
+        One slice ``.all()`` over the residency bitmap -- the hit test the
+        batched access-plan executor runs per operation.
+        """
+        if nbytes <= 0:
+            return True
+        page_bytes = self.layout.page_bytes
+        first = addr // page_bytes
+        last = (addr + nbytes - 1) // page_bytes
+        mask = self._resident_mask
+        if last >= mask.shape[0]:
+            return False
+        if first == last:
+            return bool(mask[first])
+        return bool(mask[first:last + 1].all())
+
     def missing_pages(self, addr: int, nbytes: int) -> list[int]:
-        return [p for p in self.layout.pages_spanning(addr, nbytes)
-                if p not in self.entries]
+        pages = self.layout.pages_spanning(addr, nbytes)
+        if not pages:
+            return []
+        first, stop = pages.start, pages.stop
+        mask = self._resident_mask
+        n = mask.shape[0]
+        if first >= n:
+            return list(pages)
+        hi = stop if stop <= n else n
+        missing = [int(p) for p in np.flatnonzero(~mask[first:hi]) + first]
+        if hi < stop:
+            missing.extend(range(hi, stop))
+        return missing
 
     def missing_lines(self, addr: int, nbytes: int) -> list[int]:
         """Lines with at least one non-resident page, for the span.
@@ -163,9 +198,16 @@ class SoftwareCache:
             return
         self._tick += 1
         self.entries[page] = CacheEntry(page, data, self._tick, prefetched)
-        self.stats.incr("installs")
+        mask = self._resident_mask
+        if page >= mask.shape[0]:
+            grown = np.zeros(max(mask.shape[0] * 2, page + 1), dtype=bool)
+            grown[:mask.shape[0]] = mask
+            self._resident_mask = mask = grown
+        mask[page] = True
+        counters = self.stats.counters
+        counters["installs"] += 1
         if prefetched:
-            self.stats.incr("prefetch_installs")
+            counters["prefetch_installs"] += 1
 
     def choose_victims(self, count: int, protect: Iterable[int] = ()) -> list[int]:
         """Pick ``count`` pages to evict under the configured policy."""
@@ -184,11 +226,13 @@ class SoftwareCache:
         entry = self.entries.pop(page, None)
         if entry is None:
             raise MemoryError_(f"{self.name}: evicting non-resident page {page}")
-        self.stats.incr("evictions")
+        self._resident_mask[page] = False
+        counters = self.stats.counters
+        counters["evictions"] += 1
         if entry.is_dirty:
-            self.stats.incr("evictions_dirty")
+            counters["evictions_dirty"] += 1
             return self._diff_of(entry)
-        self.stats.incr("evictions_clean")
+        counters["evictions_clean"] += 1
         return None
 
     def invalidate(self, pages: Iterable[int]) -> list[int]:
@@ -219,6 +263,8 @@ class SoftwareCache:
                     f"{self.name}: invalidating dirty page {page} without flush")
             del entries[page]
             dropped.append(page)
+        if dropped:
+            self._resident_mask[dropped] = False
         self.stats.counters["invalidations"] += len(dropped)
         return dropped
 
@@ -318,7 +364,6 @@ class SoftwareCache:
         tick = self._tick
         prefetch_hits = 0
         use_twins = self.use_twins
-        epoch_written = self.epoch_written
         consumed = 0
         twins = 0
         for page in range(first, last + 1):
@@ -344,7 +389,6 @@ class SoftwareCache:
                     entry.twin = entry.data.copy()
                     twins += 1
                 entry.dirty.add(off, off + chunk)
-                epoch_written.add(page)
             if functional and data is not None:
                 entry.data[off:off + chunk] = data[consumed:consumed + chunk]
                 if not ordinary and entry.twin is not None:
@@ -355,6 +399,9 @@ class SoftwareCache:
                     entry.twin[off:off + chunk] = data[consumed:consumed + chunk]
             consumed += chunk
         self._tick = tick
+        if ordinary:
+            # One C-level bulk update instead of a per-page set.add.
+            self.epoch_written.update(range(first, last + 1))
         counters = self.stats.counters
         counters["page_touches"] += last - first + 1
         if prefetch_hits:
@@ -394,8 +441,9 @@ class SoftwareCache:
         diff = self._diff_of(entry)
         entry.twin = None
         entry.dirty.clear()
-        self.stats.incr("diffs_taken")
-        self.stats.incr("diff_bytes", diff.payload_bytes)
+        counters = self.stats.counters
+        counters["diffs_taken"] += 1
+        counters["diff_bytes"] += diff.payload_bytes
         return diff
 
     def dirty_page_ids(self) -> list[int]:
@@ -430,3 +478,4 @@ class SoftwareCache:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._resident_mask[:] = False

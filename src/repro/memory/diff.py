@@ -51,8 +51,15 @@ class ByteRanges:
             ranges.append((start, end))
             return
         last_s, last_e = ranges[-1]
-        if start > last_e:  # append fast path (sequential writes)
-            ranges.append((start, end))
+        if start >= last_s:
+            # Intervals are sorted and disjoint, so a range starting at or
+            # after the last interval's start can only touch the last
+            # interval: handle append / extend / contained without bisecting
+            # (sequential writes live entirely in this branch).
+            if start > last_e:
+                ranges.append((start, end))
+            elif end > last_e:
+                ranges[-1] = (last_s, end)
             return
         # First interval that could touch [start, end): the one before the
         # insertion point if it reaches start, otherwise the insertion point.
@@ -134,7 +141,7 @@ class PageDiff:
 
     SPAN_HEADER_BYTES = 8
 
-    __slots__ = ("page", "spans", "_sizes")
+    __slots__ = ("page", "spans", "_sizes", "_payload")
 
     def __init__(self, page: int, spans=None, sizes=None):
         self.page = page
@@ -145,6 +152,7 @@ class PageDiff:
             self._sizes = [len(d) if d is not None else 0 for _, d in self.spans]
         if len(self._sizes) != len(self.spans):
             raise MemoryError_("span/size length mismatch")
+        self._payload = None
 
     @classmethod
     def from_ranges(cls, page: int, ranges: ByteRanges) -> "PageDiff":
@@ -155,7 +163,13 @@ class PageDiff:
 
     @property
     def payload_bytes(self) -> int:
-        return sum(self._sizes)
+        # Cached: a diff's size is read several times on its way to the wire
+        # (scan cost, transfer size, apply cost, stats). Spans are only
+        # appended during construction (storelog), before the size is read.
+        payload = self._payload
+        if payload is None:
+            payload = self._payload = sum(self._sizes)
+        return payload
 
     @property
     def wire_bytes(self) -> int:

@@ -17,6 +17,7 @@ from repro.errors import BackendError
 from repro.runtime.context import ThreadCtx
 from repro.runtime.handles import Barrier, Cond, Lock
 from repro.runtime.results import RunResult, ThreadResult
+from repro.sim.stats import StatSet
 from repro.sim.trace import Tracer
 
 
@@ -105,21 +106,35 @@ class BaseBackend(ABC):
         # The event loop allocates millions of short-lived tuples and
         # generator frames; cyclic-GC passes over that churn cost ~13% of
         # wall-clock and can never free anything the sim still needs.
-        # Collection is deferred until the run completes.
+        # Collection is disabled for the run's duration. A run's
+        # engine/system graph is cyclic (components back-reference the
+        # system, processes the engine), so for callers that never
+        # :meth:`dispose` their backends, skipping collection entirely
+        # would leak; the threshold collect below is their backstop. It
+        # runs BEFORE the run starts, not after it ends: at run end the
+        # just-finished graph is still reachable (dispose comes later), so
+        # a collect there scans everything and frees nothing, while by the
+        # next run's start a disposed predecessor has died by refcount and
+        # the gen-0 count stays far below the threshold.
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
+            if gc.get_count()[0] >= 100_000:
+                gc.collect()
             gc.disable()
         try:
             elapsed = self.engine.run()
         finally:
             if gc_was_enabled:
                 gc.enable()
-                gc.collect()
         missing = set(self._contexts) - set(self._results)
         if missing:  # pragma: no cover - deadlock raises first
             raise BackendError(f"threads never finished: {sorted(missing)}")
         stats = self.stats_report()
-        stats["engine"] = {"scheduled_events": self.engine.scheduled_events}
+        engine_stats = StatSet("engine")
+        engine_stats.incr("scheduled_events", self.engine.scheduled_events)
+        engine_stats.incr("coalesced_events",
+                          getattr(self.engine, "coalesced_events", 0))
+        stats["engine"] = engine_stats.snapshot()
         return RunResult(
             backend=self.name,
             n_threads=self._spawned,
@@ -130,6 +145,20 @@ class BaseBackend(ABC):
 
     def stats_report(self) -> dict:
         return {}
+
+    def dispose(self) -> None:
+        """Break the finished run's reference cycles (see :meth:`run`'s GC
+        note): the engine's process list, the event heap, and the
+        context->backend back-edges are the cycle anchors; with them cut the
+        whole engine/system graph dies by refcount the moment the caller
+        drops the backend, and the deferred cyclic collection has nothing
+        left to find. Called by the experiment harness on throwaway
+        backends; the backend is unusable afterwards.
+        """
+        self._contexts.clear()
+        engine = self.engine
+        engine._procs.clear()
+        engine._heap.clear()
 
     # -- ops the concrete backend must provide -----------------------------
     @abstractmethod

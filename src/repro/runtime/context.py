@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.runtime.clock import ThreadClock
 from repro.runtime.handles import Barrier, Cond, Lock
+from repro.runtime.plan import COMPUTE, READ, AccessPlan
 from repro.sim.engine import Timeout
 
 
@@ -95,7 +96,51 @@ class ThreadCtx:
         tracer = getattr(self._ops, "tracer", None)
         if tracer is not None and tracer.enabled and dt > 0:
             tracer.emit(self._ops.engine.now, f"t{self.tid}", "cpu", duration=dt)
-        yield Timeout(dt)
+        # Back-to-back compute merges before scheduling: when the engine's
+        # next event is strictly later, advance inline and return without a
+        # yield round-trip at all.
+        if not self._ops.engine.try_advance(dt):
+            yield Timeout(dt)
+
+    # -- batched access plans ---------------------------------------------
+    def submit(self, plan: AccessPlan):
+        """Generator: execute an :class:`AccessPlan`; returns the list of
+        read results (in plan order).
+
+        Backends exposing a batched executor (``plans_supported`` +
+        ``run_plan``) cost cache hits in bulk; elsewhere -- pthreads, IVY
+        coherence, active tracing -- each operation takes the identical
+        per-access path it always did. Either way the per-thread clock is
+        charged operation by operation, in order, so the accounting is
+        bit-for-bit the same as hand-written ``ctx.read``/``ctx.write``.
+        """
+        ops_backend = self._ops
+        tracer = getattr(ops_backend, "tracer", None)
+        if (not getattr(ops_backend, "plans_supported", False)
+                or (tracer is not None and tracer.enabled)):
+            return (yield from self._submit_compat(plan))
+        results, charges = yield from ops_backend.run_plan(self.tid, plan.ops)
+        clock = self.clock
+        for detail, dt in charges:
+            clock.charge("compute", dt)
+            clock.charge_detail(detail, dt)
+        return results
+
+    def _submit_compat(self, plan: AccessPlan):
+        """Generator: the per-op reference semantics of a plan."""
+        results = []
+        for op in plan.ops:
+            kind = op.kind
+            if kind == COMPUTE:
+                yield from self.compute(op.elements, op.flops)
+            elif kind == READ:
+                results.append((yield from self.read(op.addr, op.nbytes)))
+            else:
+                data = op.data
+                if callable(data):
+                    data = data(results)
+                yield from self.write(op.addr, op.nbytes, data)
+        return results
 
     # -- synchronization ---------------------------------------------------
     def lock(self, lock: Lock):

@@ -7,6 +7,8 @@ from repro.core.system import SamhitaSystem
 from repro.errors import BackendError
 from repro.hardware.cpu import ComputeCostModel
 from repro.runtime.backend import BaseBackend
+from repro.runtime.plan import COMPUTE, READ
+from repro.sim.engine import AdvanceTo, Timeout
 
 
 class SamhitaBackend(BaseBackend):
@@ -82,6 +84,88 @@ class SamhitaBackend(BaseBackend):
     def mem_write(self, tid, addr, nbytes, data):
         return (yield from self.system.mem_write(tid, addr, nbytes, data))
 
+    # -- batched access plans ---------------------------------------------
+    @property
+    def plans_supported(self) -> bool:
+        """Batching is sound under RegC: within a plan no remote action can
+        change what this thread's *hits* observe (recalls serve owner data
+        in place, and invalidation epochs only void non-resident fetches).
+        IVY's eager write-invalidate can yank pages mid-window, so it keeps
+        the per-access path; REPRO_NO_COALESCE restores it everywhere."""
+        return (self.system.config.coherence == "regc"
+                and self.system.engine.coalesce)
+
+    def run_plan(self, tid, ops):
+        """Generator: execute plan ops, costing cache hits in bulk.
+
+        Returns ``(read_results, charges)`` where ``charges`` replays, in
+        order, the exact per-op ``(detail_key, dt)`` values the per-access
+        path would have charged to the thread clock. Hit runs accumulate
+        their delays into ``target`` with the same sequential float
+        rounding the per-op path produces (``t = fl(t + dt)`` per op) and
+        advance the engine once via :class:`AdvanceTo`; any miss first
+        drains the pending advance, then takes the ordinary fault path.
+        """
+        system = self.system
+        engine = system.engine
+        cache = system.cache_of(tid)
+        cs = system.compute_server_of(tid)
+        element_time = self._cost_models[tid].element_time
+        span_resident = cache.span_resident
+        write_resident = system.write_resident
+        cache_read = cache.read
+        results = []
+        charges = []
+        target = engine.now
+        pending = False
+        for op in ops:
+            kind = op.kind
+            if kind == COMPUTE:
+                dt = element_time(op.elements, op.flops)
+                charges.append(("cpu", dt))
+                target = target + dt
+                pending = True
+                continue
+            addr = op.addr
+            nbytes = op.nbytes
+            if nbytes and not span_resident(addr, nbytes):
+                if pending:
+                    yield AdvanceTo(target)
+                    pending = False
+                t0 = engine.now
+                yield from cs.ensure_resident(tid, addr, nbytes)
+                if kind == READ:
+                    results.append(cache_read(addr, nbytes))
+                else:
+                    data = op.data
+                    if callable(data):
+                        data = data(results)
+                    stall = write_resident(tid, addr, nbytes, data)
+                    if stall:
+                        yield Timeout(stall)
+                charges.append(("memory", engine.now - t0))
+                target = engine.now
+                continue
+            if kind == READ:
+                results.append(cache_read(addr, nbytes))
+                charges.append(("memory", 0.0))
+            else:
+                data = op.data
+                if callable(data):
+                    data = data(results)
+                stall = write_resident(tid, addr, nbytes, data)
+                if stall:
+                    # fl(fl(t + stall) - t), exactly what _timed measures.
+                    new_target = target + stall
+                    charges.append(("memory", new_target - target))
+                    target = new_target
+                    pending = True
+                else:
+                    charges.append(("memory", 0.0))
+        if pending:
+            yield AdvanceTo(target)
+        return results, charges
+
     def compute_cost(self, tid, elements, flops_per_element):
         return self._cost_models[tid].element_time(elements, flops_per_element)
 
@@ -102,3 +186,13 @@ class SamhitaBackend(BaseBackend):
 
     def stats_report(self) -> dict:
         return self.system.stats_report()
+
+    def dispose(self) -> None:
+        # The component->system back-edges are the remaining cycle anchors
+        # on the Samhita side (compute servers, memory-server bind()).
+        super().dispose()
+        system = self.system
+        for server in system.memory_servers:
+            server._system = None
+        for cs in system.compute_servers.values():
+            cs.system = None

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.errors import MemoryError_
 from repro.runtime.context import ThreadCtx
+from repro.runtime.plan import AccessPlan
 
 
 class SharedArray:
@@ -61,22 +62,65 @@ class SharedArray:
             return None
         return np.ascontiguousarray(raw).view(self.dtype).reshape(nrows, self.cols)
 
+    def _encode(self, values: np.ndarray) -> tuple[int, np.ndarray]:
+        """Validate a row block and flatten it to raw bytes."""
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        if values.ndim == 1:
+            values = values.reshape(1, -1)
+        if values.shape[1] != self.cols:
+            raise MemoryError_("row length mismatch")
+        return values.shape[0], values.reshape(-1).view(np.uint8)
+
+    def decode(self, raw: np.ndarray, nrows: int) -> np.ndarray:
+        """View raw read bytes as an ``(nrows, cols)`` block of ``dtype``."""
+        return np.ascontiguousarray(raw).view(self.dtype).reshape(nrows, self.cols)
+
     def write_rows(self, row0: int, values: np.ndarray | None, nrows: int | None = None):
         """Generator: write contiguous rows (values=None in timing mode)."""
         if values is not None:
-            values = np.ascontiguousarray(values, dtype=self.dtype)
-            if values.ndim == 1:
-                values = values.reshape(1, -1)
-            if values.shape[1] != self.cols:
-                raise MemoryError_("row length mismatch")
-            nrows = values.shape[0]
-            raw = values.reshape(-1).view(np.uint8)
+            nrows, raw = self._encode(values)
         else:
             if nrows is None:
                 raise MemoryError_("timing-mode write needs an explicit nrows")
             raw = None
         self._check_block(row0, nrows)
         yield from self.ctx.write(self.row_addr(row0), nrows * self.row_bytes, raw)
+
+    # ------------------------------------------------------------------
+    # batched access-plan builders
+    # ------------------------------------------------------------------
+    def read_rows_op(self, plan: AccessPlan, row0: int, nrows: int = 1) -> int:
+        """Append a block read to ``plan``; returns its results index.
+        Decode the raw result with :meth:`decode`."""
+        self._check_block(row0, nrows)
+        return plan.read(self.row_addr(row0), nrows * self.row_bytes)
+
+    def write_rows_op(self, plan: AccessPlan, row0: int, values=None,
+                      nrows: int | None = None) -> None:
+        """Append a block write to ``plan``.
+
+        ``values`` may be an ndarray, ``None`` (timing mode, give ``nrows``)
+        or a callable over the plan's read results returning the block --
+        evaluated at execution time, i.e. after every earlier plan op.
+        """
+        if callable(values):
+            if nrows is None:
+                raise MemoryError_("callable plan write needs an explicit nrows")
+
+            def payload(results, _fn=values, _nrows=nrows):
+                got, raw = self._encode(_fn(results))
+                if got != _nrows:
+                    raise MemoryError_(
+                        f"plan write produced {got} rows, declared {_nrows}")
+                return raw
+        elif values is not None:
+            nrows, payload = self._encode(values)
+        else:
+            if nrows is None:
+                raise MemoryError_("timing-mode write needs an explicit nrows")
+            payload = None
+        self._check_block(row0, nrows)
+        plan.write(self.row_addr(row0), nrows * self.row_bytes, payload)
 
     def read_all(self):
         """Generator: the whole array (use sparingly -- it faults everything)."""

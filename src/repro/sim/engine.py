@@ -9,11 +9,16 @@ which makes every simulation in this package exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import os
 from math import inf
 from types import GeneratorType
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import SimEvent, _Callback
+from repro.sim.events import _PENDING, SimEvent, _Callback
+
+#: Event coalescing is on by default; set REPRO_NO_COALESCE=1 to force every
+#: resumption through the heap (A/B comparisons, equivalence tests).
+_COALESCE_DEFAULT = os.environ.get("REPRO_NO_COALESCE", "") == ""
 
 
 class Timeout:
@@ -31,6 +36,27 @@ class Timeout:
         return f"Timeout({self.delay!r})"
 
 
+class AdvanceTo:
+    """Yield command: resume at the *absolute* simulated time ``target``.
+
+    The batched access-plan executor accumulates many per-operation delays
+    with exactly the float rounding the legacy per-op path would produce
+    (``t = fl(fl(t + d1) + d2) ...``) and then advances in one step. A
+    relative ``Timeout`` cannot express that: ``fl(now + fl(d1 + d2))`` is
+    not in general the same float as the sequential accumulation, and the
+    golden metrics are pinned to the last ulp.
+    """
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: float, value=None):
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AdvanceTo({self.target!r})"
+
+
 class Process:
     """A running generator coroutine.
 
@@ -40,7 +66,8 @@ class Process:
     someone joins it, aborts the simulation when run() notices).
     """
 
-    __slots__ = ("engine", "gen", "name", "daemon", "done_event", "_alive", "blocked_on")
+    __slots__ = ("engine", "gen", "name", "daemon", "_done_event", "_outcome",
+                 "_alive", "blocked_on")
 
     def __init__(self, engine: "Engine", gen: GeneratorType, name: str, daemon: bool):
         if not isinstance(gen, GeneratorType):
@@ -49,9 +76,29 @@ class Process:
         self.gen = gen
         self.name = name
         self.daemon = daemon
-        self.done_event = SimEvent(engine, name=f"{name}.done")
+        #: The completion event is created lazily: most processes (prefetch
+        #: daemons above all) are never joined, and the event plus its name
+        #: string were a measurable share of process-creation cost.
+        self._done_event = None
+        self._outcome = None
         self._alive = True
         self.blocked_on = None
+
+    @property
+    def done_event(self) -> SimEvent:
+        ev = self._done_event
+        if ev is None:
+            ev = SimEvent(self.engine, name=f"{self.name}.done")
+            self._done_event = ev
+            outcome = self._outcome
+            if outcome is not None:
+                # Finished before anyone asked: materialize pre-triggered.
+                value, exc = outcome
+                if exc is None:
+                    ev._value = value
+                else:
+                    ev._exc = exc
+        return ev
 
     @property
     def alive(self) -> bool:
@@ -65,10 +112,16 @@ class Process:
 class Engine:
     """Owns the virtual clock and runs processes to completion."""
 
-    def __init__(self):
+    def __init__(self, coalesce: bool | None = None):
         self.now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
+        self._coalesced: int = 0
+        self._until: float = inf
+        #: When True, resumptions whose outcome is already determined skip
+        #: the heap entirely (see :meth:`_step`); the trajectory of event
+        #: execution is provably identical either way.
+        self.coalesce = _COALESCE_DEFAULT if coalesce is None else coalesce
         self._procs: list[Process] = []
         self._failed: list[tuple[Process, BaseException]] = []
 
@@ -87,6 +140,47 @@ class Engine:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def try_advance(self, delay: float) -> bool:
+        """Advance ``now`` by ``delay`` without touching the heap, if legal.
+
+        Legal exactly when the heap's next entry is *strictly* later than
+        the target (an equal-time entry holds a smaller sequence number, so
+        it must run first) and the run horizon is not crossed. In that case
+        popping the would-be heap entry is the very next thing ``run()``
+        would do, so skipping the push/pop is unobservable. Returns True if
+        the clock moved; the caller falls back to yielding a Timeout.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot advance into the past (delay={delay})")
+        if not self.coalesce:
+            return False
+        target = self.now + delay
+        heap = self._heap
+        if (heap and heap[0][0] <= target) or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
+
+    def try_advance_to(self, target: float) -> bool:
+        """Absolute-time counterpart of :meth:`try_advance`.
+
+        Same legality rule (heap top strictly later, horizon not crossed);
+        used by generators that have already accumulated an absolute resume
+        instant (the fused-transfer path) so they can skip the suspension
+        entirely instead of yielding an :class:`AdvanceTo`.
+        """
+        if not self.coalesce:
+            return False
+        if target < self.now:
+            raise SimulationError(f"cannot advance into the past (target={target})")
+        heap = self._heap
+        if (heap and heap[0][0] <= target) or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh un-triggered event bound to this engine."""
@@ -118,55 +212,106 @@ class Engine:
             self.schedule(0.0, self._step, waiter, None, event._exc)
 
     def _step(self, proc: Process, send_value, throw_exc) -> None:
+        """Resume a process and keep stepping it while the outcome of each
+        yield is already determined.
+
+        Coalescing fast paths (all gated on :attr:`coalesce`):
+
+        * ``Timeout``: when the heap's next entry is strictly later than
+          ``now + delay`` (and the run horizon is not crossed), the pushed
+          resumption would be the very next pop -- so advance the clock
+          inline and continue the generator without ever entering the heap.
+          Strictness matters: an equal-time heap entry has a smaller
+          sequence number and must run first.
+        * already-triggered ``SimEvent`` / finished ``Process``: deliver the
+          outcome immediately instead of scheduling a zero-delay resumption,
+          provided no heap entry is due at the current instant (it would
+          have run before the zero-delay event).
+
+        Everything else -- pending events, horizon-crossing or tied
+        timeouts -- takes the legacy heap path, so event ordering (and with
+        it every simulated metric) is bit-identical with coalescing on or
+        off; only the number of heap transits changes.
+        """
         if not proc._alive:
             raise SimulationError(f"stepping finished process {proc.name}")
-        proc.blocked_on = None
-        try:
-            if throw_exc is not None:
-                command = proc.gen.throw(throw_exc)
+        gen = proc.gen
+        heap = self._heap
+        coalesce = self.coalesce
+        while True:
+            proc.blocked_on = None
+            try:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    command = gen.throw(exc)
+                else:
+                    command = gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(proc, stop.value, None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - deliberately catch all
+                self._finish(proc, None, exc)
+                return
+            ctype = type(command)
+            if ctype is Timeout:  # exact: Timeout is never subclassed
+                target = self.now + command.delay
+            elif ctype is AdvanceTo:
+                target = command.target
+                if target < self.now:  # pragma: no cover - executor guards
+                    raise SimulationError(
+                        f"cannot advance into the past (target={target})")
             else:
-                command = proc.gen.send(send_value)
-        except StopIteration as stop:
-            self._finish(proc, stop.value, None)
-            return
-        except BaseException as exc:  # noqa: BLE001 - deliberately catch all
-            self._finish(proc, None, exc)
-            return
-        self._dispatch(proc, command)
-
-    def _dispatch(self, proc: Process, command) -> None:
-        if type(command) is Timeout:  # exact: Timeout is never subclassed
-            delay = command.delay
-            if delay < 0:  # pragma: no cover - guarded by Timeout.__init__
-                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+                if isinstance(command, Process):
+                    event = command.done_event
+                elif isinstance(command, SimEvent):
+                    event = command
+                else:
+                    exc = SimulationError(
+                        f"process {proc.name} yielded {command!r}; "
+                        f"expected Timeout, SimEvent or Process")
+                    self.schedule(0.0, self._step, proc, None, exc)
+                    return
+                if (coalesce
+                        and (event._value is not _PENDING or event._exc is not None)
+                        and not (heap and heap[0][0] <= self.now)):
+                    self._coalesced += 1
+                    if event._exc is None:
+                        send_value = event._value
+                    else:
+                        send_value = None
+                        throw_exc = event._exc
+                    continue
+                proc.blocked_on = event
+                event._add_waiter(proc)
+                return
+            if (coalesce and target <= self._until
+                    and not (heap and heap[0][0] <= target)):
+                self.now = target
+                self._coalesced += 1
+                send_value = command.value
+                continue
             self._seq += 1
-            heapq.heappush(self._heap,
-                           (self.now + delay, self._seq, self._step,
-                            (proc, command.value, None)))
-        elif isinstance(command, Process):
-            proc.blocked_on = command.done_event
-            command.done_event._add_waiter(proc)
-        elif isinstance(command, SimEvent):
-            proc.blocked_on = command
-            command._add_waiter(proc)
-        else:
-            exc = SimulationError(
-                f"process {proc.name} yielded {command!r}; expected Timeout, SimEvent or Process"
-            )
-            self.schedule(0.0, self._step, proc, None, exc)
+            heapq.heappush(heap, (target, self._seq, self._step,
+                                  (proc, command.value, None)))
+            return
 
     def _finish(self, proc: Process, value, exc) -> None:
         proc._alive = False
+        ev = proc._done_event
         if exc is None:
-            proc.done_event.succeed(value)
+            proc._outcome = (value, None)
+            if ev is not None:
+                ev.succeed(value)
         else:
-            if proc.done_event._waiters:
-                proc.done_event.fail(exc)
+            proc._outcome = (None, exc)
+            if ev is not None and ev._waiters:
+                ev.fail(exc)
             else:
                 # Nobody is joining this process: surface the failure loudly
                 # instead of letting it vanish.
                 self._failed.append((proc, exc))
-                proc.done_event.fail(exc)
+                if ev is not None:
+                    ev.fail(exc)
 
     # ------------------------------------------------------------------
     # main loop
@@ -181,20 +326,27 @@ class Engine:
         heap = self._heap
         failed = self._failed
         heappop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            time = entry[0]
-            if time > until:
-                self.now = until
-                self._raise_failures()
-                return self.now
-            heappop(heap)
-            if time < self.now:  # pragma: no cover - guarded by schedule()
-                raise SimulationError("event heap went backwards in time")
-            self.now = time
-            entry[2](*entry[3])
-            if failed:
-                self._raise_failures()
+        # The inline-advance fast path must never carry `now` past the run
+        # horizon (the resumption would then have to wait on the heap, where
+        # the `time > until` check below can see it).
+        self._until = until
+        try:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > until:
+                    self.now = until
+                    self._raise_failures()
+                    return self.now
+                heappop(heap)
+                if time < self.now:  # pragma: no cover - guarded by schedule()
+                    raise SimulationError("event heap went backwards in time")
+                self.now = time
+                entry[2](*entry[3])
+                if failed:
+                    self._raise_failures()
+        finally:
+            self._until = inf
         blocked = [p for p in self._procs if p._alive and not p.daemon]
         if blocked:
             raise DeadlockError(blocked)
@@ -209,6 +361,13 @@ class Engine:
     def scheduled_events(self) -> int:
         """Total events scheduled so far (the sequence counter)."""
         return self._seq
+
+    @property
+    def coalesced_events(self) -> int:
+        """Resumptions that skipped the heap via the fast paths in
+        :meth:`_step` / :meth:`try_advance` -- work the legacy engine would
+        have scheduled as events."""
+        return self._coalesced
 
     @property
     def live_processes(self) -> list[Process]:

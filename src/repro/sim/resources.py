@@ -192,15 +192,53 @@ class Resource:
             raise SimulationError(f"{self.name}: release without request")
         if self._waiters:
             # Hand the unit straight to the next waiter.
-            self._waiters.popleft().succeed()
+            nxt = self._waiters.popleft()
+            if type(nxt) is tuple:
+                # Timed hand-off (request_service): the waiter's next act
+                # would be sleeping through its service time, so resume it
+                # directly at the completion instant -- fl(now + duration)
+                # is the same float the grant-then-sleep path computes --
+                # and book its queueing delay here, at the grant, where the
+                # legacy path booked it.
+                gate, duration, t0 = nxt
+                self.total_queue_time += self.engine.now - t0
+                gate.succeed_at(duration)
+            else:
+                nxt.succeed()
         else:
             self._in_use -= 1
 
+    def request_service(self, duration: float):
+        """Generator: FIFO-acquire a unit, then hold it through ``duration``
+        of service time -- the universal prologue of every server handler.
+
+        Equivalent to ``request()`` followed by ``yield Timeout(duration)``,
+        but a contended grant schedules this process's resumption directly
+        at its service-completion instant (one event instead of a wake at
+        the grant plus a sleep). The unit stays held; the caller must
+        ``release()``. With coalescing off the legacy two-step shape is
+        used, so A/B runs compare like with like.
+        """
+        engine = self.engine
+        if not engine.coalesce:
+            yield from self.request()
+            yield Timeout(duration)
+            return self
+        self.total_requests += 1
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            if not engine.try_advance(duration):
+                yield Timeout(duration)
+            return self
+        gate = SimEvent(engine, name=self._wait_name)
+        self._waiters.append((gate, duration, engine.now))
+        yield gate
+        return self
+
     def use(self, duration: float):
         """Generator: request, hold for ``duration``, release."""
-        yield from self.request()
+        yield from self.request_service(duration)
         try:
-            yield Timeout(duration)
             self.total_busy_time += duration
         finally:
             self.release()

@@ -5,9 +5,10 @@ Reading the report::
     python tools/bench_report.py                 # pretty-print ./BENCH_perf.json
     python tools/bench_report.py path/to.json
 
-The gate (used by CI after ``benchmarks/bench_perf.py``)::
+The gates (used by CI after ``benchmarks/bench_perf.py``)::
 
     python tools/bench_report.py --check [--max-ratio 1.0]
+    python tools/bench_report.py --check-events [--min-event-reduction 3.0]
 
 ``--check`` exits non-zero when the measured serial smoke-campaign wall
 clock exceeds ``max_ratio x`` the recorded seed baseline -- i.e. when a
@@ -16,6 +17,12 @@ change has given back the hot-path optimization wins. The default ratio of
 loose because shared CI boxes jitter by +/-30%, and the point of the gate
 is catching wholesale regressions (an accidental O(n) -> O(n^2) in the
 DES hot path), not 5% noise.
+
+``--check-events`` exits non-zero when the campaign's scheduled-event
+count is less than ``min_event_reduction x`` below the recorded seed
+count. Event counts are deterministic (no interpreter or box noise), so
+this gate is tight: it pins the batching/coalescing win itself, not the
+wall clock it happens to buy.
 """
 
 from __future__ import annotations
@@ -41,13 +48,22 @@ def render(report: dict) -> str:
         speed = phase.get("speedup_vs_seed")
         lines.append(f"{name:<26} {phase['wall_s']:>9.3f} "
                      f"{f'{speed:.2f}x':>9}")
+    events = report.get("events")
+    if events:
+        lines.append("")
+        lines.append(f"scheduled events: {events['scheduled']:,}  "
+                     f"(seed: {events['scheduled_at_seed']:,}, "
+                     f"{events['reduction_vs_seed']}x fewer; "
+                     f"{events['coalesced']:,} coalesced)")
     lines.append("")
-    lines.append(f"{'cell':<34} {'wall (s)':>9} {'events/s':>10} "
-                 f"{'cache-op/s':>11}")
-    lines.append("-" * 66)
+    lines.append(f"{'cell':<34} {'wall (s)':>9} {'events':>9} "
+                 f"{'coalesced':>9} {'events/s':>10} {'cache-op/s':>11}")
+    lines.append("-" * 86)
     for cell in report["cells"]:
         label = f"{cell['figure']}:{cell['workload']}:{cell['cell']}"
         lines.append(f"{label:<34} {cell['wall_s']:>9.3f} "
+                     f"{cell['events']:>9,} "
+                     f"{cell.get('events_coalesced', 0):>9,} "
                      f"{cell['events_per_sec']:>10,} "
                      f"{cell['cache_ops_per_sec']:>11,}")
     for note in report.get("notes", ()):
@@ -66,6 +82,28 @@ def check(report: dict, max_ratio: float) -> tuple[bool, str]:
     return ok, msg
 
 
+def check_events(report: dict, min_reduction: float) -> tuple[bool, str]:
+    """The event gate: scheduled events must stay well under the seed count.
+
+    Deterministic (event counts don't jitter with the box), so it pins the
+    batching/coalescing win independent of wall-clock noise.
+    """
+    events = report.get("events")
+    if not events:
+        return False, ("report has no 'events' block; regenerate it with "
+                       "the current benchmarks/bench_perf.py")
+    seed = events.get("scheduled_at_seed") or report["baseline_seed"].get(
+        "events_scheduled")
+    scheduled = events["scheduled"]
+    if not seed or not scheduled:
+        return False, f"unusable event counts (seed={seed}, now={scheduled})"
+    reduction = seed / scheduled
+    ok = reduction >= min_reduction
+    msg = (f"scheduled events: {scheduled:,} = {reduction:.2f}x fewer than "
+           f"seed ({seed:,}); gate requires >= {min_reduction:.2f}x")
+    return ok, msg
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="BENCH_perf.json",
@@ -75,6 +113,13 @@ def main(argv=None) -> int:
                              "run is slower than max-ratio x seed baseline")
     parser.add_argument("--max-ratio", type=float, default=1.0,
                         help="gate threshold vs seed baseline (default 1.0)")
+    parser.add_argument("--check-events", action="store_true",
+                        help="event gate: exit 1 if scheduled events are not "
+                             "at least min-event-reduction x below the seed "
+                             "count")
+    parser.add_argument("--min-event-reduction", type=float, default=3.0,
+                        help="required event-count reduction vs seed "
+                             "(default 3.0)")
     args = parser.parse_args(argv)
 
     path = pathlib.Path(args.report)
@@ -85,11 +130,16 @@ def main(argv=None) -> int:
         return 2
     report = json.loads(path.read_text())
     print(render(report))
+    failed = False
     if args.check:
         ok, msg = check(report, args.max_ratio)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
-        return 0 if ok else 1
-    return 0
+        failed |= not ok
+    if args.check_events:
+        ok, msg = check_events(report, args.min_event_reduction)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
