@@ -124,6 +124,56 @@ def measure_cells() -> list[dict]:
     return recorder.cells
 
 
+def _jacobi_fingerprint(config) -> dict:
+    """Canonical functional Jacobi cell -> trajectory fingerprint."""
+    import hashlib
+
+    from repro.experiments.harness import run_workload_direct
+    from repro.kernels.jacobi import JacobiParams, spawn_jacobi
+
+    params = JacobiParams(rows=64, cols=256, iterations=3,
+                          collect_result=True)
+    result = run_workload_direct("samhita", 4, spawn_jacobi, params,
+                                 functional=True, config=config)
+    gdiff, grid = result.threads[0].value
+    return {
+        "grid_sha256": hashlib.sha256(grid.tobytes()).hexdigest(),
+        "gdiff": gdiff,
+        "elapsed": result.elapsed,
+        "events_scheduled": result.stats["engine"]["scheduled_events"],
+        "cache_counters": dict(sorted(result.stats["caches"].items())),
+    }, result
+
+
+def faults_off_fingerprint() -> dict:
+    """Injector absent vs armed-but-silent: the two trajectories must be
+    bit-identical (the --check-faults-off gate compares these dicts)."""
+    from repro.core.params import SamhitaConfig
+    from repro.faults import FaultPlan
+
+    absent, _ = _jacobi_fingerprint(None)
+    silent, _ = _jacobi_fingerprint(SamhitaConfig(faults=FaultPlan(seed=0)))
+    return {"injector_absent": absent, "injector_silent": silent}
+
+
+def chaos_counters() -> dict:
+    """One seeded drop-storm cell: recovery counters + data-identity bit."""
+    from repro.core.params import SamhitaConfig
+    from repro.faults import drop_storm
+
+    clean, _ = _jacobi_fingerprint(None)
+    plan = drop_storm(11)
+    faulty, result = _jacobi_fingerprint(SamhitaConfig(faults=plan))
+    return {
+        "plan": "drop_storm(seed=11)",
+        "data_identical": (faulty["grid_sha256"] == clean["grid_sha256"]
+                           and faulty["gdiff"] == clean["gdiff"]),
+        "elapsed_clean": clean["elapsed"],
+        "elapsed_faulty": faulty["elapsed"],
+        "counters": result.stats.get("faults", {}),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_perf.json",
@@ -143,6 +193,10 @@ def main(argv=None) -> int:
 
     print("per-cell instrumentation pass ...")
     cells = measure_cells()
+
+    print("faults-off fingerprint + chaos counters ...")
+    faults_off = faults_off_fingerprint()
+    chaos = chaos_counters()
 
     print(f"after_serial: best of {args.best_of} ...")
     serial_best, serial_runs = best_of(args.best_of, run_smoke)
@@ -202,6 +256,8 @@ def main(argv=None) -> int:
             },
         },
         "cells": cells,
+        "faults_off": faults_off,
+        "chaos": chaos,
         "notes": [
             f"host has {cpus} CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
@@ -224,6 +280,10 @@ def main(argv=None) -> int:
     print(f"  scheduled events     {events_scheduled:,} "
           f"({seed_events / events_scheduled:.2f}x fewer than seed; "
           f"{events_coalesced:,} coalesced)")
+    ok = faults_off["injector_absent"] == faults_off["injector_silent"]
+    print(f"  faults-off identity  {'bit-identical' if ok else 'DIVERGED'}")
+    print(f"  chaos drop_storm     data_identical={chaos['data_identical']} "
+          f"retransmits={chaos['counters'].get('retransmits', 0)}")
     return 0
 
 

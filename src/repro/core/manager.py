@@ -20,20 +20,29 @@ from repro.core import protocol
 from repro.core.allocator import AllocationKind, SamhitaAllocator
 from repro.core.consistency import BarrierPlan, LockUpdateLog, plan_barrier
 from repro.errors import SynchronizationError
+from repro.faults.recovery import RpcDedup
 from repro.interconnect.scl import CONTROL_BYTES, SCL
 from repro.memory.directory import PageDirectory
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 from repro.sim.stats import StatSet
 
+#: RPC categories the manager serves; the dedup endpoint filters on these.
+RPC_CATEGORIES = frozenset({"sync", "alloc", "lock", "barrier", "cond"})
+
 
 class _LockState:
-    __slots__ = ("holder", "waiters", "log")
+    __slots__ = ("holder", "waiters", "log", "lease_deadline", "grant_seq")
 
     def __init__(self):
         self.holder: int | None = None
         self.waiters: deque = deque()
         self.log = LockUpdateLog()
+        #: Simulated instant the current holder's lease expires (leases on).
+        self.lease_deadline: float = 0.0
+        #: Incremented on every grant; a scheduled expiry callback compares
+        #: it so a stale timer cannot revoke a later grant.
+        self.grant_seq: int = 0
 
 
 class _BarrierState:
@@ -77,6 +86,75 @@ class Manager:
         #: Full thread population (the system registers every spawn); the
         #: lock-log garbage collector needs it to compute a safe horizon.
         self.known_threads: set[int] = set()
+        #: Sequence-numbered idempotent RPC delivery, wired by the system
+        #: when fault injection is armed; None on the fault-free build so
+        #: the RPC path pays one attribute check and nothing else.
+        self.rpc_dedup: RpcDedup | None = None
+        #: Threads declared dead (crashed holders); the lease recoverer
+        #: force-releases their locks instead of letting waiters wedge.
+        self._dead_threads: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # fault recovery: dead threads and lock leases
+    # ------------------------------------------------------------------
+    def mark_thread_dead(self, tid: int) -> None:
+        """Declare a thread crashed.
+
+        Nothing is revoked immediately: the deadlock watchdog calls
+        :meth:`recover_dead_holders` when the heap drains with blocked
+        waiters, which is the first instant the crash can actually wedge
+        anything. This keeps the fault-free path free of lease timers.
+        """
+        self._dead_threads.add(tid)
+        self.stats.incr("threads_marked_dead")
+
+    def _arm_lease(self, lock: _LockState) -> None:
+        lease = self.config.lock_lease_time
+        lock.grant_seq += 1
+        if lease > 0.0:
+            lock.lease_deadline = self.engine.now + lease
+
+    def recover_dead_holders(self, blocked) -> bool:
+        """Deadlock-hook recoverer: expire leases held by dead threads.
+
+        Returns True when at least one expiry was scheduled (the watchdog
+        then lets the run continue); the expiry itself fires at the lease
+        deadline, never earlier, so a live system's timing is unchanged.
+        """
+        if self.config.lock_lease_time <= 0.0:
+            return False
+        now = self.engine.now
+        recovered = False
+        for lock_id, lock in self._locks.items():
+            if (lock.holder is not None and lock.holder in self._dead_threads
+                    and lock.waiters):
+                delay = max(0.0, lock.lease_deadline - now)
+                self.engine.schedule(delay, self._expire_lease, lock_id,
+                                     lock.grant_seq)
+                recovered = True
+        return recovered
+
+    def _expire_lease(self, lock_id: int, grant_seq: int) -> None:
+        lock = self._locks.get(lock_id)
+        if lock is None or lock.grant_seq != grant_seq:
+            return  # the grant this timer covered already ended
+        if lock.holder is None or lock.holder not in self._dead_threads:
+            return
+        self.stats.incr("lease_expiries")
+        self._force_release(lock)
+
+    def _force_release(self, lock: _LockState) -> None:
+        """Revoke a dead holder's grant and hand the lock to the next
+        waiter. The dead holder published nothing (its release never ran),
+        so the lock log is left alone -- waiters see the last completed
+        release, exactly the crash semantics of a real lease."""
+        if lock.waiters:
+            next_tid, gate = lock.waiters.popleft()
+            lock.holder = next_tid
+            self._arm_lease(lock)
+            gate.succeed()
+        else:
+            lock.holder = None
 
     # ------------------------------------------------------------------
     # object creation (zero-cost: done at program setup time)
@@ -113,6 +191,12 @@ class Manager:
         t = self.scl.send(comp, self.component, nbytes, category=category)
         if t is not None:
             yield from t
+        dedup = self.rpc_dedup
+        if dedup is not None:
+            # Reliable transport delivers each request once; retransmit
+            # replays re-present the same number and are dropped before the
+            # handler body (see FaultInjector.on_duplicate).
+            dedup.admit(comp, dedup.next_seq(comp))
         yield from self.resource.use(self.config.manager_service_time)
         self.stats.incr("requests")
 
@@ -169,6 +253,7 @@ class Manager:
         yield from self._rpc(comp, category="lock")
         if lock.holder is None:
             lock.holder = tid
+            self._arm_lease(lock)
         else:
             gate = self.engine.event(f"lock{lock_id}.wait")
             lock.waiters.append((tid, gate))
@@ -199,9 +284,11 @@ class Manager:
         if lock.waiters:
             next_tid, gate = lock.waiters.popleft()
             lock.holder = next_tid
+            self._arm_lease(lock)
             gate.succeed()
         else:
             lock.holder = None
+            lock.grant_seq += 1
         self.stats.incr("lock_releases")
 
     def holds_lock(self, tid: int, lock_id: int) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.recovery import RpcDedup
 from repro.memory.backing import BackingStore, PageFrame
 from repro.memory.directory import PageDirectory
 from repro.sim.engine import Engine, Timeout
@@ -23,6 +24,12 @@ from repro.sim.stats import StatSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import SamhitaSystem
+
+#: Inbound request categories a page home serves; the dedup endpoint
+#: filters on these so a retransmitted fetch/upgrade/diff-apply request
+#: never re-executes its handler.
+RPC_CATEGORIES = frozenset({"fetch_req", "upgrade_req", "diff",
+                            "barrier_diff"})
 
 
 class MemoryServer:
@@ -40,10 +47,23 @@ class MemoryServer:
         self.resource = Resource(engine, capacity=1, name=f"memserver{index}")
         self.stats = StatSet(f"memserver{index}")
         self._system: "SamhitaSystem | None" = None
+        #: Sequence-numbered idempotent delivery state, wired by the system
+        #: when fault injection is armed (None on the fault-free build).
+        self.rpc_dedup: RpcDedup | None = None
 
     def bind(self, system: "SamhitaSystem") -> None:
         """Late-bind the system for owner-recall resolution."""
         self._system = system
+
+    def _admit(self, peer) -> None:
+        """Record one request delivery in the dedup stream (faults armed).
+
+        The reliable transport delivers each request exactly once here;
+        retransmit replays are dropped by the same dedup instance before
+        any handler runs (see FaultInjector.on_duplicate)."""
+        dedup = self.rpc_dedup
+        if dedup is not None:
+            dedup.admit(peer, dedup.next_seq(peer))
 
     # ------------------------------------------------------------------
     # request handlers (generators run inside the requester's process)
@@ -61,6 +81,7 @@ class MemoryServer:
         owner-held page race -- the second would see ownership already
         cleared and read the home copy before the in-flight recall merges.
         """
+        self._admit(requester_tid)
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:
@@ -168,6 +189,7 @@ class MemoryServer:
         """
         assert self._system is not None, "memory server not bound to a system"
         system = self._system
+        self._admit(writer_comp)
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:
@@ -220,6 +242,7 @@ class MemoryServer:
         the data transfer happens while the server resource is still held,
         so no invalidating operation (upgrade, recall) can slip between the
         read and the requester's install."""
+        self._admit(requester_comp)
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:

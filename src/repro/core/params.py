@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
 from repro.memory.cache import EvictionPolicy
 from repro.memory.layout import MemoryLayout
 
@@ -79,6 +80,17 @@ class SamhitaConfig:
     manager_service_time: float = 1.5e-6
     memserver_service_time: float = 1.0e-6
 
+    # -- fault model ------------------------------------------------------
+    #: Seeded fault schedule, or None (the default) for a perfect network.
+    #: With None the fault subsystem is never constructed and the simulated
+    #: trajectory is bit-identical to builds predating it.
+    faults: FaultPlan | None = None
+    #: Lock lease duration in simulated seconds; 0.0 disables leases. With
+    #: leases on, a lock held past its lease by a thread marked dead is
+    #: forcibly released and re-granted to the next waiter instead of
+    #: wedging the system (counted as ``lease_expiries``).
+    lock_lease_time: float = 0.0
+
     # -- local software costs ---------------------------------------------
     #: Signal-handler + mprotect cost charged per page fault event.
     fault_handler_time: float = 1.0e-6
@@ -104,6 +116,10 @@ class SamhitaConfig:
             raise ReproError("stripe_threshold must exceed arena_max_alloc")
         if self.n_memory_servers < 1:
             raise ReproError("need at least one memory server")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ReproError("faults must be a FaultPlan or None")
+        if self.lock_lease_time < 0.0:
+            raise ReproError("lock_lease_time must be >= 0")
 
     def with_(self, **changes) -> "SamhitaConfig":
         """A modified copy (sweeps and ablations)."""

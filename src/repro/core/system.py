@@ -23,9 +23,14 @@ import math
 
 from repro.core.allocator import AllocationKind, SamhitaAllocator
 from repro.core.compute_server import ComputeServer
-from repro.core.manager import Manager
-from repro.core.memory_server import MemoryServer
+from repro.core.manager import Manager, RPC_CATEGORIES as MANAGER_RPCS
+from repro.core.memory_server import (
+    MemoryServer,
+    RPC_CATEGORIES as MEMSERVER_RPCS,
+)
 from repro.core.params import SamhitaConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RpcDedup
 from repro.core.placement import PlacementPolicy, choose_component
 from repro.core.regions import RegionTracker
 from repro.errors import BackendError, ConsistencyError, SynchronizationError
@@ -90,6 +95,27 @@ class SamhitaSystem:
         }
         self._compute_order = list(compute)
         self.placement = placement
+
+        # Fault injection: constructed ONLY when the config carries a plan,
+        # so the fault-free build never even imports a fault object into the
+        # hot path (attach_injector shadows transfer_inline per instance).
+        self.injector: FaultInjector | None = None
+        if self.config.faults is not None:
+            self.injector = FaultInjector(self.config.faults)
+            self.fabric.attach_injector(self.injector)
+            self.manager.rpc_dedup = RpcDedup(manager_comp, MANAGER_RPCS)
+            self.injector.register_endpoint(manager_comp,
+                                            self.manager.rpc_dedup)
+            for server in self.memory_servers:
+                server.rpc_dedup = RpcDedup(server.component, MEMSERVER_RPCS)
+                self.injector.register_endpoint(server.component,
+                                                server.rpc_dedup)
+            self.injector.watchdog.add(self.manager.recover_dead_holders)
+            self.engine.deadlock_hooks.append(self.injector.watchdog)
+        elif self.config.lock_lease_time > 0.0:
+            # Leases without injection: still give the engine a recoverer so
+            # a dead holder cannot wedge the run.
+            self.engine.deadlock_hooks.append(self.manager.recover_dead_holders)
 
         # Per-thread state.
         self._caches: dict[int, SoftwareCache] = {}
@@ -182,6 +208,14 @@ class SamhitaSystem:
         self.compute_servers[component].register_thread(tid)
         self.manager.known_threads.add(tid)
         return tid
+
+    def mark_thread_dead(self, tid: int) -> None:
+        """Declare a thread crashed for the recovery protocol.
+
+        Locks it holds become eligible for lease expiry (requires
+        ``config.lock_lease_time > 0``); waiters are re-granted at the
+        lease deadline instead of deadlocking."""
+        self.manager.mark_thread_dead(tid)
 
     # -- lookups used across components ---------------------------------
     def cache_of(self, tid: int) -> SoftwareCache:
@@ -550,4 +584,6 @@ class SamhitaSystem:
         for cs in self.compute_servers.values():
             merged_cs.merge(cs.stats)
         report["compute_servers"] = merged_cs.snapshot()
+        if self.injector is not None:
+            report["faults"] = self.injector.snapshot()
         return report

@@ -15,16 +15,56 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while processes were still blocked."""
+    """The event queue drained while processes were still blocked.
 
-    def __init__(self, blocked):
+    Carries the simulated time of the drain and each blocked process's wait
+    reason (the name of the event it is parked on), so a hung protocol run
+    reports *what* everyone was waiting for, not just *who* was waiting.
+    """
+
+    def __init__(self, blocked, now=None, reasons=None):
         self.blocked = tuple(blocked)
-        names = ", ".join(str(p) for p in self.blocked) or "<unknown>"
-        super().__init__(f"simulation deadlock; blocked processes: {names}")
+        self.now = now
+        self.reasons = dict(reasons or {})
+        if self.reasons:
+            names = ", ".join(
+                f"{p} waiting on {self.reasons.get(getattr(p, 'name', str(p)), '<unknown>')}"
+                for p in self.blocked) or "<unknown>"
+        else:
+            names = ", ".join(str(p) for p in self.blocked) or "<unknown>"
+        at = f" at t={now:.9f}s" if now is not None else ""
+        super().__init__(f"simulation deadlock{at}; blocked processes: {names}")
 
 
 class TopologyError(ReproError):
     """A route or component was requested that the topology does not have."""
+
+
+class CommunicationError(ReproError):
+    """A fabric-level communication failure (loss, corruption, dead link)."""
+
+
+class RpcTimeoutError(CommunicationError):
+    """An RPC exchange exceeded its timeout before a reply arrived."""
+
+    def __init__(self, src, dst, category, timeout, now=None):
+        self.src, self.dst, self.category = src, dst, category
+        self.timeout, self.now = timeout, now
+        at = f" at t={now:.9f}s" if now is not None else ""
+        super().__init__(
+            f"rpc {src}->{dst} ({category}) timed out after {timeout:g}s{at}")
+
+
+class RetryExhaustedError(CommunicationError):
+    """A retransmitted operation gave up after its full retry budget."""
+
+    def __init__(self, src, dst, category, attempts, now=None):
+        self.src, self.dst, self.category = src, dst, category
+        self.attempts, self.now = attempts, now
+        at = f" at t={now:.9f}s" if now is not None else ""
+        super().__init__(
+            f"transfer {src}->{dst} ({category}) still failing after "
+            f"{attempts} retransmits{at}; giving up")
 
 
 class MemoryError_(ReproError):

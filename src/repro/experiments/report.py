@@ -44,3 +44,36 @@ def format_figure(fr: FigureResult) -> str:
 def print_figure(fr: FigureResult) -> None:
     print(format_figure(fr))
     print()
+
+
+#: Recovery counters shown by the chaos report, in display order.
+FAULT_COUNTERS = ("retries", "timeouts", "retransmits", "dup_rpcs_dropped",
+                  "lease_expiries", "delay_spikes", "crash_drops")
+
+
+def format_chaos(rows: list[dict], clean_elapsed: float) -> str:
+    """Render the chaos-run table: one row per seeded fault schedule.
+
+    Each row dict carries ``profile``, ``seed``, ``data_identical``,
+    ``elapsed`` and the fault-stat ``counters``; ``clean_elapsed`` is the
+    fault-free baseline the slowdowns are relative to.
+    """
+    header = (["profile", "seed", "data", "slowdown"]
+              + list(FAULT_COUNTERS))
+    table = [header]
+    for row in rows:
+        counters = row["counters"]
+        table.append(
+            [row["profile"], str(row["seed"]),
+             "identical" if row["data_identical"] else "DIVERGED",
+             f"{row['elapsed'] / clean_elapsed:.2f}x"]
+            + [str(counters.get(c, 0)) for c in FAULT_COUNTERS])
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = ["# chaos: seeded fault schedules vs fault-free run",
+             "# 'data' compares final workload state bit-for-bit; faults "
+             "may only change timing"]
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

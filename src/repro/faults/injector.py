@@ -1,0 +1,135 @@
+"""The deterministic fault injector.
+
+One injector binds a :class:`~repro.faults.plan.FaultPlan` to a running
+fabric. Every non-local message consults :meth:`decide` exactly once, in the
+deterministic order the DES executes transfers, and the verdict stream is a
+pure function of (plan, message order) -- so a seeded chaos run replays
+bit-identically, which is what lets the chaos harness assert that faults
+perturb *timing* while the final data stays equal to the fault-free run.
+
+Verdicts are small tuples consumed by ``Fabric._transfer_faulty``:
+
+* ``None``               -- deliver normally (the only verdict an all-zero
+  plan can produce, keeping the armed-but-silent trajectory bit-identical);
+* ``("drop", counter)``  -- lost on the wire; ``counter`` names which fault
+  process fired (``drops_injected``, ``corruptions_detected``,
+  ``flap_drops``, ``crash_drops``);
+* ``("delay", extra)``   -- deliver after an ``extra``-second latency spike;
+* ``("dup", None)``      -- deliver, lose the ACK, retransmit; the
+  receiving endpoint's sequence check drops the replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan, RetryPolicy
+from repro.faults.recovery import DeadlockWatchdog, RpcDedup
+from repro.sim.stats import StatSet
+
+_DROP = "drop"
+_DELAY = "delay"
+_DUP = "dup"
+
+
+class FaultInjector:
+    """Turns a FaultPlan into per-message verdicts + recovery bookkeeping."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.retry: RetryPolicy = plan.retry
+        self._rng = random.Random(plan.seed)
+        self.stats = StatSet("faults")
+        #: RPC endpoints (manager, memory servers) keyed by component name;
+        #: each entry is a list because co-located endpoints (single-node
+        #: machines) share a component.
+        self._endpoints: dict[str, list[RpcDedup]] = {}
+        #: Operations a recoverer may need to re-arm at heap drain; normally
+        #: empty because every retransmit schedules its own timer. Maps a
+        #: blocking event to a zero-argument re-arm callable.
+        self.outstanding: dict = {}
+        self.watchdog = DeadlockWatchdog()
+        self.watchdog.add(self._rearm_outstanding)
+        # Window tuples are hot-path data: hold them as locals-friendly
+        # tuples and precompute the earliest window start so the common
+        # "no window active" case is one float compare.
+        self._flaps = tuple(plan.link_flaps)
+        self._crashes = tuple(plan.server_crash_windows)
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def decide(self, src: str, dst: str, category: str, now: float):
+        """One verdict per message; ``None`` means deliver normally."""
+        for comp, start, end in self._crashes:
+            if dst == comp and start <= now < end:
+                return (_DROP, "crash_drops")
+        for a, b, start, end in self._flaps:
+            if (start <= now < end
+                    and ((src == a and dst == b) or (src == b and dst == a))):
+                return (_DROP, "flap_drops")
+        plan = self.plan
+        rng = self._rng
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            return (_DROP, "drops_injected")
+        if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+            # Flagged corruption: the receiver's CRC check catches it and
+            # discards the message -- the payload itself is never touched.
+            return (_DROP, "corruptions_detected")
+        if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
+            return (_DELAY, plan.latency_spike_time * (0.5 + rng.random()))
+        if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
+            return (_DUP, None)
+        return None
+
+    # ------------------------------------------------------------------
+    # idempotent-RPC bookkeeping
+    # ------------------------------------------------------------------
+    def register_endpoint(self, component: str, dedup: RpcDedup) -> None:
+        self._endpoints.setdefault(component, []).append(dedup)
+
+    def on_duplicate(self, src: str, dst: str, category: str) -> None:
+        """A retransmit re-delivered an already-delivered message.
+
+        Route it to the destination's RPC endpoint: the original delivery
+        consumed a fresh sequence number, the replay re-presents it, and the
+        endpoint's high-water check drops it (``dup_rpcs_dropped``). Data
+        messages with no registered endpoint are simply discarded by the
+        receiver's transport layer.
+        """
+        for dedup in self._endpoints.get(dst, ()):
+            if category in dedup.categories:
+                seq = dedup.next_seq(src)
+                dedup.admit(src, seq)          # the original delivery
+                dedup.admit(src, seq)          # the replay: dropped
+                self.stats.counters["dup_rpcs_dropped"] += 1
+                return
+        self.stats.counters["dup_msgs_discarded"] += 1
+
+    # ------------------------------------------------------------------
+    # watchdog recoverers
+    # ------------------------------------------------------------------
+    def _rearm_outstanding(self, blocked) -> bool:
+        """Re-arm any fault-held operation a blocked process waits on.
+
+        Safety net for 'blocked on a lost message': the transport schedules
+        its own retransmit timers, so this registry is empty unless a fault
+        path deliberately parked an operation (see the recovery tests).
+        """
+        recovered = False
+        for proc in blocked:
+            rearm = self.outstanding.pop(getattr(proc, "blocked_on", None), None)
+            if rearm is not None:
+                rearm()
+                self.stats.counters["watchdog_rearms"] += 1
+                recovered = True
+        return recovered
+
+    def snapshot(self) -> dict:
+        """Fault + recovery counters, endpoints merged in."""
+        merged = StatSet("faults")
+        merged.merge(self.stats)
+        for endpoints in self._endpoints.values():
+            for dedup in endpoints:
+                merged.merge(dedup.stats)
+        return merged.snapshot()

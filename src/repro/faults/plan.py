@@ -1,0 +1,144 @@
+"""Fault plans: declarative, seeded descriptions of what goes wrong.
+
+A :class:`FaultPlan` is pure configuration -- frozen, hashable, with a
+deterministic ``repr`` (so it composes with the experiment result cache's
+``cell_key``). It names the fault *processes* (loss, corruption, latency
+spikes, duplicate deliveries, link flaps, memory-server crash windows) and
+the seed that makes every run over it replay bit-identically; the
+:class:`~repro.faults.injector.FaultInjector` turns it into per-message
+verdicts, and :class:`RetryPolicy` bounds the recovery protocol that copes.
+
+Corruption is *flagged*, never applied: the simulation models a CRC check at
+the receiver that detects the damage and discards the message, so the data
+plane is untouched by construction and a corrupted message costs exactly one
+retransmit round. Faults may change timing; they can never change data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / capped-exponential-backoff budget for reliable transfers."""
+
+    #: Sender-side retransmission timeout for one message (seconds). Sized a
+    #: generous multiple of the worst canonical-fabric round trip so a slow
+    #: reply is never mistaken for a lost one.
+    timeout: float = 25e-6
+    #: Backoff multiplier applied per consecutive retransmit.
+    backoff: float = 2.0
+    #: Ceiling on the backed-off wait (keeps crash windows survivable
+    #: without letting the wait grow unbounded).
+    max_backoff: float = 2e-3
+    #: Retransmits before the sender gives up with RetryExhaustedError.
+    max_retries: int = 64
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise ReproError("retry timeout must be positive")
+        if self.backoff < 1.0:
+            raise ReproError("retry backoff must be >= 1.0")
+        if self.max_backoff < self.timeout:
+            raise ReproError("max_backoff must be >= timeout")
+        if self.max_retries < 1:
+            raise ReproError("need at least one retry")
+
+    def delay(self, attempt: int) -> float:
+        """Backed-off wait before retransmit number ``attempt`` (1-based)."""
+        return min(self.timeout * (self.backoff ** (attempt - 1)),
+                   self.max_backoff)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule.
+
+    Rates are per-message probabilities drawn from a ``random.Random``
+    seeded with ``seed``; windows are absolute simulated-time intervals
+    ``[start, end)``. The all-zero default plan is the *armed-but-silent*
+    configuration: the injector is attached, every message flows through its
+    decision point, and the simulated trajectory must stay bit-identical to
+    a build without the injector (pinned by the faults-off property test
+    and the ``--check-faults-off`` bench gate).
+    """
+
+    seed: int = 0
+    #: Per-message probability the message is lost on the wire.
+    drop_rate: float = 0.0
+    #: Per-message probability of payload corruption. Detected by the
+    #: receiver's CRC check and discarded -- timing-wise a drop, counted
+    #: separately so the CRC path is visible.
+    corrupt_rate: float = 0.0
+    #: Per-message probability of a latency spike (congestion, page-pinned
+    #: DMA stall...). The spike adds ``latency_spike_time * u`` seconds
+    #: with u ~ Uniform[0.5, 1.5).
+    latency_spike_rate: float = 0.0
+    latency_spike_time: float = 50e-6
+    #: Per-message probability the message is delivered but its ACK is lost:
+    #: the sender retransmits and the receiver's sequence check must drop
+    #: the duplicate (the idempotent-RPC path).
+    duplicate_rate: float = 0.0
+    #: Transient link flaps: ``(src, dst, start, end)`` -- every message
+    #: between the two components (either direction) during the window is
+    #: lost.
+    link_flaps: tuple = ()
+    #: Memory-server crash/restart windows: ``(component, start, end)`` --
+    #: the component is down and receives nothing during the window;
+    #: senders back off and retransmit until the restart.
+    server_crash_windows: tuple = ()
+    #: Recovery budget used by the reliable-transfer layer.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self):
+        for name in ("drop_rate", "corrupt_rate", "latency_spike_rate",
+                     "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value!r}")
+        if self.latency_spike_time < 0:
+            raise ReproError("latency_spike_time must be >= 0")
+        for window in self.link_flaps:
+            if len(window) != 4 or window[2] > window[3]:
+                raise ReproError(f"malformed link flap {window!r}; "
+                                 "want (src, dst, start, end)")
+        for window in self.server_crash_windows:
+            if len(window) != 3 or window[1] > window[2]:
+                raise ReproError(f"malformed crash window {window!r}; "
+                                 "want (component, start, end)")
+
+    @property
+    def silent(self) -> bool:
+        """True when no fault process can ever fire (rates zero, no windows)."""
+        return (self.drop_rate == 0.0 and self.corrupt_rate == 0.0
+                and self.latency_spike_rate == 0.0
+                and self.duplicate_rate == 0.0
+                and not self.link_flaps and not self.server_crash_windows)
+
+
+#: Canonical chaos profiles for the test harness and CI: each maps a name to
+#: a FaultPlan factory taking (seed) -- windows are sized for the chaos
+#: suite's small functional runs (elapsed on the order of milliseconds).
+def drop_storm(seed: int) -> FaultPlan:
+    """Random loss + CRC-detected corruption + duplicate deliveries."""
+    return FaultPlan(seed=seed, drop_rate=0.03, corrupt_rate=0.01,
+                     duplicate_rate=0.02)
+
+
+def latency_storm(seed: int) -> FaultPlan:
+    """Heavy-tailed latency spikes, no loss."""
+    return FaultPlan(seed=seed, latency_spike_rate=0.08,
+                     latency_spike_time=80e-6)
+
+
+def server_outage(seed: int, component: str, start: float,
+                  duration: float) -> FaultPlan:
+    """One memory-server crash/restart window plus light background loss."""
+    return FaultPlan(seed=seed, drop_rate=0.01,
+                     server_crash_windows=((component, start, start + duration),))
+
+
+CHAOS_PROFILES = ("drop_storm", "latency_storm", "server_outage")

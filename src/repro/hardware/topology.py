@@ -64,8 +64,10 @@ class Topology:
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
-        if src not in self.components or dst not in self.components:
-            raise TopologyError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        for name in (src, dst):
+            if name not in self.components:
+                raise TopologyError(
+                    f"unknown component {name!r} in route {src!r} -> {dst!r}")
         try:
             path = nx.shortest_path(self.graph, src, dst, weight="weight")
         except nx.NetworkXNoPath:

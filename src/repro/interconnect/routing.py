@@ -16,6 +16,7 @@ from collections import defaultdict
 from math import ceil
 from typing import TYPE_CHECKING
 
+from repro.errors import RetryExhaustedError
 from repro.interconnect.base import LinkModel
 from repro.sim.engine import AdvanceTo, Engine, Timeout
 from repro.sim.resources import Resource
@@ -53,6 +54,10 @@ class Fabric:
         #: thousands of times per simulation and the per-call route lookup
         #: plus per-link serialize_time() method calls dominated its cost.
         self._route_plans: dict[tuple[str, str], tuple] = {}
+        #: Fault injector, or None. Attached via :meth:`attach_injector`,
+        #: which shadows ``transfer_inline`` on the instance -- the clean
+        #: path below carries zero injection overhead when disabled.
+        self._injector = None
 
     def _resource_for(self, link: LinkModel) -> Resource:
         key = id(link)
@@ -215,6 +220,111 @@ class Fabric:
                 return None
             return self._slow_one(AdvanceTo(target))
         return self._slow_legacy(latency, serialize, lead, tail)
+
+    # -- fault injection --------------------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Arm fault injection on this fabric instance.
+
+        Installs :meth:`_transfer_inline_faulty` as an *instance* attribute
+        shadowing the class-level ``transfer_inline``, so the clean hot path
+        stays byte-for-byte unchanged when no injector is attached -- there
+        is no ``if self._injector`` branch to pay on the fault-free build.
+        """
+        self._injector = injector
+        self.transfer_inline = self._transfer_inline_faulty
+
+    def detach_injector(self) -> None:
+        """Disarm injection; the class-level clean path takes over again."""
+        self._injector = None
+        self.__dict__.pop("transfer_inline", None)
+
+    def _transfer_inline_faulty(self, src: str, dst: str, nbytes: int,
+                                category: str = "data",
+                                lead: float = 0.0, tail: float = 0.0):
+        """Injection shim: consult the injector once per wire message.
+
+        Local delivery (``src == dst``) never touches the wire, so it gets
+        no verdict and -- crucially for determinism -- consumes no RNG
+        draws. A ``None`` verdict falls straight through to the clean class
+        method, which keeps an all-zero :class:`FaultPlan` bit-identical to
+        the injector-absent build.
+        """
+        if src != dst:
+            verdict = self._injector.decide(src, dst, category,
+                                            self.engine.now)
+            if verdict is not None:
+                return self._transfer_faulty(verdict, src, dst, nbytes,
+                                             category, lead, tail)
+        return Fabric.transfer_inline(self, src, dst, nbytes, category,
+                                      lead, tail)
+
+    def _transfer_faulty(self, verdict, src, dst, nbytes, category,
+                         lead, tail):
+        """Generator: one message under a fault verdict, with recovery.
+
+        Models a reliable transport (InfiniBand RC style): a lost or
+        CRC-rejected message costs the sender a timeout, then a capped
+        exponential backoff and a retransmit that gets a fresh verdict.
+        Duplicate delivery models a lost ACK -- the payload lands, the
+        sender retransmits anyway, and the receiver's sequence check drops
+        the replay, so handlers still execute exactly once. Faults therefore
+        perturb *timing and message counts* but never the data the protocol
+        layers observe.
+        """
+        engine = self.engine
+        inj = self._injector
+        counters = inj.stats.counters
+        retry = inj.retry
+        clean = Fabric.transfer_inline
+        attempt = 0
+        while verdict is not None:
+            kind, arg = verdict
+            if kind == "delay":
+                # Latency spike: the message is late, not lost.
+                counters["delay_spikes"] += 1
+                if not engine.try_advance(arg):
+                    yield Timeout(arg)
+                break
+            if kind == "dup":
+                # Delivered fine, but the ACK is lost: the sender times out
+                # and retransmits; the receiver's sequence check drops the
+                # replay, so the handler body runs once.
+                t = clean(self, src, dst, nbytes, category, lead, tail)
+                if t is not None:
+                    yield from t
+                attempt += 1
+                counters["timeouts"] += 1
+                counters["retries"] += 1
+                delay = retry.delay(attempt)
+                if not engine.try_advance(delay):
+                    yield Timeout(delay)
+                counters["retransmits"] += 1
+                inj.on_duplicate(src, dst, category)
+                # The replay costs the wire again but none of the fused
+                # local work (diff scan/install already happened once).
+                t = clean(self, src, dst, nbytes, category, 0.0, 0.0)
+                if t is not None:
+                    yield from t
+                return
+            # kind == "drop": lost on the wire; ``arg`` names which fault
+            # process fired (drops_injected, corruptions_detected,
+            # flap_drops, crash_drops).
+            counters[arg] += 1
+            counters["drops"] += 1
+            attempt += 1
+            if attempt > retry.max_retries:
+                raise RetryExhaustedError(src, dst, category, attempt - 1,
+                                          now=engine.now)
+            counters["timeouts"] += 1
+            counters["retries"] += 1
+            delay = retry.delay(attempt)
+            if not engine.try_advance(delay):
+                yield Timeout(delay)
+            counters["retransmits"] += 1
+            verdict = inj.decide(src, dst, category, engine.now)
+        t = clean(self, src, dst, nbytes, category, lead, tail)
+        if t is not None:
+            yield from t
 
     # -- slow-path generators for transfer_inline ------------------------
     def _slow_one(self, command):

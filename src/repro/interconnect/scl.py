@@ -6,6 +6,14 @@ protocol", mapping naturally onto InfiniBand RDMA (and prospectively onto
 SCIF). We reproduce that interface: one-sided ``rdma_get``/``rdma_put`` for
 bulk data and small ``send``/``request_response`` control messages, all
 priced through the fabric.
+
+Reliability: every SCL operation funnels through
+``Fabric.transfer_inline``, which is also the fault-injection boundary
+(:mod:`repro.faults`). When a :class:`FaultPlan` is armed, the fabric runs
+a reliable-transport retry loop under each transfer -- timeout, capped
+exponential backoff, retransmit -- so SCL callers see at-least-once
+delivery with unchanged data, exactly like verbs RC. With faults disabled
+these methods are byte-for-byte the clean hot path.
 """
 
 from __future__ import annotations

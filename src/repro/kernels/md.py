@@ -35,6 +35,12 @@ class MDParams:
     mass: float = 1.0
     seed: int = 42
     collect_energy: bool = True
+    #: Thread 0 additionally returns the final (pos, vel) arrays. Unlike the
+    #: mutex-ordered energy accumulation (whose float sum depends on lock
+    #: handoff order), the particle state is partitioned per thread and
+    #: therefore independent of timing -- it is what the chaos harness
+    #: compares bit-for-bit against a fault-free run.
+    collect_state: bool = False
 
     def __post_init__(self):
         if self.n_particles < 2:
@@ -190,6 +196,10 @@ def md_thread(ctx: ThreadCtx, shared: dict, lock: Lock, bar: Barrier,
             data = yield from ctx.read(energy_addr, 8)
             energies.append(float(data.view(np.float64)[0]))
 
+    if params.collect_state and ctx.functional and ctx.tid == 0:
+        final_pos = yield from pos.read_rows(0, n)
+        final_vel = yield from vel.read_rows(0, n)
+        return energies, final_pos.copy(), final_vel.copy()
     return energies
 
 

@@ -124,6 +124,12 @@ class Engine:
         self.coalesce = _COALESCE_DEFAULT if coalesce is None else coalesce
         self._procs: list[Process] = []
         self._failed: list[tuple[Process, BaseException]] = []
+        #: Deadlock hooks: callables ``fn(blocked) -> bool`` consulted when
+        #: the heap drains with non-daemon processes still blocked. A hook
+        #: returning True means it scheduled recovery work (a lease expiry,
+        #: a retransmit re-arm) and the run continues; only when every hook
+        #: declines does DeadlockError propagate. Empty by default.
+        self.deadlock_hooks: list = []
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -320,8 +326,9 @@ class Engine:
         """Advance the simulation until the heap drains or `until` is reached.
 
         Raises :class:`DeadlockError` if non-daemon processes remain blocked
-        with no scheduled work, and re-raises the first unhandled process
-        exception.
+        with no scheduled work (after giving every :attr:`deadlock_hooks`
+        entry the chance to schedule recovery work), and re-raises the first
+        unhandled process exception.
         """
         heap = self._heap
         failed = self._failed
@@ -331,26 +338,42 @@ class Engine:
         # the `time > until` check below can see it).
         self._until = until
         try:
-            while heap:
-                entry = heap[0]
-                time = entry[0]
-                if time > until:
-                    self.now = until
-                    self._raise_failures()
+            while True:
+                while heap:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > until:
+                        self.now = until
+                        self._raise_failures()
+                        return self.now
+                    heappop(heap)
+                    if time < self.now:  # pragma: no cover - guarded by schedule()
+                        raise SimulationError("event heap went backwards in time")
+                    self.now = time
+                    entry[2](*entry[3])
+                    if failed:
+                        self._raise_failures()
+                blocked = [p for p in self._procs if p._alive and not p.daemon]
+                if not blocked:
                     return self.now
-                heappop(heap)
-                if time < self.now:  # pragma: no cover - guarded by schedule()
-                    raise SimulationError("event heap went backwards in time")
-                self.now = time
-                entry[2](*entry[3])
-                if failed:
-                    self._raise_failures()
+                if not any(hook(blocked) for hook in self.deadlock_hooks):
+                    raise DeadlockError(blocked, now=self.now,
+                                        reasons=self._wait_reasons(blocked))
+                # A hook scheduled recovery work: keep draining the heap.
         finally:
             self._until = inf
-        blocked = [p for p in self._procs if p._alive and not p.daemon]
-        if blocked:
-            raise DeadlockError(blocked)
-        return self.now
+
+    @staticmethod
+    def _wait_reasons(blocked) -> dict:
+        """``{process name: what it waits on}`` for deadlock diagnostics."""
+        reasons = {}
+        for proc in blocked:
+            event = proc.blocked_on
+            if event is None:
+                reasons[proc.name] = "<not waiting on any event>"
+            else:
+                reasons[proc.name] = getattr(event, "name", "") or repr(event)
+        return reasons
 
     def _raise_failures(self) -> None:
         if self._failed:

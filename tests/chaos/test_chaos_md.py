@@ -1,0 +1,53 @@
+"""Chaos: molecular dynamics under fault schedules keeps particle state.
+
+The MD energy accumulator is mutex-ordered, so its float sum depends on
+lock handoff order -- which faults legitimately perturb. The *particle
+state* (positions and velocities) is block-partitioned per thread and
+independent of timing, so that is what must survive every fault schedule
+bit-for-bit (``MDParams.collect_state``).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.params import SamhitaConfig
+from repro.experiments.harness import run_workload_direct
+from repro.kernels.md import MDParams, spawn_md
+
+from tests.chaos.conftest import chaos_profiles, chaos_seeds
+
+pytestmark = pytest.mark.chaos
+
+N_THREADS = 4
+PARAMS = MDParams(n_particles=48, steps=3, collect_energy=False,
+                  collect_state=True)
+
+
+def _run(config=None):
+    result = run_workload_direct("samhita", N_THREADS, spawn_md, PARAMS,
+                                 functional=True, config=config)
+    _energies, pos, vel = result.threads[0].value
+    digest = hashlib.sha256(pos.tobytes() + vel.tobytes()).hexdigest()
+    return digest, result
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    digest, result = _run()
+    return digest, result.elapsed
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+@pytest.mark.parametrize("profile", ["drop_storm", "latency_storm",
+                                     "server_outage"])
+def test_md_particle_state_survives_faults(baseline, profile, seed):
+    plan = chaos_profiles(seed)[profile]
+    digest, result = _run(SamhitaConfig(faults=plan))
+    assert digest == baseline[0]
+    faults = result.stats["faults"]
+    if profile == "latency_storm":
+        assert faults.get("delay_spikes", 0) > 0
+    else:
+        assert faults.get("retries", 0) > 0
+        assert faults.get("retransmits", 0) > 0

@@ -1,0 +1,45 @@
+"""Property test: an armed-but-silent fault injector changes nothing.
+
+Importing the faults subsystem and attaching an injector whose plan has
+every rate at zero must leave the simulation bit-identical to the
+injector-absent build: same per-thread clocks, same cache counters, same
+read results and pending diffs, same elapsed time. This is the determinism
+contract that lets the chaos harness trust its fault-free baselines.
+
+Reuses the observable-state capture machinery of
+:mod:`tests.property.test_plan_equivalence`.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.params import SamhitaConfig
+from repro.faults import FaultPlan
+
+from tests.property.test_plan_equivalence import _run, operations
+
+
+@given(operations)
+@settings(max_examples=25, deadline=None)
+def test_silent_injector_is_bit_identical_functional(ops):
+    bare = _run(ops, functional=True, use_plan=True)
+    armed = _run(ops, functional=True, use_plan=True,
+                 config=SamhitaConfig(functional=True,
+                                      faults=FaultPlan(seed=1234)))
+    assert bare == armed
+
+
+@given(operations)
+@settings(max_examples=25, deadline=None)
+def test_silent_injector_is_bit_identical_timing(ops):
+    bare = _run(ops, functional=False, use_plan=False)
+    armed = _run(ops, functional=False, use_plan=False,
+                 config=SamhitaConfig(functional=False,
+                                      faults=FaultPlan(seed=99)))
+    assert bare == armed
+
+
+def test_silent_plan_reports_silent():
+    assert FaultPlan(seed=7).silent
+    assert not FaultPlan(seed=7, drop_rate=0.01).silent
+    assert not FaultPlan(
+        seed=7, server_crash_windows=(("node1", 0.0, 1.0),)).silent

@@ -44,10 +44,16 @@ def _clamp(off, nbytes):
     return off, min(nbytes, REGION - off)
 
 
-def _run(ops, functional, use_plan):
-    """Execute the op sequence one way; return all observable state."""
+def _run(ops, functional, use_plan, config=None):
+    """Execute the op sequence one way; return all observable state.
+
+    ``config`` overrides the runtime configuration (it must keep
+    ``functional`` consistent with the flag); the faults-off equivalence
+    test reuses this to compare an armed-but-silent injector build against
+    the injector-absent one.
+    """
     rt = Runtime("samhita", n_threads=1,
-                 config=SamhitaConfig(functional=functional))
+                 config=config or SamhitaConfig(functional=functional))
     captured = {}
 
     def program(ctx):

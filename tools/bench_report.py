@@ -9,6 +9,7 @@ The gates (used by CI after ``benchmarks/bench_perf.py``)::
 
     python tools/bench_report.py --check [--max-ratio 1.0]
     python tools/bench_report.py --check-events [--min-event-reduction 3.0]
+    python tools/bench_report.py --check-faults-off
 
 ``--check`` exits non-zero when the measured serial smoke-campaign wall
 clock exceeds ``max_ratio x`` the recorded seed baseline -- i.e. when a
@@ -23,6 +24,13 @@ count is less than ``min_event_reduction x`` below the recorded seed
 count. Event counts are deterministic (no interpreter or box noise), so
 this gate is tight: it pins the batching/coalescing win itself, not the
 wall clock it happens to buy.
+
+``--check-faults-off`` exits non-zero when the two recorded trajectory
+fingerprints -- fault injector absent vs compiled in but disabled (an
+all-zero FaultPlan) -- differ in any field. Fingerprints are exact
+simulated metrics (grid hash, elapsed, event and cache counters), so this
+gate is bit-tight: arming the fault subsystem with nothing to inject must
+change NOTHING.
 """
 
 from __future__ import annotations
@@ -66,6 +74,16 @@ def render(report: dict) -> str:
                      f"{cell.get('events_coalesced', 0):>9,} "
                      f"{cell['events_per_sec']:>10,} "
                      f"{cell['cache_ops_per_sec']:>11,}")
+    chaos = report.get("chaos")
+    if chaos:
+        lines.append("")
+        counters = chaos.get("counters", {})
+        lines.append(
+            f"chaos {chaos['plan']}: data_identical={chaos['data_identical']}"
+            f"  retries={counters.get('retries', 0)}"
+            f"  timeouts={counters.get('timeouts', 0)}"
+            f"  retransmits={counters.get('retransmits', 0)}"
+            f"  dup_rpcs_dropped={counters.get('dup_rpcs_dropped', 0)}")
     for note in report.get("notes", ()):
         lines.append(f"note: {note}")
     return "\n".join(lines)
@@ -104,6 +122,24 @@ def check_events(report: dict, min_reduction: float) -> tuple[bool, str]:
     return ok, msg
 
 
+def check_faults_off(report: dict) -> tuple[bool, str]:
+    """The faults-off gate: armed-but-silent must equal injector-absent,
+    field for field (exact floats and counter dicts, no tolerance)."""
+    fingerprints = report.get("faults_off")
+    if not fingerprints:
+        return False, ("report has no 'faults_off' block; regenerate it "
+                       "with the current benchmarks/bench_perf.py")
+    absent = fingerprints.get("injector_absent", {})
+    silent = fingerprints.get("injector_silent", {})
+    diverged = sorted(k for k in set(absent) | set(silent)
+                      if absent.get(k) != silent.get(k))
+    if diverged:
+        return False, ("faults-off fingerprints DIVERGED in: "
+                       + ", ".join(diverged))
+    return True, ("faults-off fingerprints bit-identical "
+                  f"({len(absent)} fields compared)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="BENCH_perf.json",
@@ -120,6 +156,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-event-reduction", type=float, default=3.0,
                         help="required event-count reduction vs seed "
                              "(default 3.0)")
+    parser.add_argument("--check-faults-off", action="store_true",
+                        help="determinism gate: exit 1 unless the recorded "
+                             "injector-absent and injector-silent "
+                             "fingerprints are bit-identical")
     args = parser.parse_args(argv)
 
     path = pathlib.Path(args.report)
@@ -137,6 +177,10 @@ def main(argv=None) -> int:
         failed |= not ok
     if args.check_events:
         ok, msg = check_events(report, args.min_event_reduction)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    if args.check_faults_off:
+        ok, msg = check_faults_off(report)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
         failed |= not ok
     return 1 if failed else 0
