@@ -58,12 +58,12 @@ BASELINE_SEED = {
 }
 
 
-def run_smoke(executor=None) -> float:
+def run_smoke(executor=None, config=None) -> float:
     """Run the smoke campaign once; returns wall-clock seconds."""
     t0 = time.perf_counter()
     with activate(executor):
         for name in SMOKE_FIGURES:
-            figures.FIGURES[name](**_QUICK_KWARGS[name])
+            figures.FIGURES[name](**_QUICK_KWARGS[name], config=config)
     return time.perf_counter() - t0
 
 
@@ -174,6 +174,93 @@ def chaos_counters() -> dict:
     }
 
 
+class _AggregatingExecutor(Executor):
+    """Serial executor summing data-plane counters over unique Samhita cells."""
+
+    KEYS = ("fetch_requests", "pages_fetched", "faults",
+            "batched_line_fetches")
+
+    def __init__(self, totals: dict):
+        super().__init__(workers=0, cache=None)
+        self.totals = totals
+        self._seen: dict[str, object] = {}
+
+    def map(self, specs):
+        out = []
+        for spec in specs:
+            key = cell_key(spec)
+            result = self._seen.get(key)
+            if result is None:
+                result = super().map([spec])[0]
+                self._seen[key] = result
+                if spec.backend == "samhita":
+                    _absorb_stats(self.totals, result)
+            out.append(result)
+        return out
+
+
+def _absorb_stats(totals: dict, result) -> None:
+    cs = result.stats.get("compute_servers", {})
+    for key in _AggregatingExecutor.KEYS:
+        totals[key] = totals.get(key, 0) + cs.get(key, 0)
+    prefetch = result.stats.get("prefetch", {})
+    for key in ("prefetch_installs", "prefetch_hits"):
+        totals[key] = totals.get(key, 0) + prefetch.get(key, 0)
+    engine = result.stats.get("engine", {})
+    totals["events_scheduled"] = (totals.get("events_scheduled", 0)
+                                  + engine.get("scheduled_events", 0))
+
+
+#: The Jacobi smoke campaign the prefetch gate measures: the canonical
+#: functional Jacobi cell plus the fig12 --quick Samhita cells. (fig03's
+#: per-thread arrays span two cache lines at --quick scale -- structurally
+#: nothing to prefetch -- so it carries no signal for this gate.)
+PREFETCH_GATE_FIGURE = "fig12"
+
+
+def _prefetch_campaign(config) -> dict:
+    """Run the Jacobi smoke campaign under one config; summed counters."""
+    totals: dict = {}
+    _, result = _jacobi_fingerprint(config)
+    _absorb_stats(totals, result)
+    with activate(_AggregatingExecutor(totals)):
+        figures.FIGURES[PREFETCH_GATE_FIGURE](
+            **_QUICK_KWARGS[PREFETCH_GATE_FIGURE], config=config)
+    return totals
+
+
+def prefetch_comparison() -> dict:
+    """Compat vs adaptive data plane over the Jacobi smoke campaign.
+
+    The ``--check-prefetch`` gate in tools/bench_report.py reads this
+    block: remote line fetches (``fetch_requests``, one per home-server
+    round trip) must drop by the gated fraction, prefetch accuracy must
+    clear the gated floor, and the adaptive plane must not schedule more
+    DES events than the compat plane.
+    """
+    from repro.core.params import SamhitaConfig
+
+    compat = _prefetch_campaign(SamhitaConfig.compat_cache())
+    adaptive = _prefetch_campaign(SamhitaConfig.adaptive_cache())
+    installs = adaptive["prefetch_installs"]
+    fetch_reduction = (1.0 - adaptive["fetch_requests"]
+                       / compat["fetch_requests"]
+                       if compat["fetch_requests"] else None)
+    return {
+        "campaign": ("jacobi 64x256x3 functional cell + "
+                     f"{PREFETCH_GATE_FIGURE} --quick samhita cells"),
+        "compat": compat,
+        "adaptive": adaptive,
+        "fetch_reduction": (round(fetch_reduction, 4)
+                            if fetch_reduction is not None else None),
+        "prefetch_accuracy": (round(adaptive["prefetch_hits"] / installs, 4)
+                              if installs else 1.0),
+        "accuracy_note": ("accuracy over adaptive-mode installs; an "
+                          "install-free campaign (everything batched on "
+                          "demand) counts as perfectly accurate"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_perf.json",
@@ -198,8 +285,19 @@ def main(argv=None) -> int:
     faults_off = faults_off_fingerprint()
     chaos = chaos_counters()
 
+    print("prefetch comparison (compat vs adaptive data plane) ...")
+    prefetch = prefetch_comparison()
+
     print(f"after_serial: best of {args.best_of} ...")
     serial_best, serial_runs = best_of(args.best_of, run_smoke)
+
+    print(f"after_adaptive_cache: best of {args.best_of} ...")
+    from repro.core.params import SamhitaConfig
+
+    def run_adaptive():
+        return run_smoke(config=SamhitaConfig.adaptive_cache())
+
+    adaptive_best, adaptive_runs = best_of(args.best_of, run_adaptive)
 
     print(f"after_workers{workers}_cold: best of {args.best_of} ...")
 
@@ -244,6 +342,14 @@ def main(argv=None) -> int:
                 "runs": [round(r, 3) for r in serial_runs],
                 "speedup_vs_seed": round(seed / serial_best, 2),
             },
+            "after_adaptive_cache": {
+                "wall_s": round(adaptive_best, 3),
+                "runs": [round(r, 3) for r in adaptive_runs],
+                "speedup_vs_seed": round(seed / adaptive_best, 2),
+                "config": "SamhitaConfig.adaptive_cache()",
+                "fetch_reduction": prefetch["fetch_reduction"],
+                "prefetch_accuracy": prefetch["prefetch_accuracy"],
+            },
             f"after_workers{workers}_cold": {
                 "wall_s": round(cold, 3),
                 "runs": [round(r, 3) for r in cold_runs],
@@ -256,6 +362,7 @@ def main(argv=None) -> int:
             },
         },
         "cells": cells,
+        "prefetch": prefetch,
         "faults_off": faults_off,
         "chaos": chaos,
         "notes": [
@@ -273,6 +380,10 @@ def main(argv=None) -> int:
     print(f"  seed baseline        {seed:7.3f} s")
     print(f"  after_serial         {serial_best:7.3f} s  "
           f"({seed / serial_best:.2f}x vs seed)")
+    print(f"  after_adaptive_cache {adaptive_best:7.3f} s  "
+          f"({seed / adaptive_best:.2f}x vs seed; "
+          f"fetches -{prefetch['fetch_reduction'] * 100:.0f}%, "
+          f"accuracy {prefetch['prefetch_accuracy'] * 100:.0f}%)")
     print(f"  workers{workers} cold        {cold:7.3f} s  "
           f"({seed / cold:.2f}x vs seed)")
     print(f"  workers{workers} warm cache  {warm:7.3f} s  "

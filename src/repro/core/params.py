@@ -21,6 +21,57 @@ from repro.memory.layout import MemoryLayout
 
 
 @dataclass(frozen=True)
+class PrefetchPolicy:
+    """Prefetch policy of the software-cache data plane.
+
+    ``mode`` selects the predictor:
+
+    * ``"adjacent"`` -- the paper's anticipatory paging: every demand miss
+      fires one asynchronous fetch of the next cache line (§II). This is
+      the compatibility default and the behaviour the stride predictor
+      demotes to when its predictions miss.
+    * ``"stride"`` -- a per-thread reference-prediction table over the
+      demand-miss line stream: constant forward/backward strides (and
+      sequential runs, stride +1) are detected after ``min_confidence``
+      repeats, and ``degree`` lines ahead are fetched as ONE batched
+      request per home server.
+    * ``"none"`` -- demand paging only (the ablation).
+
+    The throttle keeps the stride predictor honest: every
+    ``throttle_window`` prefetched pages the measured accuracy
+    (``prefetch_hits / prefetch_installs`` over the window) is compared
+    against ``throttle_accuracy``; below it the thread is demoted to
+    adjacent-line behaviour, and promoted back once a (still-measured)
+    window clears the bar again.
+    """
+
+    mode: str = "adjacent"
+    #: Lines fetched per stride-mode trigger (prefetch depth).
+    degree: int = 2
+    #: Consecutive equal strides before the predictor streams.
+    min_confidence: int = 2
+    #: Window accuracy below this demotes to adjacent-line mode.
+    throttle_accuracy: float = 0.5
+    #: Prefetch installs per accuracy-evaluation window.
+    throttle_window: int = 64
+
+    def __post_init__(self):
+        if self.mode not in ("none", "adjacent", "stride"):
+            raise ReproError(f"unknown prefetch mode {self.mode!r}")
+        if self.degree < 1:
+            raise ReproError("prefetch degree must be >= 1")
+        if self.min_confidence < 1:
+            raise ReproError("prefetch min_confidence must be >= 1")
+        if not 0.0 <= self.throttle_accuracy <= 1.0:
+            raise ReproError("throttle_accuracy must be in [0, 1]")
+        if self.throttle_window < 1:
+            raise ReproError("throttle_window must be >= 1")
+
+    def with_(self, **changes) -> "PrefetchPolicy":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class SamhitaConfig:
     """Configuration of one Samhita instance."""
 
@@ -32,8 +83,24 @@ class SamhitaConfig:
     #: ablation shrinks this).
     cache_capacity_pages: int = 1 << 18
     eviction_policy: EvictionPolicy = EvictionPolicy.DIRTY_BIASED
+    #: Victim-selection implementation: ``"heap"`` (lazy min-heap, O(log n)
+    #: per victim) or ``"sorted"`` (the seed's full sort per eviction
+    #: batch). Both produce the identical victim sequence -- the heap keys
+    #: are the exact sort keys and they are unique -- so this is a pure
+    #: complexity knob, kept switchable for the equivalence gate.
+    eviction_impl: str = "heap"
     #: Fetch the adjacent cache line asynchronously on every miss (§II).
+    #: Legacy switch, equivalent to ``prefetch=PrefetchPolicy(mode=...)``
+    #: with "adjacent"/"none"; ignored when ``prefetch`` is given.
     prefetch_adjacent: bool = True
+    #: Full prefetch policy; ``None`` derives it from ``prefetch_adjacent``.
+    prefetch: PrefetchPolicy | None = None
+    #: Fetch all missing lines of a faulted span (and of a batched access
+    #: plan's upcoming operations) in ONE protocol round-trip per home
+    #: server instead of one per line. Off by default: merging transfers
+    #: changes simulated timing, so the compatibility mode keeps the
+    #: per-line shape the goldens pin.
+    batch_line_fetches: bool = False
 
     # -- consistency ----------------------------------------------------
     #: Memory coherence protocol: "regc" (the paper's Regional Consistency)
@@ -110,6 +177,11 @@ class SamhitaConfig:
             raise ReproError(f"unknown coherence protocol {self.coherence!r}")
         if self.cache_capacity_pages < self.layout.pages_per_line:
             raise ReproError("cache must hold at least one cache line")
+        if self.eviction_impl not in ("heap", "sorted"):
+            raise ReproError(f"unknown eviction_impl {self.eviction_impl!r}")
+        if self.prefetch is not None and not isinstance(self.prefetch,
+                                                        PrefetchPolicy):
+            raise ReproError("prefetch must be a PrefetchPolicy or None")
         if not (0 < self.arena_max_alloc <= self.arena_chunk_bytes):
             raise ReproError("require 0 < arena_max_alloc <= arena_chunk_bytes")
         if self.stripe_threshold <= self.arena_max_alloc:
@@ -120,6 +192,36 @@ class SamhitaConfig:
             raise ReproError("faults must be a FaultPlan or None")
         if self.lock_lease_time < 0.0:
             raise ReproError("lock_lease_time must be >= 0")
+
+    @property
+    def prefetch_policy(self) -> PrefetchPolicy:
+        """The effective prefetch policy (resolves the legacy switch)."""
+        if self.prefetch is not None:
+            return self.prefetch
+        return PrefetchPolicy(
+            mode="adjacent" if self.prefetch_adjacent else "none")
+
+    @classmethod
+    def adaptive_cache(cls, **overrides) -> "SamhitaConfig":
+        """The adaptive data plane: stride prefetching plus batched line
+        fetches (heap eviction is already the default). Keyword overrides
+        apply on top, e.g. ``SamhitaConfig.adaptive_cache(coherence="ivy")``.
+        """
+        base: dict = {"prefetch": PrefetchPolicy(mode="stride"),
+                      "batch_line_fetches": True}
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def compat_cache(cls, **overrides) -> "SamhitaConfig":
+        """The seed data plane, explicitly: adjacent-line prefetch, sorted
+        eviction, per-line fetches -- the configuration whose simulated
+        metrics must stay bit-identical to the goldens."""
+        base: dict = {"prefetch": PrefetchPolicy(mode="adjacent"),
+                      "eviction_impl": "sorted",
+                      "batch_line_fetches": False}
+        base.update(overrides)
+        return cls(**base)
 
     def with_(self, **changes) -> "SamhitaConfig":
         """A modified copy (sweeps and ablations)."""

@@ -1,0 +1,151 @@
+"""Stride/sequential prefetch prediction for the software-cache data plane.
+
+The paper's anticipatory paging (§II) always fetches the line adjacent to a
+miss. :class:`StridePrefetcher` generalizes it into a reference-prediction
+table keyed by thread: the stream of demand-missed *line numbers* is watched
+for a constant stride (forward or backward; stride +1 is the sequential
+run), and once ``min_confidence`` repeats confirm it, the next ``degree``
+lines along the stride are predicted in one shot. The caller fetches the
+whole prediction as a single batched request per home server.
+
+Mispredictions are self-correcting two ways:
+
+* a wrong stride resets confidence on the next miss, falling back to the
+  paper's adjacent-line prediction (the training-phase default);
+* an *accuracy throttle* samples ``prefetch_hits / prefetch_installs`` from
+  the thread's cache counters every ``throttle_window`` installed prefetch
+  pages and demotes the thread to adjacent-line mode while the measured
+  usefulness is below ``throttle_accuracy`` (promoting it back once a
+  window clears the bar).
+
+The predictor is pure bookkeeping -- no engine, no system references -- so
+it can be unit-tested without a simulation and carried per
+:class:`~repro.core.compute_server.ComputeServer` without creating cycles.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PrefetchPolicy
+from repro.sim.stats import StatSet
+
+
+class _Stream:
+    """Per-thread reference-prediction entry."""
+
+    __slots__ = ("last_line", "stride", "confidence")
+
+    def __init__(self, line: int):
+        self.last_line = line
+        self.stride = 0
+        self.confidence = 0
+
+
+class _Throttle:
+    """Per-thread accuracy window over the cache's prefetch counters."""
+
+    __slots__ = ("demoted", "base_installs", "base_hits")
+
+    def __init__(self):
+        self.demoted = False
+        self.base_installs = 0
+        self.base_hits = 0
+
+
+class StridePrefetcher:
+    """Reference-prediction table over per-thread demand-miss streams."""
+
+    def __init__(self, policy: PrefetchPolicy, stats: StatSet):
+        self.policy = policy
+        #: The owning compute server's StatSet -- all predictor counters
+        #: land in the same ``prefetch_*`` namespace as the issue/wait
+        #: counters so reports see one coherent family.
+        self.stats = stats
+        self._streams: dict[tuple, _Stream] = {}
+        self._throttles: dict[int, _Throttle] = {}
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def observe(self, tid: int, line: int, cache_counters,
+                stream_key=None) -> tuple[int, ...]:
+        """Record one demand-missed line; return the lines to prefetch.
+
+        ``cache_counters`` is the thread's cache counter mapping (the
+        source of ``prefetch_installs`` / ``prefetch_hits`` for the
+        throttle). ``stream_key`` distinguishes concurrent access streams
+        of one thread (the caller passes the allocation base, so a kernel
+        alternating between two arrays trains two clean strides instead of
+        one garbage one). The return value is ordered nearest-first and
+        never includes negative lines.
+        """
+        counters = self.stats.counters
+        key = (tid, stream_key)
+        stream = self._streams.get(key)
+        if stream is None:
+            self._streams[key] = _Stream(line)
+            counters["prefetch_adjacent_fallbacks"] += 1
+            return (line + 1,)
+        delta = line - stream.last_line
+        if delta == 0:
+            # Re-miss of the same line (raced invalidation): no new info.
+            return ()
+        repeated = delta == stream.stride
+        if repeated:
+            stream.confidence += 1
+        else:
+            stream.stride = delta
+            stream.confidence = 1
+        stream.last_line = line
+        self._update_throttle(tid, cache_counters)
+        policy = self.policy
+        if self._throttles[tid].demoted:
+            counters["prefetch_adjacent_fallbacks"] += 1
+            return (line + 1,)
+        if stream.confidence >= policy.min_confidence:
+            step = stream.stride
+            targets = tuple(t for t in (line + step * i
+                                        for i in range(1, policy.degree + 1))
+                            if t >= 0)
+            if targets:
+                counters["prefetch_stride_predictions"] += 1
+                return targets
+        if repeated:
+            # Still training but the pattern holds: keep the paper's
+            # adjacent-line behaviour while confidence builds.
+            counters["prefetch_adjacent_fallbacks"] += 1
+            return (line + 1,)
+        # The miss BROKE the pattern -- block boundary, pointer chase,
+        # invalidation churn. Measured on the Jacobi campaign, fallback
+        # installs issued here are the ones that get invalidated before
+        # ever being touched, so predict nothing until the stream settles.
+        counters["prefetch_pattern_breaks"] += 1
+        return ()
+
+    # ------------------------------------------------------------------
+    # accuracy throttle
+    # ------------------------------------------------------------------
+    def _update_throttle(self, tid: int, cache_counters) -> None:
+        throttle = self._throttles.get(tid)
+        if throttle is None:
+            throttle = self._throttles[tid] = _Throttle()
+            throttle.base_installs = cache_counters.get("prefetch_installs", 0)
+            throttle.base_hits = cache_counters.get("prefetch_hits", 0)
+            return
+        installs = cache_counters.get("prefetch_installs", 0)
+        window = installs - throttle.base_installs
+        if window < self.policy.throttle_window:
+            return
+        hits = cache_counters.get("prefetch_hits", 0)
+        accuracy = (hits - throttle.base_hits) / window
+        demote = accuracy < self.policy.throttle_accuracy
+        if demote != throttle.demoted:
+            key = "prefetch_demotions" if demote else "prefetch_promotions"
+            self.stats.counters[key] += 1
+            throttle.demoted = demote
+        throttle.base_installs = installs
+        throttle.base_hits = hits
+
+    def demoted(self, tid: int) -> bool:
+        """Whether the throttle currently has this thread in adjacent mode."""
+        throttle = self._throttles.get(tid)
+        return throttle.demoted if throttle is not None else False

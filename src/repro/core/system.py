@@ -201,6 +201,7 @@ class SamhitaSystem:
             # IVY has no twins: exclusive pages write back whole.
             use_twins=(self.config.multiple_writer
                        and self.config.coherence == "regc"),
+            impl=self.config.eviction_impl,
             name=f"cache.t{tid}")
         self._regions[tid] = RegionTracker(f"regions.t{tid}")
         self._storelogs[tid] = StoreLog(self.config.layout)
@@ -584,6 +585,17 @@ class SamhitaSystem:
         for cs in self.compute_servers.values():
             merged_cs.merge(cs.stats)
         report["compute_servers"] = merged_cs.snapshot()
+        # One coherent namespace for the whole prefetch counter family --
+        # the cache side (installs/hits/evicted) and the compute-server
+        # side (issues/waits/predictions/throttle flips) land in separate
+        # StatSets above, which made per-family analysis error-prone.
+        prefetch = {k: v for src in (report["caches"], report["compute_servers"])
+                    for k, v in src.items() if "prefetch" in k}
+        installs = prefetch.get("prefetch_installs", 0)
+        if installs:
+            prefetch["prefetch_accuracy"] = (
+                prefetch.get("prefetch_hits", 0) / installs)
+        report["prefetch"] = prefetch
         if self.injector is not None:
             report["faults"] = self.injector.snapshot()
         return report

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from enum import Enum
+from heapq import heapify, heappop, heappush
 from typing import Iterable
 
 import numpy as np
@@ -86,9 +87,12 @@ class SoftwareCache:
         policy: EvictionPolicy = EvictionPolicy.DIRTY_BIASED,
         use_twins: bool = True,
         name: str = "cache",
+        impl: str = "heap",
     ):
         if capacity_pages < layout.pages_per_line:
             raise MemoryError_("cache must hold at least one full line")
+        if impl not in ("heap", "sorted"):
+            raise MemoryError_(f"unknown eviction impl {impl!r}")
         self.layout = layout
         self.capacity_pages = capacity_pages
         self.functional = functional
@@ -116,6 +120,22 @@ class SoftwareCache:
         self.inval_epoch: Counter = Counter()
         self.stats = StatSet(name)
         self._tick = 0
+        self._victim_key = _VICTIM_KEYS[policy]
+        #: Lazy min-heap of ``(victim_key, page)`` records, or None under
+        #: the legacy full-sort implementation. The heap is *lazy*: records
+        #: go stale when a page is re-accessed (its key only grows then)
+        #: and are re-validated against the live entry at pop time. The one
+        #: key-DECREASING transition per policy (clean->dirty under the
+        #: dirty-biased default, dirty->clean under clean-first) gets an
+        #: eager push, so every resident page always owns at least one
+        #: record with key <= its current key -- which makes the pop
+        #: sequence exactly the ascending sort order, victim for victim.
+        self._heap: list | None = [] if impl == "heap" else None
+        #: Resident-page count per cache line. ``missing_lines`` is a plain
+        #: counter compare per line instead of a set intersection over the
+        #: line's page range.
+        self._line_resident: dict[int, int] = {}
+        self._pages_per_line = layout.pages_per_line
 
     # ------------------------------------------------------------------
     # residency queries
@@ -159,15 +179,15 @@ class SoftwareCache:
     def missing_lines(self, addr: int, nbytes: int) -> list[int]:
         """Lines with at least one non-resident page, for the span.
 
-        A line is complete iff the set intersection of its pages with the
-        resident-page set has full cardinality -- one C-level set operation
-        per line instead of a Python-level scan over its pages.
+        A line is complete iff its resident-page count -- maintained by
+        install/evict/invalidate/clear, the only residency changers -- has
+        full cardinality: one dict probe per line instead of rebuilding a
+        page-set intersection on every call.
         """
-        resident = self.entries.keys()
-        line_pages = self.layout.line_pages
-        full = self.layout.pages_per_line
+        counts = self._line_resident.get
+        full = self._pages_per_line
         return [line for line in self.layout.lines_spanning(addr, nbytes)
-                if len(resident & line_pages(line)) < full]
+                if counts(line, 0) < full]
 
     def resident_page_set(self):
         """Set view of the resident page numbers (live, do not mutate)."""
@@ -197,29 +217,80 @@ class SoftwareCache:
             entry.prefetched = prefetched
             return
         self._tick += 1
-        self.entries[page] = CacheEntry(page, data, self._tick, prefetched)
+        entry = CacheEntry(page, data, self._tick, prefetched)
+        self.entries[page] = entry
         mask = self._resident_mask
         if page >= mask.shape[0]:
             grown = np.zeros(max(mask.shape[0] * 2, page + 1), dtype=bool)
             grown[:mask.shape[0]] = mask
             self._resident_mask = mask = grown
         mask[page] = True
+        line = page // self._pages_per_line
+        counts = self._line_resident
+        counts[line] = counts.get(line, 0) + 1
+        if self._heap is not None:
+            heappush(self._heap, (self._victim_key(entry), page))
         counters = self.stats.counters
         counters["installs"] += 1
         if prefetched:
             counters["prefetch_installs"] += 1
 
     def choose_victims(self, count: int, protect: Iterable[int] = ()) -> list[int]:
-        """Pick ``count`` pages to evict under the configured policy."""
+        """Pick ``count`` pages to evict under the configured policy.
+
+        Victim order is identical under both implementations: the heap's
+        records are the exact sort keys, and keys are unique (``_tick`` is
+        globally monotonic, so ``last_access`` never repeats), so ascending
+        heap pops reproduce the full sort's prefix bit-for-bit -- at
+        O(log n) per victim instead of O(n log n) per call.
+        """
         if count <= 0:
             return []
         protected = set(protect)
-        candidates = [e for p, e in self.entries.items() if p not in protected]
-        if len(candidates) < count:
+        if self._heap is None:
+            candidates = [e for p, e in self.entries.items() if p not in protected]
+            if len(candidates) < count:
+                raise MemoryError_(f"{self.name}: cannot evict {count} pages "
+                                   f"({len(candidates)} unprotected)")
+            candidates.sort(key=self._victim_key)
+            return [e.page for e in candidates[:count]]
+        entries = self.entries
+        available = len(entries) - len(protected & entries.keys())
+        if available < count:
             raise MemoryError_(f"{self.name}: cannot evict {count} pages "
-                               f"({len(candidates)} unprotected)")
-        candidates.sort(key=_VICTIM_KEYS[self.policy])
-        return [e.page for e in candidates[:count]]
+                               f"({available} unprotected)")
+        heap = self._heap
+        if len(heap) > 4 * len(entries) + 64:
+            # Stale-record hygiene: rebuild from the live entries.
+            key = self._victim_key
+            heap[:] = [(key(e), p) for p, e in entries.items()]
+            heapify(heap)
+        key = self._victim_key
+        victims: list[int] = []
+        chosen: set[int] = set()
+        pushback: list = []
+        while len(victims) < count:
+            if not heap:  # pragma: no cover - invariant backstop
+                heap[:] = [(key(e), p) for p, e in entries.items()
+                           if p not in chosen]
+                heapify(heap)
+            record = heappop(heap)
+            page = record[1]
+            entry = entries.get(page)
+            if entry is None or page in chosen:
+                continue  # stale: evicted, invalidated, or already picked
+            current = key(entry)
+            if current != record[0]:
+                heappush(heap, (current, page))  # re-file under the live key
+                continue
+            pushback.append(record)
+            if page in protected:
+                continue
+            victims.append(page)
+            chosen.add(page)
+        for record in pushback:
+            heappush(heap, record)
+        return victims
 
     def evict(self, page: int) -> PageDiff | None:
         """Drop a page; if dirty, return the diff that must be written back."""
@@ -227,6 +298,7 @@ class SoftwareCache:
         if entry is None:
             raise MemoryError_(f"{self.name}: evicting non-resident page {page}")
         self._resident_mask[page] = False
+        self._drop_line_count(page)
         counters = self.stats.counters
         counters["evictions"] += 1
         if entry.is_dirty:
@@ -265,8 +337,19 @@ class SoftwareCache:
             dropped.append(page)
         if dropped:
             self._resident_mask[dropped] = False
+            for page in dropped:
+                self._drop_line_count(page)
         self.stats.counters["invalidations"] += len(dropped)
         return dropped
+
+    def _drop_line_count(self, page: int) -> None:
+        line = page // self._pages_per_line
+        counts = self._line_resident
+        remaining = counts[line] - 1
+        if remaining:
+            counts[line] = remaining
+        else:
+            del counts[line]
 
     def inval_epoch_of(self, page: int) -> int:
         return self.inval_epoch.get(page, 0)
@@ -364,6 +447,8 @@ class SoftwareCache:
         tick = self._tick
         prefetch_hits = 0
         use_twins = self.use_twins
+        heap = self._heap
+        victim_key = self._victim_key
         consumed = 0
         twins = 0
         for page in range(first, last + 1):
@@ -384,11 +469,17 @@ class SoftwareCache:
             off = start - page_start
             chunk = end - start
             if ordinary:
+                newly_dirty = entry.dirty.empty
                 if (use_twins and functional
-                        and entry.twin is None and entry.dirty.empty):
+                        and entry.twin is None and newly_dirty):
                     entry.twin = entry.data.copy()
                     twins += 1
                 entry.dirty.add(off, off + chunk)
+                if newly_dirty and heap is not None:
+                    # Clean->dirty is the one key-DECREASING transition of
+                    # the dirty-biased order; file the live key eagerly so
+                    # the lazy heap's min stays exact.
+                    heappush(heap, (victim_key(entry), page))
             if functional and data is not None:
                 entry.data[off:off + chunk] = data[consumed:consumed + chunk]
                 if not ordinary and entry.twin is not None:
@@ -441,6 +532,11 @@ class SoftwareCache:
         diff = self._diff_of(entry)
         entry.twin = None
         entry.dirty.clear()
+        if self._heap is not None:
+            # Dirty->clean decreases the clean-first key; re-file eagerly
+            # (a no-op for correctness under the other policies, whose keys
+            # only grow here -- the stale record is discarded at pop time).
+            heappush(self._heap, (self._victim_key(entry), page))
         counters = self.stats.counters
         counters["diffs_taken"] += 1
         counters["diff_bytes"] += diff.payload_bytes
@@ -479,3 +575,6 @@ class SoftwareCache:
     def clear(self) -> None:
         self.entries.clear()
         self._resident_mask[:] = False
+        self._line_resident.clear()
+        if self._heap is not None:
+            self._heap.clear()

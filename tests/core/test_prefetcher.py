@@ -1,0 +1,152 @@
+"""Unit tests for the stride reference-prediction table."""
+
+import pytest
+
+from repro.core.params import PrefetchPolicy
+from repro.errors import ReproError
+from repro.core.prefetcher import StridePrefetcher
+from repro.sim.stats import StatSet
+
+
+def make(degree=2, min_confidence=2, throttle_accuracy=0.5,
+         throttle_window=4):
+    stats = StatSet("cs")
+    policy = PrefetchPolicy(mode="stride", degree=degree,
+                            min_confidence=min_confidence,
+                            throttle_accuracy=throttle_accuracy,
+                            throttle_window=throttle_window)
+    return StridePrefetcher(policy, stats), stats
+
+
+class TestStrideDetection:
+    def test_first_miss_falls_back_to_adjacent(self):
+        pf, stats = make()
+        assert pf.observe(0, 10, {}) == (11,)
+        assert stats.get("prefetch_adjacent_fallbacks") == 1
+
+    def test_forward_stride_predicts_degree_lines(self):
+        pf, stats = make(degree=3, min_confidence=2)
+        pf.observe(0, 0, {})
+        pf.observe(0, 4, {})              # stride=4, confidence=1
+        assert pf.observe(0, 8, {}) == (12, 16, 20)
+        assert stats.get("prefetch_stride_predictions") == 1
+
+    def test_backward_stride_never_predicts_negative_lines(self):
+        pf, _ = make(degree=3, min_confidence=2)
+        pf.observe(0, 20, {})
+        pf.observe(0, 15, {})
+        assert pf.observe(0, 10, {}) == (5, 0)  # -5 clipped
+
+    def test_sequential_run_is_stride_one(self):
+        pf, _ = make(degree=2, min_confidence=2)
+        for line in (0, 1):
+            pf.observe(0, line, {})
+        assert pf.observe(0, 2, {}) == (3, 4)
+
+    def test_training_phase_keeps_adjacent_fallback(self):
+        pf, stats = make(min_confidence=3)
+        pf.observe(0, 0, {})
+        pf.observe(0, 2, {})                  # first delta: stride=2, conf=1
+        assert pf.observe(0, 4, {}) == (5,)   # repeat, conf=2 < 3: holds
+        assert stats.get("prefetch_stride_predictions") == 0
+        assert pf.observe(0, 6, {}) == (8, 10)  # conf=3: prediction fires
+
+    def test_pattern_break_predicts_nothing(self):
+        pf, stats = make(min_confidence=2)
+        for line in (0, 1, 2, 3):
+            pf.observe(0, line, {})
+        breaks = stats.get("prefetch_pattern_breaks")
+        assert pf.observe(0, 100, {}) == ()   # break: no speculation
+        assert stats.get("prefetch_pattern_breaks") == breaks + 1
+
+    def test_same_line_remiss_is_no_information(self):
+        pf, stats = make()
+        pf.observe(0, 5, {})
+        before = dict(stats.counters)
+        assert pf.observe(0, 5, {}) == ()
+        assert dict(stats.counters) == before
+
+
+class TestStreamSeparation:
+    def test_interleaved_streams_train_independently(self):
+        # A kernel alternating src/dst arrays: one stream per allocation.
+        pf, _ = make(degree=2, min_confidence=2)
+        for i in range(3):
+            targets_a = pf.observe(0, 100 + i, {}, stream_key="a")
+            targets_b = pf.observe(0, 500 + 2 * i, {}, stream_key="b")
+        assert targets_a == (103, 104)
+        assert targets_b == (506, 508)
+
+    def test_without_stream_key_interleaving_breaks_training(self):
+        pf, stats = make(min_confidence=2)
+        for i in range(4):
+            pf.observe(0, 100 + i, {})
+            pf.observe(0, 500 + i, {})
+        assert stats.get("prefetch_stride_predictions") == 0
+
+    def test_threads_do_not_share_streams(self):
+        pf, _ = make(min_confidence=2)
+        pf.observe(0, 0, {})
+        pf.observe(1, 1, {})
+        pf.observe(0, 1, {})
+        pf.observe(1, 2, {})
+        # Each thread saw stride 1 once -- neither has confidence 2 yet.
+        assert pf.observe(0, 2, {}) != ()  # conf=2 now: prediction fires
+        assert pf._streams[(0, None)].confidence == 2
+        assert pf._streams[(1, None)].confidence == 1
+
+
+class TestThrottle:
+    def test_low_accuracy_demotes_to_adjacent(self):
+        pf, stats = make(throttle_window=4, throttle_accuracy=0.5,
+                         min_confidence=1)
+        counters = {"prefetch_installs": 0, "prefetch_hits": 0}
+        pf.observe(0, 0, counters)            # creates the stream
+        pf.observe(0, 2, counters)            # creates throttle baseline
+        counters["prefetch_installs"] = 8     # 8 installs, 1 hit: 12.5%
+        counters["prefetch_hits"] = 1
+        targets = pf.observe(0, 4, counters)  # window full: demote fires
+        assert pf.demoted(0)
+        assert stats.get("prefetch_demotions") == 1
+        # While demoted, even a confident stride yields adjacent only.
+        assert targets == (5,)
+        assert pf.observe(0, 6, counters) == (7,)
+
+    def test_recovered_accuracy_promotes_back(self):
+        pf, stats = make(throttle_window=4, throttle_accuracy=0.5,
+                         min_confidence=1, degree=2)
+        counters = {"prefetch_installs": 0, "prefetch_hits": 0}
+        pf.observe(0, 0, counters)
+        pf.observe(0, 2, counters)            # baseline installs=0 hits=0
+        counters.update(prefetch_installs=8, prefetch_hits=0)
+        pf.observe(0, 4, counters)
+        assert pf.demoted(0)
+        counters.update(prefetch_installs=16, prefetch_hits=8)  # window: 8/8
+        pf.observe(0, 6, counters)
+        assert not pf.demoted(0)
+        assert stats.get("prefetch_promotions") == 1
+        assert pf.observe(0, 8, counters) == (10, 12)
+
+    def test_short_window_does_not_flip(self):
+        pf, _ = make(throttle_window=64)
+        counters = {"prefetch_installs": 0, "prefetch_hits": 0}
+        pf.observe(0, 0, counters)
+        pf.observe(0, 2, counters)            # baseline installs=0
+        counters["prefetch_installs"] = 10    # below the 64-install window
+        pf.observe(0, 4, counters)
+        assert not pf.demoted(0)
+
+
+class TestPolicyValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ReproError):
+            PrefetchPolicy(mode="psychic")
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ReproError):
+            PrefetchPolicy(mode="stride", degree=0)
+
+    def test_with_override(self):
+        policy = PrefetchPolicy(mode="stride", degree=2)
+        assert policy.with_(degree=4).degree == 4
+        assert policy.degree == 2

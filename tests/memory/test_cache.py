@@ -9,8 +9,10 @@ from repro.memory import EvictionPolicy, MemoryLayout, PageDiff, SoftwareCache
 L = MemoryLayout(page_bytes=4096, pages_per_line=4)
 
 
-def make(capacity=64, functional=True, policy=EvictionPolicy.DIRTY_BIASED):
-    return SoftwareCache(L, capacity_pages=capacity, functional=functional, policy=policy)
+def make(capacity=64, functional=True, policy=EvictionPolicy.DIRTY_BIASED,
+         impl="heap"):
+    return SoftwareCache(L, capacity_pages=capacity, functional=functional,
+                         policy=policy, impl=impl)
 
 
 def install_zero(cache, *pages, prefetched=False):
@@ -222,6 +224,88 @@ class TestFineGrain:
         assert 0 not in applied_offsets  # incoming bytes not re-shipped
 
 
+class TestEvictionBothImpls:
+    """The ablation policies under the heap and the legacy sort."""
+
+    @pytest.mark.parametrize("impl", ["heap", "sorted"])
+    def test_clean_first_full_order(self, impl):
+        c = make(policy=EvictionPolicy.CLEAN_FIRST, impl=impl)
+        install_zero(c, 0, 1, 2, 3)
+        c.write(1 * 4096, 8, np.ones(8, np.uint8))   # page 1 dirty
+        c.write(3 * 4096, 8, np.ones(8, np.uint8))   # page 3 dirty
+        # Clean pages in install (LRU) order first, then the dirty ones.
+        assert c.choose_victims(4) == [0, 2, 1, 3]
+
+    @pytest.mark.parametrize("impl", ["heap", "sorted"])
+    def test_clean_first_dirty_page_cleaned_by_diff_moves_class(self, impl):
+        c = make(policy=EvictionPolicy.CLEAN_FIRST, impl=impl)
+        install_zero(c, 0, 1)
+        c.write(0, 8, np.ones(8, np.uint8))
+        assert c.choose_victims(1) == [1]     # page 0 dirty: spared
+        c.take_diff(0)                        # clean again (key decreases)
+        # Both clean now; the write bumped page 0's recency, so LRU-within-
+        # class puts page 1 (older touch) first.
+        assert c.choose_victims(2) == [1, 0]
+
+    @pytest.mark.parametrize("impl", ["heap", "sorted"])
+    def test_lru_write_refreshes_recency(self, impl):
+        c = make(policy=EvictionPolicy.LRU, impl=impl)
+        install_zero(c, 0, 1, 2)
+        c.write(0, 8, np.ones(8, np.uint8))   # page 0 now most recent
+        c.read(2 * 4096, 8)                   # page 2 next
+        assert c.choose_victims(2) == [1, 0]
+
+    @pytest.mark.parametrize("impl", ["heap", "sorted"])
+    def test_dirty_biased_cleaned_page_loses_priority(self, impl):
+        c = make(policy=EvictionPolicy.DIRTY_BIASED, impl=impl)
+        install_zero(c, 0, 1, 2)
+        c.write(2 * 4096, 8, np.ones(8, np.uint8))
+        assert c.choose_victims(1) == [2]     # dirty first
+        c.take_diff(2)
+        assert c.choose_victims(1) == [0]     # all clean: plain LRU
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(MemoryError_):
+            SoftwareCache(L, capacity_pages=8, impl="btree")
+
+
+class TestLineResidency:
+    """missing_lines is answered from the per-line resident counts."""
+
+    def test_counts_track_evict(self):
+        c = make()
+        install_zero(c, 0, 1, 2, 3)           # line 0 complete
+        assert c.missing_lines(0, 4 * 4096) == []
+        c.evict(2)
+        assert c.missing_lines(0, 4 * 4096) == [0]
+        assert c.missing_pages(0, 4 * 4096) == [2]
+
+    def test_counts_track_invalidate(self):
+        c = make()
+        install_zero(c, 4, 5, 6, 7)           # line 1 complete
+        assert c.missing_lines(4 * 4096, 4 * 4096) == []
+        c.invalidate([5, 6])
+        assert c.missing_lines(4 * 4096, 4 * 4096) == [1]
+        install_zero(c, 5, 6)
+        assert c.missing_lines(4 * 4096, 4 * 4096) == []
+
+    def test_counts_survive_clear(self):
+        c = make()
+        install_zero(c, 0, 1, 2, 3)
+        c.clear()
+        assert c.missing_lines(0, 4 * 4096) == [0]
+        install_zero(c, 0, 1, 2, 3)
+        assert c.missing_lines(0, 4 * 4096) == []
+
+    def test_refresh_install_does_not_double_count(self):
+        c = make()
+        install_zero(c, 0, 1, 2, 3)
+        install_zero(c, 1)                    # refresh of a resident page
+        c.evict(1)
+        assert c.missing_lines(0, 4 * 4096) == [0]
+        assert c._line_resident == {0: 3}
+
+
 class TestPrefetchAccounting:
     def test_prefetch_hit_counted_once(self):
         c = make()
@@ -230,3 +314,24 @@ class TestPrefetchAccounting:
         c.read(0, 8)
         assert c.stats.get("prefetch_hits") == 1
         assert c.stats.get("prefetch_installs") == 1
+
+    def test_demand_install_not_counted(self):
+        c = make()
+        install_zero(c, 0, prefetched=False)
+        c.read(0, 8)
+        assert c.stats.get("prefetch_installs") == 0
+        assert c.stats.get("prefetch_hits") == 0
+
+    def test_untouched_prefetch_counts_no_hit(self):
+        c = make()
+        install_zero(c, 0, 1, prefetched=True)
+        c.read(0, 8)                          # only page 0 ever touched
+        assert c.stats.get("prefetch_installs") == 2
+        assert c.stats.get("prefetch_hits") == 1
+
+    def test_write_touch_also_scores_the_hit(self):
+        c = make()
+        install_zero(c, 0, prefetched=True)
+        c.write(0, 8, np.ones(8, np.uint8))
+        c.write(8, 8, np.ones(8, np.uint8))
+        assert c.stats.get("prefetch_hits") == 1

@@ -1,0 +1,127 @@
+"""Property test: heap eviction is bit-identical to the legacy full sort.
+
+The lazy min-heap (``impl="heap"``) claims its pop sequence equals the
+ascending sort the legacy implementation (``impl="sorted"``) produces --
+victim for victim, under every policy, through any interleaving of the
+operations that move a page between key classes (install, read, write,
+take_diff, evict, invalidate). Drive random op sequences through a paired
+cache and assert ``choose_victims`` never diverges.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import EvictionPolicy, MemoryLayout, SoftwareCache
+
+LAYOUT = MemoryLayout(page_bytes=256, pages_per_line=2)
+N_PAGES = 10
+PAGE = LAYOUT.page_bytes
+
+
+def _pair(policy):
+    caches = tuple(
+        SoftwareCache(LAYOUT, capacity_pages=N_PAGES, functional=True,
+                      policy=policy, name=impl, impl=impl)
+        for impl in ("heap", "sorted"))
+    return caches
+
+
+ops = st.one_of(
+    st.tuples(st.just("install"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("read"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("write"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("take_diff"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("evict"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("invalidate"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("victims"), st.integers(1, 3)),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(policy=st.sampled_from(list(EvictionPolicy)),
+       script=st.lists(ops, min_size=1, max_size=60))
+def test_heap_matches_sorted_victims(policy, script):
+    heap_cache, sorted_cache = _pair(policy)
+    for op, arg in script:
+        if op == "install":
+            if arg in heap_cache.entries or heap_cache.free_pages == 0:
+                continue
+            for c in (heap_cache, sorted_cache):
+                c.install(arg, np.zeros(PAGE, np.uint8))
+        elif op == "read":
+            if arg not in heap_cache.entries:
+                continue
+            for c in (heap_cache, sorted_cache):
+                c.read(arg * PAGE, 8)
+        elif op == "write":
+            if arg not in heap_cache.entries:
+                continue
+            payload = np.full(8, arg + 1, np.uint8)
+            for c in (heap_cache, sorted_cache):
+                c.write(arg * PAGE, 8, payload)
+        elif op == "take_diff":
+            if arg not in heap_cache.entries:
+                continue
+            for c in (heap_cache, sorted_cache):
+                c.take_diff(arg)
+        elif op == "evict":
+            if arg not in heap_cache.entries:
+                continue
+            for c in (heap_cache, sorted_cache):
+                if arg in c.dirty_page_ids():
+                    c.take_diff(arg)
+                c.evict(arg)
+        elif op == "invalidate":
+            if arg in heap_cache.dirty_page_ids():
+                continue
+            for c in (heap_cache, sorted_cache):
+                c.invalidate([arg])
+        else:  # victims
+            count = min(arg, len(heap_cache.entries))
+            if not count:
+                continue
+            assert (heap_cache.choose_victims(count)
+                    == sorted_cache.choose_victims(count))
+    # Final full drain must agree too.
+    remaining = len(heap_cache.entries)
+    if remaining:
+        assert (heap_cache.choose_victims(remaining)
+                == sorted_cache.choose_victims(remaining))
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=st.sampled_from(list(EvictionPolicy)),
+       protect=st.sets(st.integers(0, N_PAGES - 1), max_size=N_PAGES - 2))
+def test_heap_matches_sorted_with_protection(policy, protect):
+    heap_cache, sorted_cache = _pair(policy)
+    for page in range(N_PAGES):
+        for c in (heap_cache, sorted_cache):
+            c.install(page, np.zeros(PAGE, np.uint8))
+    for page in (1, 4, 7):
+        payload = np.ones(8, np.uint8)
+        for c in (heap_cache, sorted_cache):
+            c.write(page * PAGE, 8, payload)
+    count = N_PAGES - len(protect)
+    assert (heap_cache.choose_victims(count, protect=protect)
+            == sorted_cache.choose_victims(count, protect=protect))
+
+
+def test_heap_compaction_rebuild_preserves_order():
+    # Hammer one page with clean->dirty transitions to flood the heap with
+    # stale records until the 4*len(entries)+64 rebuild threshold trips.
+    heap_cache, sorted_cache = _pair(EvictionPolicy.DIRTY_BIASED)
+    for page in range(N_PAGES):
+        for c in (heap_cache, sorted_cache):
+            c.install(page, np.zeros(PAGE, np.uint8))
+    for i in range(200):
+        page = i % N_PAGES
+        payload = np.full(8, (i % 250) + 1, np.uint8)
+        for c in (heap_cache, sorted_cache):
+            c.write(page * PAGE, 8, payload)
+            c.take_diff(page)
+    assert len(heap_cache._heap) > 4 * N_PAGES + 64  # stale flood built up
+    assert (heap_cache.choose_victims(N_PAGES)
+            == sorted_cache.choose_victims(N_PAGES))
+    # choose_victims detected the flood and rebuilt from live entries.
+    assert len(heap_cache._heap) <= 4 * N_PAGES + 64

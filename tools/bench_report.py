@@ -10,6 +10,8 @@ The gates (used by CI after ``benchmarks/bench_perf.py``)::
     python tools/bench_report.py --check [--max-ratio 1.0]
     python tools/bench_report.py --check-events [--min-event-reduction 3.0]
     python tools/bench_report.py --check-faults-off
+    python tools/bench_report.py --check-prefetch [--min-prefetch-accuracy
+        0.6] [--min-fetch-reduction 0.2]
 
 ``--check`` exits non-zero when the measured serial smoke-campaign wall
 clock exceeds ``max_ratio x`` the recorded seed baseline -- i.e. when a
@@ -24,6 +26,14 @@ count is less than ``min_event_reduction x`` below the recorded seed
 count. Event counts are deterministic (no interpreter or box noise), so
 this gate is tight: it pins the batching/coalescing win itself, not the
 wall clock it happens to buy.
+
+``--check-prefetch`` gates the adaptive data plane on the Jacobi smoke
+campaign: remote line fetches (one ``fetch_requests`` per home-server
+round trip) must drop by at least ``min_fetch_reduction`` versus the
+compat plane, measured prefetch accuracy must be at least
+``min_prefetch_accuracy``, and the adaptive plane must schedule no more
+DES events than the compat plane. All three quantities are deterministic,
+so the gate is exact.
 
 ``--check-faults-off`` exits non-zero when the two recorded trajectory
 fingerprints -- fault injector absent vs compiled in but disabled (an
@@ -74,6 +84,24 @@ def render(report: dict) -> str:
                      f"{cell.get('events_coalesced', 0):>9,} "
                      f"{cell['events_per_sec']:>10,} "
                      f"{cell['cache_ops_per_sec']:>11,}")
+    prefetch = report.get("prefetch")
+    if prefetch:
+        lines.append("")
+        compat = prefetch.get("compat", {})
+        adaptive = prefetch.get("adaptive", {})
+        lines.append(f"prefetch gate campaign: {prefetch.get('campaign')}")
+        lines.append(
+            f"  remote line fetches: {compat.get('fetch_requests', 0):,} "
+            f"(compat) -> {adaptive.get('fetch_requests', 0):,} (adaptive)"
+            f"  [-{(prefetch.get('fetch_reduction') or 0) * 100:.1f}%]")
+        lines.append(
+            f"  prefetch accuracy:   "
+            f"{(prefetch.get('prefetch_accuracy') or 0) * 100:.1f}%  "
+            f"({adaptive.get('prefetch_hits', 0)}/"
+            f"{adaptive.get('prefetch_installs', 0)} installs touched)")
+        lines.append(
+            f"  scheduled events:    {compat.get('events_scheduled', 0):,} "
+            f"(compat) -> {adaptive.get('events_scheduled', 0):,} (adaptive)")
     chaos = report.get("chaos")
     if chaos:
         lines.append("")
@@ -122,6 +150,35 @@ def check_events(report: dict, min_reduction: float) -> tuple[bool, str]:
     return ok, msg
 
 
+def check_prefetch(report: dict, min_accuracy: float,
+                   min_fetch_reduction: float) -> tuple[bool, str]:
+    """The adaptive data-plane gate: fewer round trips, accurate
+    speculation, no event regression. Deterministic, so exact."""
+    prefetch = report.get("prefetch")
+    if not prefetch:
+        return False, ("report has no 'prefetch' block; regenerate it with "
+                       "the current benchmarks/bench_perf.py")
+    problems = []
+    reduction = prefetch.get("fetch_reduction")
+    if reduction is None or reduction < min_fetch_reduction:
+        problems.append(f"fetch reduction {reduction} < "
+                        f"{min_fetch_reduction:.2f}")
+    accuracy = prefetch.get("prefetch_accuracy")
+    if accuracy is None or accuracy < min_accuracy:
+        problems.append(f"prefetch accuracy {accuracy} < {min_accuracy:.2f}")
+    compat_events = prefetch.get("compat", {}).get("events_scheduled", 0)
+    adaptive_events = prefetch.get("adaptive", {}).get("events_scheduled", 0)
+    if not compat_events or adaptive_events > compat_events:
+        problems.append(f"adaptive schedules {adaptive_events:,} events vs "
+                        f"{compat_events:,} compat")
+    if problems:
+        return False, "adaptive data plane FAILED: " + "; ".join(problems)
+    return True, (f"adaptive data plane: fetches -{reduction * 100:.1f}% "
+                  f"(gate >= {min_fetch_reduction * 100:.0f}%), accuracy "
+                  f"{accuracy * 100:.1f}% (gate >= {min_accuracy * 100:.0f}%), "
+                  f"events {adaptive_events:,} <= {compat_events:,}")
+
+
 def check_faults_off(report: dict) -> tuple[bool, str]:
     """The faults-off gate: armed-but-silent must equal injector-absent,
     field for field (exact floats and counter dicts, no tolerance)."""
@@ -156,6 +213,15 @@ def main(argv=None) -> int:
     parser.add_argument("--min-event-reduction", type=float, default=3.0,
                         help="required event-count reduction vs seed "
                              "(default 3.0)")
+    parser.add_argument("--check-prefetch", action="store_true",
+                        help="adaptive data-plane gate: exit 1 unless the "
+                             "recorded fetch reduction, prefetch accuracy "
+                             "and event counts clear their thresholds")
+    parser.add_argument("--min-prefetch-accuracy", type=float, default=0.6,
+                        help="required prefetch accuracy (default 0.6)")
+    parser.add_argument("--min-fetch-reduction", type=float, default=0.2,
+                        help="required remote-fetch reduction vs the compat "
+                             "plane (default 0.2)")
     parser.add_argument("--check-faults-off", action="store_true",
                         help="determinism gate: exit 1 unless the recorded "
                              "injector-absent and injector-silent "
@@ -177,6 +243,11 @@ def main(argv=None) -> int:
         failed |= not ok
     if args.check_events:
         ok, msg = check_events(report, args.min_event_reduction)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    if args.check_prefetch:
+        ok, msg = check_prefetch(report, args.min_prefetch_accuracy,
+                                 args.min_fetch_reduction)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
         failed |= not ok
     if args.check_faults_off:
