@@ -156,6 +156,43 @@ def faults_off_fingerprint() -> dict:
     return {"injector_absent": absent, "injector_silent": silent}
 
 
+def replication_off_fingerprint() -> dict:
+    """Default build vs explicit ``replication_factor=1``: the replication
+    machinery must not exist at rf=1 -- no WAL, no checksums, no detector,
+    no extra events (the --check-replication-off gate compares these)."""
+    from repro.core.params import SamhitaConfig
+
+    rf_absent, _ = _jacobi_fingerprint(None)
+    rf_one, _ = _jacobi_fingerprint(SamhitaConfig(replication_factor=1))
+    return {"rf_absent": rf_absent, "rf_one": rf_one}
+
+
+def replication_overhead() -> dict:
+    """Healthy-path cost of rf=2 vs rf=1 on a two-home machine: same data,
+    extra WAL/ship/apply work and wire bytes, no failures."""
+    from repro.core.params import SamhitaConfig
+
+    base, base_result = _jacobi_fingerprint(
+        SamhitaConfig(n_memory_servers=2))
+    repl, repl_result = _jacobi_fingerprint(
+        SamhitaConfig(n_memory_servers=2, replication_factor=2))
+    counters = repl_result.stats.get("replication", {})
+    return {
+        "campaign": "jacobi 64x256x3 functional cell, n_memory_servers=2",
+        "data_identical": (repl["grid_sha256"] == base["grid_sha256"]
+                           and repl["gdiff"] == base["gdiff"]),
+        "elapsed_rf1": base["elapsed"],
+        "elapsed_rf2": repl["elapsed"],
+        "elapsed_overhead": (round(repl["elapsed"] / base["elapsed"] - 1.0, 4)
+                             if base["elapsed"] else None),
+        "events_rf1": base["events_scheduled"],
+        "events_rf2": repl["events_scheduled"],
+        "counters": {k: counters[k] for k in sorted(counters)
+                     if k.startswith(("wal_", "repl_", "replica_"))},
+        "failovers": counters.get("failovers", 0),
+    }
+
+
 def chaos_counters() -> dict:
     """One seeded drop-storm cell: recovery counters + data-identity bit."""
     from repro.core.params import SamhitaConfig
@@ -285,6 +322,10 @@ def main(argv=None) -> int:
     faults_off = faults_off_fingerprint()
     chaos = chaos_counters()
 
+    print("replication-off fingerprint + rf=2 overhead ...")
+    replication_off = replication_off_fingerprint()
+    replication = replication_overhead()
+
     print("prefetch comparison (compat vs adaptive data plane) ...")
     prefetch = prefetch_comparison()
 
@@ -365,6 +406,8 @@ def main(argv=None) -> int:
         "prefetch": prefetch,
         "faults_off": faults_off,
         "chaos": chaos,
+        "replication_off": replication_off,
+        "replication": replication,
         "notes": [
             f"host has {cpus} CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
@@ -395,6 +438,14 @@ def main(argv=None) -> int:
     print(f"  faults-off identity  {'bit-identical' if ok else 'DIVERGED'}")
     print(f"  chaos drop_storm     data_identical={chaos['data_identical']} "
           f"retransmits={chaos['counters'].get('retransmits', 0)}")
+    repl_ok = replication_off["rf_absent"] == replication_off["rf_one"]
+    print(f"  replication-off      "
+          f"{'bit-identical' if repl_ok else 'DIVERGED'}")
+    overhead = replication["elapsed_overhead"]
+    print(f"  rf=2 healthy path    data_identical="
+          f"{replication['data_identical']} "
+          f"elapsed +{overhead * 100:.1f}% "
+          f"ships={replication['counters'].get('repl_ships', 0)}")
     return 0
 
 

@@ -28,7 +28,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.prefetcher import StridePrefetcher
-from repro.errors import MemoryError_
+from repro.errors import MemoryError_, ReplicationError, RetryExhaustedError
+from repro.memory.backing import payload_crc_ok
 from repro.sim.engine import Timeout
 from repro.sim.stats import StatSet
 
@@ -218,22 +219,45 @@ class ComputeServer:
         install_time = config.install_page_time
         try_advance = self.engine.try_advance
         counters = self.stats.counters
+        resolve_home = system.directory.resolve_home
         for server_index, server_pages in grouped:
-            server = system.memory_servers[server_index]
-            snapshots = {p: epoch_get(p, 0) for p in server_pages}
-            # Request message out, server service (+ recalls), data back.
-            counters["fetch_requests"] += 1
-            t = system.scl.send(self.component, server.component,
-                                category="fetch_req")
-            if t is not None:
-                yield from t
-            data = yield from server.serve_fetch(tid, server_pages)
-            nbytes = len(server_pages) * cache.layout.page_bytes
-            t = system.fabric.transfer_inline(server.component,
-                                              self.component,
-                                              nbytes, category="page")
-            if t is not None:
-                yield from t
+            while True:
+                server = system.memory_servers[resolve_home(server_index)]
+                snapshots = {p: epoch_get(p, 0) for p in server_pages}
+                # Request message out, server service (+ recalls), data back.
+                counters["fetch_requests"] += 1
+                try:
+                    t = system.scl.send(self.component, server.component,
+                                        category="fetch_req")
+                    if t is not None:
+                        yield from t
+                    data = yield from server.serve_fetch(tid, server_pages)
+                    # Read synchronously, before any other serve overwrites
+                    # it (None unless the server has integrity armed).
+                    crcs = server.last_serve_crcs
+                    nbytes = len(server_pages) * cache.layout.page_bytes
+                    t = system.fabric.transfer_inline(server.component,
+                                                      self.component,
+                                                      nbytes, category="page")
+                    if t is not None:
+                        yield from t
+                    if crcs is not None:
+                        # End-to-end verify before anything installs; a bad
+                        # page is repaired from a replica, not raised.
+                        for page in server_pages:
+                            if payload_crc_ok(data.get(page),
+                                              crcs.get(page)):
+                                continue
+                            counters["integrity_failures"] += 1
+                            data[page] = yield from self._repair_page(
+                                server, page)
+                            counters["integrity_repairs"] += 1
+                except RetryExhaustedError as err:
+                    # Home unreachable mid-exchange: wait out the failover
+                    # and refetch the whole group from the promoted server.
+                    yield from system.await_failover(server.index, err)
+                    continue
+                break
             for page in server_pages:
                 if page in entries:
                     continue  # raced with another fill
@@ -253,6 +277,20 @@ class ComputeServer:
                 cache.install(page, data.get(page), prefetched=prefetched)
             counters["pages_fetched"] += len(server_pages)
 
+    def _repair_page(self, server, page: int):
+        """Generator: ask the home to rebuild a page whose fetched copy
+        failed its checksum (replica copy + unacked-WAL replay), and verify
+        the repaired copy end to end."""
+        t = self.system.scl.send(self.component, server.component,
+                                 category="repair_req")
+        if t is not None:
+            yield from t
+        repaired, crc = yield from server.serve_repair(self.component, page)
+        if not payload_crc_ok(repaired, crc):
+            raise ReplicationError(
+                f"page {page}: repaired copy failed its checksum")
+        return repaired
+
     def _fetch_pages_pinned(self, tid: int, pages: list[int], protect: set[int]):
         """Generator: starvation-proof fetch -- the home server is held for
         the whole request INCLUDING the data transfer, and the install runs
@@ -263,17 +301,24 @@ class ComputeServer:
             by_server.setdefault(self.system.allocator.home_of_page(page), []).append(page)
         counters = self.stats.counters
         for server_index, server_pages in sorted(by_server.items()):
-            server = self.system.memory_servers[server_index]
             # Pre-make room (evictions may need the same server).
             while cache.free_pages < len(server_pages):
                 yield from self._evict(tid, 1, protect | set(server_pages))
             counters["fetch_requests"] += 1
-            t = self.system.scl.send(self.component, server.component,
-                                     category="fetch_req")
-            if t is not None:
-                yield from t
-            data = yield from server.serve_fetch_pinned(tid, self.component,
-                                                        server_pages)
+            while True:
+                server = self.system.memory_servers[
+                    self.system.directory.resolve_home(server_index)]
+                try:
+                    t = self.system.scl.send(self.component, server.component,
+                                             category="fetch_req")
+                    if t is not None:
+                        yield from t
+                    data = yield from server.serve_fetch_pinned(
+                        tid, self.component, server_pages)
+                except RetryExhaustedError as err:
+                    yield from self.system.await_failover(server.index, err)
+                    continue
+                break
             for page in server_pages:
                 if not cache.resident(page):
                     cache.install(page, data.get(page))
@@ -442,13 +487,20 @@ class ComputeServer:
         self.stats.counters["evictions"] += len(victims)
 
     def flush_diff(self, tid: int, diff):
-        """Generator: write one page diff back to its home server."""
+        """Generator: write one page diff back to its (live) home server,
+        retrying through a failover."""
         config = self.system.config
-        server = self.system.server_of_page(diff.page)
-        # Diff-scan cost rides the put's suspension (fused lead leg).
-        t = self.system.scl.rdma_put(self.component, server.component,
-                                     diff.wire_bytes, category="diff",
-                                     lead=config.diff_scan_time)
-        if t is not None:
-            yield from t
-        yield from server.apply_diffs([diff])
+        while True:
+            server = self.system.server_of_page(diff.page)
+            try:
+                # Diff-scan cost rides the put's suspension (fused lead leg).
+                t = self.system.scl.rdma_put(self.component, server.component,
+                                             diff.wire_bytes, category="diff",
+                                             lead=config.diff_scan_time)
+                if t is not None:
+                    yield from t
+                yield from server.apply_diffs([diff])
+            except RetryExhaustedError as err:
+                yield from self.system.await_failover(server.index, err)
+                continue
+            break

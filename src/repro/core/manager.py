@@ -456,3 +456,94 @@ class Manager:
             gate.succeed()
         self.stats.incr("cond_signals")
         return count
+
+
+class FailureDetector:
+    """Manager-side heartbeat failure detector for memory servers.
+
+    REACTIVE, not free-running: the DES engine only returns when its event
+    heap drains, so a detector that pinged every server forever would keep
+    every run alive (and perturb fault-free timing). Instead it stays
+    dormant until the fault layer records a delivery verdict against a
+    server (:meth:`suspect`, called from the injector's crash branches --
+    the moment a real cluster would first notice trouble). Only then does
+    it probe that one server every ``config.heartbeat_interval`` seconds;
+    ``config.heartbeat_misses`` consecutive missed beats declare the server
+    dead and trigger the system's failover (backup promotion, home remap,
+    WAL-tail replay). A probe that answers clears the suspicion, so
+    transient outages shorter than ``misses x interval`` cost nothing but
+    the probes themselves.
+
+    Probes consult the fault model directly (the modeled heartbeat): a real
+    ping message would drop on exactly the schedule the injector already
+    encodes, so asking it avoids per-beat wire traffic without changing
+    what the detector can observe.
+    """
+
+    def __init__(self, engine: Engine, config, system, injector):
+        self.engine = engine
+        self.config = config
+        self.system = system
+        self.injector = injector
+        self.stats = StatSet("failure_detector")
+        #: comp -> consecutive missed beats, for servers under suspicion.
+        self._misses: dict[str, int] = {}
+        self._declared: set[str] = set()
+        self._index_of = {s.component: s.index
+                         for s in system.memory_servers}
+
+    def suspect(self, comp: str) -> None:
+        """A message verdict implicated ``comp``: start probing it.
+
+        Idempotent -- repeated verdicts against an already-suspected (or
+        already-declared) server add nothing, so the injector can call this
+        on every drop without flooding the heap with probe timers.
+        """
+        if (comp not in self._index_of or comp in self._declared
+                or comp in self._misses):
+            return
+        self._misses[comp] = 0
+        self.stats.incr("suspicions")
+        self.engine.schedule(self.config.heartbeat_interval, self._probe, comp)
+
+    def _probe(self, comp: str) -> None:
+        if comp in self._declared or comp not in self._misses:
+            return
+        self.stats.incr("heartbeats")
+        if self.injector.server_down(comp, self.engine.now):
+            self._misses[comp] += 1
+            if self._misses[comp] >= self.config.heartbeat_misses:
+                self._declare_dead(comp)
+                return
+            self.engine.schedule(self.config.heartbeat_interval,
+                                 self._probe, comp)
+        else:
+            # The beat answered: transient blip, stand down.
+            del self._misses[comp]
+            self.stats.incr("suspicions_cleared")
+
+    def _declare_dead(self, comp: str) -> None:
+        self._declared.add(comp)
+        self._misses.pop(comp, None)
+        self.stats.incr("servers_declared_dead")
+        self.system.handle_server_failure(self._index_of[comp])
+
+    def on_deadlock(self, blocked) -> bool:
+        """Deadlock-hook safety net.
+
+        If the heap drains with blocked processes while an unreachable
+        server is still undeclared (every client exhausted its retries
+        before the probe cadence finished), declare it immediately so the
+        failover can unwedge the waiters. Returns True when it declared
+        anything (the watchdog then lets the run continue).
+        """
+        now = self.engine.now
+        acted = False
+        for comp in self._index_of:
+            if comp in self._declared:
+                continue
+            if self.injector.server_down(comp, now):
+                self.stats.incr("deadlock_declarations")
+                self._declare_dead(comp)
+                acted = True
+        return acted

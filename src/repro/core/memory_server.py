@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import ReplicationError, RetryExhaustedError
 from repro.faults.recovery import RpcDedup
 from repro.memory.backing import BackingStore, PageFrame
 from repro.memory.directory import PageDirectory
+from repro.memory.storelog import ReplicationLog
 from repro.sim.engine import Engine, Timeout
 from repro.sim.resources import Resource
 from repro.sim.stats import StatSet
@@ -50,10 +52,28 @@ class MemoryServer:
         #: Sequence-numbered idempotent delivery state, wired by the system
         #: when fault injection is armed (None on the fault-free build).
         self.rpc_dedup: RpcDedup | None = None
+        #: Write-ahead replication log, armed by the system when
+        #: ``replication_factor > 1`` (None keeps the single-copy build's
+        #: apply paths untouched beyond one falsy check).
+        self.wal: ReplicationLog | None = None
+        #: Serializes shipping so two concurrent flushes cannot double-ship
+        #: the same WAL tail (created with the WAL).
+        self._repl_lock: Resource | None = None
+        #: Checksums of the last :meth:`serve_fetch` reply, keyed by page.
+        #: Valid only until the requester's next yield -- it reads them
+        #: synchronously after the serve returns. None when integrity off.
+        self.last_serve_crcs: dict[int, int] | None = None
 
     def bind(self, system: "SamhitaSystem") -> None:
         """Late-bind the system for owner-recall resolution."""
         self._system = system
+
+    def arm_replication(self) -> None:
+        """Give this server a WAL (``replication_factor > 1``)."""
+        self.wal = ReplicationLog(self.index)
+        self._repl_lock = Resource(self.engine, capacity=1,
+                                   name=f"repl{self.index}")
+        self.backing.integrity = True
 
     def _admit(self, peer) -> None:
         """Record one request delivery in the dedup stream (faults armed).
@@ -95,6 +115,8 @@ class MemoryServer:
             functional = backing.functional
             frames = backing.frames
             backing_counters = backing.stats.counters
+            integrity = backing.integrity
+            crcs: dict[int, int] | None = {} if integrity else None
             result = {}
             for page in pages:
                 owner = owner_of(page)
@@ -103,6 +125,12 @@ class MemoryServer:
                     if r is not None:
                         yield from r
                 add_sharer(page, requester_tid)
+                if integrity:
+                    # Rot strikes (maybe) before the read below copies the
+                    # bytes; the shipped CRC is the stored one, which a rot
+                    # leaves stale -- that staleness IS the detection.
+                    self._maybe_bitrot(page)
+                    crcs[page] = backing.page_crc(page)
                 if functional:
                     result[page] = read_page(page)
                 else:
@@ -114,9 +142,41 @@ class MemoryServer:
                         frames[page] = PageFrame(None)
                         backing_counters["frames_created"] += 1
                     result[page] = None
+            self.last_serve_crcs = crcs
             return result
         finally:
             self.resource.release()
+
+    def _maybe_bitrot(self, page: int) -> None:
+        """One bitrot draw for a page about to be served.
+
+        Gated on a live backup existing: unrepairable rot would break the
+        data-identity contract, so the fault model only rots what the
+        repair path can still fix (the draw itself is skipped too, keeping
+        the dedicated bitrot RNG stream aligned with repairability).
+        """
+        system = self._system
+        inj = system.injector
+        if inj is None or not inj.plan.bitrot_rate:
+            return
+        if system.live_backup_of(page, self.index) is None:
+            return
+        if inj.draw_bitrot():
+            self.backing.corrupt_page(page)
+
+    def _wal_append(self, page: int, diff) -> None:
+        """Write-ahead: log a diff BEFORE it merges into the backing store.
+
+        A recall takes the *only* dirty copy from its writer; if this
+        primary then dies mid-merge, the WAL tail replayed into the
+        promoted backup is the sole surviving record. Targets are the
+        page's currently-live backups (dead ones would pin entries
+        forever).
+        """
+        wal = self.wal
+        if wal is None:
+            return
+        wal.append(page, diff, self._system.replica_targets(page, self.index))
 
     def _recall(self, page: int, owner_tid: int):
         """Pull the owner's unflushed diff and merge it.
@@ -156,6 +216,7 @@ class MemoryServer:
         self.directory.clear_owner(page)
         if diff is None:
             return None
+        self._wal_append(page, diff)
         # The apply cost is fused into the transfer's suspension (same
         # float trajectory, one heap transit instead of two).
         t = system.fabric.transfer_inline(
@@ -211,6 +272,7 @@ class MemoryServer:
                 if entry is not None and entry.is_dirty:
                     # Stale exclusivity: merge first.
                     diff = cache.take_diff(page)
+                    self._wal_append(page, diff)
                     self.backing.apply_diff(diff)
                 # Drops the copy AND advances the page's invalidation
                 # counter, voiding any of the sharer's in-flight fetches.
@@ -232,9 +294,16 @@ class MemoryServer:
                 category="upgrade_data", tail=self.config.install_page_time)
             if t is not None:
                 yield from t
-            return self.backing.read_page(page)
+            result = self.backing.read_page(page)
         finally:
             self.resource.release()
+        if self.wal is not None:
+            # After release (a ship holds the BACKUP's resource; holding our
+            # own across it would AB-BA with the backup's own ships) but
+            # before the grant returns: the upgrade completes only once
+            # every live backup has acked its merged diffs.
+            yield from self._replicate()
+        return result
 
     def serve_fetch_pinned(self, requester_tid: int, requester_comp: str,
                            pages: list[int]):
@@ -277,6 +346,101 @@ class MemoryServer:
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:
+            if self._system.is_server_dead(self.index):
+                # The request landed just before the crash cut the wire: a
+                # dead server processes nothing, so model it as lost and
+                # let the caller fail over (applying here would strand the
+                # diffs on a corpse whose WAL nobody replays again).
+                raise RetryExhaustedError(self.component, self.component,
+                                          "diff", 0, self.engine.now)
+            total = sum(d.payload_bytes for d in diffs)
+            if total:
+                delay = self.config.apply_time_per_byte * total
+                if not self.engine.try_advance(delay):
+                    yield Timeout(delay)
+            wal = self.wal
+            for diff in diffs:
+                if wal is not None:
+                    self._wal_append(diff.page, diff)
+                self.backing.apply_diff(diff)
+                self.directory.clear_owner(diff.page)
+            self.stats.incr("flushes")
+            self.stats.incr("flush_bytes", total)
+        finally:
+            self.resource.release()
+        if self.wal is not None:
+            # Release-completes-after-ack: the flusher's release (barrier
+            # arrival, lock handoff) does not finish until every live
+            # backup acked. Runs after our own resource is free -- see
+            # serve_upgrade for the deadlock rationale.
+            yield from self._replicate()
+
+    # ------------------------------------------------------------------
+    # replication (replication_factor > 1)
+    # ------------------------------------------------------------------
+    def _replicate(self):
+        """Generator: ship the WAL's unacknowledged tail to each live
+        backup and collect acks.
+
+        Serialized by ``_repl_lock`` so two concurrent flushes cannot ship
+        the same entries twice. Acks are recorded only after the backup's
+        apply returns (ack-after-delivery): claiming entries at collect
+        time would discard diffs the backup never received if this primary
+        dies mid-ship. A ship that exhausts its retries (this server or
+        the backup is mid-crash) leaves its entries pending -- failover
+        replays them into the promoted backup or prunes the dead target.
+        """
+        wal = self.wal
+        if not wal.entries:
+            return
+        system = self._system
+        counters = self.stats.counters
+        yield from self._repl_lock.request()
+        try:
+            targets = sorted({t for e in wal.entries for t in e.pending})
+            for target in targets:
+                if system.is_server_dead(target):
+                    wal.drop_target(target)
+                    counters["repl_dead_targets"] += 1
+                    continue
+                entries = wal.unshipped(target)
+                if not entries:
+                    continue
+                backup = system.memory_servers[target]
+                diffs = [e.diff for e in entries]
+                wire = sum(d.wire_bytes for d in diffs)
+                try:
+                    t = system.scl.rdma_put(self.component, backup.component,
+                                            wire, category="repl")
+                    if t is not None:
+                        yield from t
+                    yield from backup.apply_replica(diffs)
+                    t = system.scl.send(backup.component, self.component,
+                                        category="repl_ack")
+                    if t is not None:
+                        yield from t
+                except RetryExhaustedError:
+                    counters["repl_ship_failed"] += 1
+                    continue
+                wal.ack(target, entries)
+                counters["repl_ships"] += 1
+                counters["repl_diffs"] += len(diffs)
+                counters["repl_bytes"] += sum(d.payload_bytes for d in diffs)
+        finally:
+            self._repl_lock.release()
+
+    def apply_replica(self, diffs: list):
+        """Generator: apply a primary's shipped WAL entries (backup side).
+
+        Charges this server's queueing + service + apply cost, merges into
+        the backing store, and nothing else -- no directory writes and no
+        WAL append of its own. A backup is a passive byte copy until
+        promoted; on promotion its frames already equal the dead primary's
+        acked prefix, and the replayed WAL tail supplies the rest.
+        """
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
+        try:
             total = sum(d.payload_bytes for d in diffs)
             if total:
                 delay = self.config.apply_time_per_byte * total
@@ -284,8 +448,55 @@ class MemoryServer:
                     yield Timeout(delay)
             for diff in diffs:
                 self.backing.apply_diff(diff)
-                self.directory.clear_owner(diff.page)
-            self.stats.incr("flushes")
-            self.stats.incr("flush_bytes", total)
+            self.stats.incr("replica_applies")
+            self.stats.incr("replica_bytes", total)
         finally:
             self.resource.release()
+
+    def serve_repair(self, requester_comp: str, page: int):
+        """Generator: rebuild a rotted page from a live replica and ship
+        the repaired copy (plus a fresh CRC) to the requester.
+
+        The server resource is charged but NOT held across the replica
+        round trip: two servers repairing pages homed on each other would
+        AB-BA deadlock. Dropping the hold is safe because the rebuild
+        below is atomic (no yields) and self-correcting: the replica's
+        copy lags this primary by exactly the WAL entries the replica has
+        not acked, so replica copy + unacked-entries-for-this-page replay
+        reproduces the primary's correct current bytes (bitrot flips
+        stored bytes, never logged diffs). Any diff that lands during the
+        round trip is itself WAL-logged and therefore in the replay.
+        """
+        system = self._system
+        yield from self.resource.use(self.config.memserver_service_time)
+        target = system.live_backup_of(page, self.index)
+        if target is None:
+            raise ReplicationError(
+                f"page {page}: no live replica to repair from")
+        replica = system.memory_servers[target]
+        t = system.scl.send(self.component, replica.component,
+                            category="repair_pull")
+        if t is not None:
+            yield from t
+        yield from replica.resource.use(self.config.memserver_service_time)
+        data = replica.backing.read_page(page)
+        t = system.fabric.transfer_inline(
+            replica.component, self.component, self.config.layout.page_bytes,
+            category="repair_page")
+        if t is not None:
+            yield from t
+        # Atomic rebuild: replica copy, then the unacked WAL tail for this
+        # page, in LSN order.
+        self.backing.restore_page(page, data)
+        if self.wal is not None:
+            for entry in self.wal.unshipped_for_page(page, target):
+                self.backing.apply_diff(entry.diff)
+        self.stats.counters["repairs_served"] += 1
+        crc = self.backing.page_crc(page)
+        repaired = self.backing.read_page(page)
+        t = system.fabric.transfer_inline(
+            self.component, requester_comp, self.config.layout.page_bytes,
+            category="repair_data", tail=self.config.install_page_time)
+        if t is not None:
+            yield from t
+        return repaired, crc

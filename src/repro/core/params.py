@@ -147,6 +147,22 @@ class SamhitaConfig:
     manager_service_time: float = 1.5e-6
     memserver_service_time: float = 1.0e-6
 
+    # -- replication / availability ---------------------------------------
+    #: Copies of every home page, primary included. 1 (the default) keeps
+    #: today's single-copy behavior bit-identical (CI-gated by
+    #: ``--check-replication-off``); k > 1 gives each page ``k - 1`` backup
+    #: homes on the next servers of the ring, diffs ship to them through a
+    #: write-ahead replication log, and a heartbeat failure detector
+    #: promotes a backup when the primary permanently crashes.
+    replication_factor: int = 1
+    #: Failure-detector probe period (simulated seconds). The detector is
+    #: reactive -- probing starts only once a crash drop raises suspicion --
+    #: so this costs nothing while every server is healthy.
+    heartbeat_interval: float = 10e-6
+    #: Consecutive missed heartbeats before a suspected server is declared
+    #: dead and failover runs (the detector's ``k``).
+    heartbeat_misses: int = 3
+
     # -- fault model ------------------------------------------------------
     #: Seeded fault schedule, or None (the default) for a perfect network.
     #: With None the fault subsystem is never constructed and the simulated
@@ -188,6 +204,17 @@ class SamhitaConfig:
             raise ReproError("stripe_threshold must exceed arena_max_alloc")
         if self.n_memory_servers < 1:
             raise ReproError("need at least one memory server")
+        if self.replication_factor < 1:
+            raise ReproError("replication_factor must be >= 1")
+        if self.replication_factor > self.n_memory_servers:
+            raise ReproError(
+                f"replication_factor={self.replication_factor} needs at "
+                f"least that many memory servers "
+                f"(n_memory_servers={self.n_memory_servers})")
+        if self.heartbeat_interval <= 0.0:
+            raise ReproError("heartbeat_interval must be positive")
+        if self.heartbeat_misses < 1:
+            raise ReproError("heartbeat_misses must be >= 1")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ReproError("faults must be a FaultPlan or None")
         if self.lock_lease_time < 0.0:

@@ -23,7 +23,11 @@ import math
 
 from repro.core.allocator import AllocationKind, SamhitaAllocator
 from repro.core.compute_server import ComputeServer
-from repro.core.manager import Manager, RPC_CATEGORIES as MANAGER_RPCS
+from repro.core.manager import (
+    FailureDetector,
+    Manager,
+    RPC_CATEGORIES as MANAGER_RPCS,
+)
 from repro.core.memory_server import (
     MemoryServer,
     RPC_CATEGORIES as MEMSERVER_RPCS,
@@ -33,7 +37,13 @@ from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RpcDedup
 from repro.core.placement import PlacementPolicy, choose_component
 from repro.core.regions import RegionTracker
-from repro.errors import BackendError, ConsistencyError, SynchronizationError
+from repro.errors import (
+    BackendError,
+    ConsistencyError,
+    ReplicationError,
+    RetryExhaustedError,
+    SynchronizationError,
+)
 from repro.hardware.specs import NodeSpec, PENRYN_NODE, XEON_PHI_KNC
 from repro.hardware.topology import (
     Topology,
@@ -116,6 +126,22 @@ class SamhitaSystem:
             # Leases without injection: still give the engine a recoverer so
             # a dead holder cannot wedge the run.
             self.engine.deadlock_hooks.append(self.manager.recover_dead_holders)
+
+        # Replication: armed only when the config asks for extra copies.
+        # At the default replication_factor=1 nothing below runs, keeping
+        # the single-copy trajectory bit-identical (CI-gated).
+        self.detector: FailureDetector | None = None
+        self._dead_servers: set[int] = set()
+        if self.config.replication_factor > 1:
+            for server in self.memory_servers:
+                server.arm_replication()
+            if self.injector is not None:
+                # Failure detection only makes sense with a fault model to
+                # observe; a fault-free replicated run just pays the copies.
+                self.detector = FailureDetector(self.engine, self.config,
+                                                self, self.injector)
+                self.injector.detector = self.detector
+                self.engine.deadlock_hooks.append(self.detector.on_deadlock)
 
         # Per-thread state.
         self._caches: dict[int, SoftwareCache] = {}
@@ -229,7 +255,103 @@ class SamhitaSystem:
         return self.compute_servers[self._thread_comp[tid]]
 
     def server_of_page(self, page: int) -> MemoryServer:
-        return self.memory_servers[self.allocator.home_of_page(page)]
+        return self.memory_servers[
+            self.directory.resolve_home(self.allocator.home_of_page(page))]
+
+    # ------------------------------------------------------------------
+    # replication topology & failover
+    # ------------------------------------------------------------------
+    def replica_ring(self, logical: int) -> list[int]:
+        """Server indices holding copies of pages logically homed on
+        ``logical``: the primary plus the next ``replication_factor - 1``
+        servers in index order (the same hashing that spreads homes)."""
+        n = len(self.memory_servers)
+        return [(logical + i) % n
+                for i in range(self.config.replication_factor)]
+
+    def replica_targets(self, page: int, exclude: int) -> list[int]:
+        """Live backup indices for ``page``, excluding ``exclude`` (the
+        server asking -- it never ships to itself)."""
+        logical = self.allocator.home_of_page(page)
+        dead = self._dead_servers
+        return [i for i in self.replica_ring(logical)
+                if i != exclude and i not in dead]
+
+    def live_backup_of(self, page: int, exclude: int) -> int | None:
+        """First live replica of ``page`` other than ``exclude`` (repair
+        source / rot-eligibility check), or None."""
+        targets = self.replica_targets(page, exclude)
+        return targets[0] if targets else None
+
+    def is_server_dead(self, index: int) -> bool:
+        return index in self._dead_servers
+
+    def handle_server_failure(self, dead: int) -> None:
+        """Failover: promote the dead primary's backup.
+
+        Plain function, called from the failure detector's probe callback
+        (outside any process), so the whole transition is atomic in
+        simulated time. The dead server's WAL survives its crash by
+        design -- it models a durable (disk/NVRAM) log, which is the whole
+        point of logging diffs before applying them.
+        """
+        if dead in self._dead_servers:
+            return
+        self._dead_servers.add(dead)
+        ring = self.replica_ring(dead)
+        promoted = next(
+            (i for i in ring[1:] if i not in self._dead_servers), None)
+        if promoted is None:
+            raise ReplicationError(
+                f"server {dead} failed with no live replica to promote "
+                f"(ring {ring})")
+        dead_server = self.memory_servers[dead]
+        promoted_server = self.memory_servers[promoted]
+        wal = dead_server.wal
+        if wal is not None:
+            # The promoted backup holds the acked prefix of the dead
+            # primary's apply stream; replaying the unacknowledged tail
+            # (from the durable log) makes it byte-equal to the primary.
+            replay = wal.unshipped(promoted)
+            for entry in replay:
+                promoted_server.backing.apply_diff(entry.diff)
+            if replay:
+                wal.ack(promoted, replay)
+                self.stats.incr("wal_replayed", len(replay))
+            # Entries still owed to OTHER replicas transfer to the
+            # promoted server's own log; it inherits the shipping duty.
+            inherited = 0
+            for entry in wal.entries:
+                pending = [t for t in entry.pending
+                           if t != dead and t not in self._dead_servers]
+                if pending and promoted_server.wal is not None:
+                    promoted_server.wal.append(entry.page, entry.diff,
+                                               pending)
+                    inherited += 1
+            if inherited:
+                self.stats.incr("wal_inherited", inherited)
+            wal.clear()
+        # Nobody ships to a corpse: prune the dead target everywhere.
+        for server in self.memory_servers:
+            if server.index != dead and server.wal is not None:
+                server.wal.drop_target(dead)
+        self.directory.remap_home(dead, promoted)
+        self.stats.incr("failovers")
+
+    def await_failover(self, index: int, err):
+        """Generator: a request against server ``index`` exhausted its
+        retries. With a detector armed, wait (bounded by the detection
+        budget) for the failover to land, then return so the caller can
+        re-resolve the home and retry; otherwise re-raise ``err``.
+        """
+        if self.detector is None:
+            raise err
+        for _ in range(self.config.heartbeat_misses + 2):
+            if index in self._dead_servers:
+                self.stats.incr("failover_retries")
+                return
+            yield Timeout(self.config.heartbeat_interval)
+        raise err
 
     def region_tracker_of(self, tid: int) -> RegionTracker:
         return self._regions[tid]
@@ -346,11 +468,17 @@ class SamhitaSystem:
                 if not cache.resident(page) and cache.free_pages == 0:
                     yield from cs._evict(tid, 1, {page})
                 server = self.server_of_page(page)
-                t = self.scl.send(comp, server.component,
-                                  category="upgrade_req")
-                if t is not None:
-                    yield from t
-                fresh = yield from server.serve_upgrade(tid, comp, page)
+                try:
+                    t = self.scl.send(comp, server.component,
+                                      category="upgrade_req")
+                    if t is not None:
+                        yield from t
+                    fresh = yield from server.serve_upgrade(tid, comp, page)
+                except RetryExhaustedError as err:
+                    # Home unreachable: wait out the failover and retry the
+                    # whole exchange against the promoted server.
+                    yield from self.await_failover(server.index, err)
+                    continue
                 # Synchronous from here: install + store, no yields.
                 if cache.resident(page) or cache.free_pages > 0:
                     cache.install(page, fresh)
@@ -421,7 +549,9 @@ class SamhitaSystem:
                                                  invalidate_pages=pages)
 
     def _apply_at_homes(self, tid: int, diffs, category: str):
-        """Generator: ship diffs to their home servers, grouped per server."""
+        """Generator: ship diffs to their home servers, grouped per
+        *logical* home (the allocator's static map); each group resolves to
+        its live server at send time and retries through a failover."""
         if not diffs:
             return
         comp = self.component_of(tid)
@@ -429,14 +559,20 @@ class SamhitaSystem:
         for diff in diffs:
             by_server.setdefault(self.allocator.home_of_page(diff.page), []).append(diff)
         for index in sorted(by_server):
-            server = self.memory_servers[index]
             group = by_server[index]
             wire = sum(d.wire_bytes for d in group)
-            t = self.scl.rdma_put(comp, server.component, wire,
-                                  category=category)
-            if t is not None:
-                yield from t
-            yield from server.apply_diffs(group)
+            while True:
+                server = self.memory_servers[self.directory.resolve_home(index)]
+                try:
+                    t = self.scl.rdma_put(comp, server.component, wire,
+                                          category=category)
+                    if t is not None:
+                        yield from t
+                    yield from server.apply_diffs(group)
+                except RetryExhaustedError as err:
+                    yield from self.await_failover(server.index, err)
+                    continue
+                break
 
     def barrier_wait(self, tid: int, barrier_id: int):
         """Generator: the RegC global consistency point.
@@ -598,4 +734,26 @@ class SamhitaSystem:
         report["prefetch"] = prefetch
         if self.injector is not None:
             report["faults"] = self.injector.snapshot()
+        if self.config.replication_factor > 1:
+            # One namespace for the availability machinery: WAL traffic,
+            # failover, integrity. Only present when replication is on, so
+            # rf=1 reports stay byte-identical to the single-copy build.
+            repl = {k: v for k, v in report["memory_servers"].items()
+                    if k.startswith(("repl_", "replica_", "repairs_",
+                                     "pages_rotted", "pages_restored"))}
+            wal_stats = StatSet("wal")
+            for server in self.memory_servers:
+                if server.wal is not None:
+                    wal_stats.merge(server.wal.stats)
+            repl.update(wal_stats.snapshot())
+            repl.update({k: v for k, v in self.stats.snapshot().items()
+                         if k.startswith(("failover", "wal_"))})
+            remaps = self.directory.stats.snapshot().get("home_remaps")
+            if remaps:
+                repl["home_remaps"] = remaps
+            if self.detector is not None:
+                repl.update(self.detector.stats.snapshot())
+            repl.update({k: v for k, v in report["compute_servers"].items()
+                         if k.startswith("integrity_")})
+            report["replication"] = repl
         return report

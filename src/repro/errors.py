@@ -56,15 +56,40 @@ class RpcTimeoutError(CommunicationError):
 
 
 class RetryExhaustedError(CommunicationError):
-    """A retransmitted operation gave up after its full retry budget."""
+    """A retransmitted operation gave up after its full retry budget.
 
-    def __init__(self, src, dst, category, attempts, now=None):
+    ``timeline`` carries one entry per failed attempt --
+    ``{"attempt", "t", "fault", "timeout", "backoff"}`` with the simulated
+    send time, the fault process that ate the message (the injector's
+    counter name), the policy timeout, and the backoff chosen before the
+    next retransmit (None on the final, exhausted attempt) -- so a chaos
+    failure is debuggable from the exception alone.
+    """
+
+    def __init__(self, src, dst, category, attempts, now=None, timeline=()):
         self.src, self.dst, self.category = src, dst, category
         self.attempts, self.now = attempts, now
+        self.timeline = tuple(timeline)
         at = f" at t={now:.9f}s" if now is not None else ""
+        detail = ""
+        if self.timeline:
+            faults = {}
+            for entry in self.timeline:
+                fault = entry.get("fault", "?")
+                faults[fault] = faults.get(fault, 0) + 1
+            summary = ", ".join(f"{n}x {f}" for f, n in sorted(faults.items()))
+            first = self.timeline[0].get("t")
+            span = (f" over {now - first:.3g}s"
+                    if now is not None and first is not None else "")
+            detail = f" ({summary}{span})"
         super().__init__(
             f"transfer {src}->{dst} ({category}) still failing after "
-            f"{attempts} retransmits{at}; giving up")
+            f"{attempts} retransmits{at}{detail}; giving up")
+
+
+class ReplicationError(CommunicationError):
+    """The replication layer could not keep a page available (no live
+    replica to promote or repair from)."""
 
 
 class MemoryError_(ReproError):

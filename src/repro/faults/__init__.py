@@ -26,6 +26,7 @@ from repro.faults.plan import (
     RetryPolicy,
     drop_storm,
     latency_storm,
+    permanent_crash,
     server_outage,
 )
 from repro.faults.recovery import DeadlockWatchdog, RpcDedup, wait_reasons
@@ -39,6 +40,7 @@ __all__ = [
     "RpcDedup",
     "drop_storm",
     "latency_storm",
+    "permanent_crash",
     "server_outage",
     "wait_reasons",
 ]

@@ -55,14 +55,36 @@ class FaultInjector:
         # "no window active" case is one float compare.
         self._flaps = tuple(plan.link_flaps)
         self._crashes = tuple(plan.server_crash_windows)
+        self._permanent = tuple(plan.permanent_crashes)
+        #: Bitrot has its own RNG stream: page-serve draws must never
+        #: perturb the message-verdict sequence (and vice versa), or two
+        #: plans differing only in bitrot_rate would diverge in timing.
+        self._bitrot_rng = random.Random(plan.seed ^ 0x6B17507)
+        #: Failure detector hook, wired by the system when replication is
+        #: on. Notified (never consulted) from the crash-verdict branches,
+        #: so attaching it cannot change any verdict or RNG draw.
+        self.detector = None
 
     # ------------------------------------------------------------------
     # verdicts
     # ------------------------------------------------------------------
     def decide(self, src: str, dst: str, category: str, now: float):
         """One verdict per message; ``None`` means deliver normally."""
+        for comp, at in self._permanent:
+            # A permanently dead server neither receives nor sends: its
+            # half-finished handlers' replies drop too, so requesters
+            # exhaust their retries and fail over instead of consuming a
+            # reply from a corpse.
+            if now >= at and (src == comp or dst == comp):
+                detector = self.detector
+                if detector is not None:
+                    detector.suspect(comp)
+                return (_DROP, "crash_drops")
         for comp, start, end in self._crashes:
             if dst == comp and start <= now < end:
+                detector = self.detector
+                if detector is not None:
+                    detector.suspect(comp)
                 return (_DROP, "crash_drops")
         for a, b, start, end in self._flaps:
             if (start <= now < end
@@ -81,6 +103,27 @@ class FaultInjector:
         if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
             return (_DUP, None)
         return None
+
+    def server_down(self, component: str, now: float) -> bool:
+        """Is ``component`` unreachable at ``now``? (The failure detector's
+        modeled heartbeat: a real probe message would just drop on the same
+        schedule, so the detector asks the fault model directly instead of
+        paying wire traffic per beat.)"""
+        for comp, at in self._permanent:
+            if comp == component and now >= at:
+                return True
+        for comp, start, end in self._crashes:
+            if comp == component and start <= now < end:
+                return True
+        return False
+
+    def draw_bitrot(self) -> bool:
+        """One bitrot draw for a page about to be served (dedicated RNG)."""
+        rate = self.plan.bitrot_rate
+        if rate and self._bitrot_rng.random() < rate:
+            self.stats.counters["bitrot_injected"] += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # idempotent-RPC bookkeeping

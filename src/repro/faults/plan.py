@@ -90,12 +90,26 @@ class FaultPlan:
     #: the component is down and receives nothing during the window;
     #: senders back off and retransmit until the restart.
     server_crash_windows: tuple = ()
+    #: Permanent crashes: ``(component, at)`` -- from ``at`` on the
+    #: component neither sends nor receives, forever. Unlike the transient
+    #: windows above there is no restart: survival requires the replication
+    #: layer (``SamhitaConfig.replication_factor > 1``) to fail the dead
+    #: server's pages over to a backup.
+    permanent_crashes: tuple = ()
+    #: Per-served-page probability that a page frame at a memory server has
+    #: silently rotted (a flipped byte) by the time it is read for a fetch.
+    #: Detected by the end-to-end CRC attached at the server and verified at
+    #: the compute server, then repaired from a replica -- so bitrot needs
+    #: ``replication_factor > 1`` to be survivable and the injector only
+    #: draws it when a live replica exists. Drawn from a dedicated RNG so
+    #: arming bitrot never perturbs the message-verdict stream.
+    bitrot_rate: float = 0.0
     #: Recovery budget used by the reliable-transfer layer.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         for name in ("drop_rate", "corrupt_rate", "latency_spike_rate",
-                     "duplicate_rate"):
+                     "duplicate_rate", "bitrot_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ReproError(f"{name} must be in [0, 1], got {value!r}")
@@ -109,6 +123,10 @@ class FaultPlan:
             if len(window) != 3 or window[1] > window[2]:
                 raise ReproError(f"malformed crash window {window!r}; "
                                  "want (component, start, end)")
+        for crash in self.permanent_crashes:
+            if len(crash) != 2 or crash[1] < 0:
+                raise ReproError(f"malformed permanent crash {crash!r}; "
+                                 "want (component, at)")
 
     @property
     def silent(self) -> bool:
@@ -116,7 +134,9 @@ class FaultPlan:
         return (self.drop_rate == 0.0 and self.corrupt_rate == 0.0
                 and self.latency_spike_rate == 0.0
                 and self.duplicate_rate == 0.0
-                and not self.link_flaps and not self.server_crash_windows)
+                and self.bitrot_rate == 0.0
+                and not self.link_flaps and not self.server_crash_windows
+                and not self.permanent_crashes)
 
 
 #: Canonical chaos profiles for the test harness and CI: each maps a name to
@@ -139,6 +159,21 @@ def server_outage(seed: int, component: str, start: float,
     """One memory-server crash/restart window plus light background loss."""
     return FaultPlan(seed=seed, drop_rate=0.01,
                      server_crash_windows=((component, start, start + duration),))
+
+
+def permanent_crash(seed: int, component: str, at: float,
+                    bitrot_rate: float = 0.0) -> FaultPlan:
+    """Kill one memory server forever at ``at`` (the failover kill-test).
+
+    The retry budget is deliberately tight: senders talking to a dead
+    server must exhaust and fall into the failover wait within tens of
+    microseconds -- comparable to the heartbeat detection time -- instead
+    of grinding through the default multi-millisecond budget per message.
+    """
+    retry = RetryPolicy(timeout=2e-6, backoff=2.0, max_backoff=16e-6,
+                        max_retries=10)
+    return FaultPlan(seed=seed, permanent_crashes=((component, at),),
+                     bitrot_rate=bitrot_rate, retry=retry)
 
 
 CHAOS_PROFILES = ("drop_storm", "latency_storm", "server_outage")

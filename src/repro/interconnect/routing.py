@@ -277,6 +277,7 @@ class Fabric:
         retry = inj.retry
         clean = Fabric.transfer_inline
         attempt = 0
+        timeline: list[dict] = []
         while verdict is not None:
             kind, arg = verdict
             if kind == "delay":
@@ -313,11 +314,17 @@ class Fabric:
             counters["drops"] += 1
             attempt += 1
             if attempt > retry.max_retries:
+                timeline.append({"attempt": attempt, "t": engine.now,
+                                 "fault": arg, "timeout": retry.timeout,
+                                 "backoff": None})
                 raise RetryExhaustedError(src, dst, category, attempt - 1,
-                                          now=engine.now)
+                                          now=engine.now, timeline=timeline)
             counters["timeouts"] += 1
             counters["retries"] += 1
             delay = retry.delay(attempt)
+            timeline.append({"attempt": attempt, "t": engine.now,
+                             "fault": arg, "timeout": retry.timeout,
+                             "backoff": delay})
             if not engine.try_advance(delay):
                 yield Timeout(delay)
             counters["retransmits"] += 1

@@ -8,6 +8,8 @@ sweeps cheap while versioning still works.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.errors import MemoryError_
@@ -15,15 +17,40 @@ from repro.memory.diff import PageDiff
 from repro.memory.layout import MemoryLayout
 from repro.sim.stats import StatSet
 
+#: Timing-mode corruption sentinel: with no bytes to checksum, a rotted
+#: frame ships this instead of its version so the receiver's check fires.
+CRC_CORRUPT = -1
+
+
+def payload_crc_ok(data: np.ndarray | None, crc: int | None) -> bool:
+    """End-to-end check of a received page against its shipped checksum.
+
+    ``crc=None`` means integrity is off (nothing to verify). In timing mode
+    there are no bytes, so the check degrades to the corruption sentinel.
+    """
+    if crc is None:
+        return True
+    if data is None:
+        return crc != CRC_CORRUPT
+    return (zlib.crc32(data) & 0xFFFFFFFF) == crc
+
 
 class PageFrame:
     """One page's authoritative storage."""
 
-    __slots__ = ("data", "version")
+    __slots__ = ("data", "version", "crc", "corrupt")
 
     def __init__(self, data: np.ndarray | None):
         self.data = data
         self.version = 0
+        #: Lazily computed CRC32 of ``data`` (integrity armed, functional
+        #: mode); None = not computed since the last clean mutation.
+        self.crc = None
+        #: Bitrot marker: the stored CRC is deliberately stale (it predates
+        #: the rot), so verification keeps failing until a replica repair
+        #: rebuilds the frame. Never cleared by apply_diff -- recomputing a
+        #: checksum over rotted bytes would launder the corruption.
+        self.corrupt = False
 
 
 class BackingStore:
@@ -34,6 +61,10 @@ class BackingStore:
         self.functional = functional
         self.name = name
         self.frames: dict[int, PageFrame] = {}
+        #: End-to-end checksums; armed by the system when replication is on
+        #: (a detected corruption is only survivable with a replica to
+        #: repair from). Off, the mutation paths skip all CRC bookkeeping.
+        self.integrity = False
         self.stats = StatSet(name)
 
     def ensure(self, page: int) -> PageFrame:
@@ -66,6 +97,10 @@ class BackingStore:
                 raise MemoryError_("write_page size mismatch")
             frame.data[:] = data
         frame.version += 1
+        if self.integrity:
+            # Wholesale replacement overwrites any rot.
+            frame.crc = None
+            frame.corrupt = False
 
     def apply_diff(self, diff: PageDiff) -> None:
         """Merge one writer's diff into the authoritative page."""
@@ -76,6 +111,8 @@ class BackingStore:
         if frame.data is not None:
             diff.apply_to(frame.data)
         frame.version += 1
+        if self.integrity and not frame.corrupt:
+            frame.crc = None
 
     def read_range(self, addr: int, nbytes: int) -> np.ndarray | None:
         """Gather an arbitrary byte range (used by the SMP baseline, which
@@ -137,6 +174,43 @@ class BackingStore:
                 frame.data[off:off + chunk] = data[consumed:consumed + chunk]
             consumed += chunk
             frame.version += 1
+
+    # -- end-to-end integrity (replication armed) ------------------------
+    def page_crc(self, page: int) -> int:
+        """The checksum shipped with a served page.
+
+        Functional mode: CRC32 of the stored bytes, computed lazily and
+        cached until the next clean mutation. A rotted frame's cached CRC
+        is deliberately stale, so the receiver's check fails. Timing mode:
+        the frame version, with :data:`CRC_CORRUPT` standing in when the
+        frame is rotted (no bytes exist to checksum).
+        """
+        frame = self.ensure(page)
+        if not self.functional:
+            return CRC_CORRUPT if frame.corrupt else frame.version
+        if frame.crc is None:
+            frame.crc = zlib.crc32(frame.data) & 0xFFFFFFFF
+        return frame.crc
+
+    def corrupt_page(self, page: int) -> None:
+        """Inject bitrot: flip a stored byte WITHOUT refreshing the CRC."""
+        frame = self.ensure(page)
+        if self.functional:
+            if frame.crc is None:
+                frame.crc = zlib.crc32(frame.data) & 0xFFFFFFFF
+            frame.data[0] ^= 0xFF
+        frame.corrupt = True
+        self.stats.counters["pages_rotted"] += 1
+
+    def restore_page(self, page: int, data: np.ndarray | None) -> None:
+        """Replace a rotted frame with a replica's clean copy."""
+        frame = self.ensure(page)
+        if self.functional and data is not None:
+            frame.data[:] = data
+        frame.version += 1
+        frame.corrupt = False
+        frame.crc = None
+        self.stats.counters["pages_restored"] += 1
 
     def version_of(self, page: int) -> int:
         frame = self.frames.get(page)

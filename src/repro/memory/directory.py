@@ -25,7 +25,36 @@ class PageDirectory:
     def __init__(self, name: str = "directory"):
         self._owner: dict[int, int] = {}
         self._sharers: dict[int, set[int]] = {}
+        #: Failover indirection over the allocator's static home function:
+        #: logical home index -> live server index. Empty until a failover
+        #: runs, so the healthy path is one falsy check.
+        self._home_remap: dict[int, int] = {}
         self.stats = StatSet(name)
+
+    # -- home map (failover indirection) ---------------------------------
+    def resolve_home(self, index: int) -> int:
+        """Live server index for a logical (allocator-assigned) home."""
+        remap = self._home_remap
+        if not remap:
+            return index
+        return remap.get(index, index)
+
+    def remap_home(self, dead: int, promoted: int) -> None:
+        """Point every page logically homed on ``dead`` at ``promoted``.
+
+        Earlier remaps that resolved *to* the newly dead server are
+        rewritten too, so chained failures stay transitive-free (a resolve
+        is always a single hop).
+        """
+        for logical, target in list(self._home_remap.items()):
+            if target == dead:
+                self._home_remap[logical] = promoted
+        self._home_remap[dead] = promoted
+        self.stats.counters["home_remaps"] += 1
+
+    @property
+    def home_remap(self) -> dict[int, int]:
+        return dict(self._home_remap)
 
     # -- sharers ---------------------------------------------------------
     def add_sharer(self, page: int, thread_id: int) -> None:

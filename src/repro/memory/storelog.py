@@ -5,6 +5,13 @@ executed inside a consistency region, enabling "fine grain (data object
 level) updates" at release time. Here the runtime's write path appends to a
 :class:`StoreLog` whenever the thread is inside a consistency region -- same
 observable effect, no compiler needed.
+
+:class:`ReplicationLog` extends the same module with the durable
+write-ahead log the replication layer (``replication_factor > 1``) keeps at
+each primary: every diff applied at a home is appended *before* it is
+applied, with the set of backup servers that still need it; shipping acks
+prune the log, and on primary failure the unacknowledged tail is replayed
+into the promoted backup.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import numpy as np
 from repro.errors import MemoryError_
 from repro.memory.diff import PageDiff
 from repro.memory.layout import MemoryLayout
+from repro.sim.stats import StatSet
 
 
 class StoreLog:
@@ -80,3 +88,88 @@ class StoreLog:
 
     def clear(self) -> None:
         self.entries.clear()
+
+
+class ReplEntry:
+    """One WAL record: a page diff plus the backups that still owe an ack."""
+
+    __slots__ = ("lsn", "page", "diff", "pending")
+
+    def __init__(self, lsn: int, page: int, diff: PageDiff, pending):
+        self.lsn = lsn
+        self.page = page
+        self.diff = diff
+        #: Backup server indices that have not acknowledged this entry yet.
+        #: Per-entry sets (not per-target high-water marks) because after a
+        #: failover a promoted server's log mixes pages whose replica rings
+        #: differ, so one LSN watermark per target would under-replicate.
+        self.pending: set[int] = set(pending)
+
+
+class ReplicationLog:
+    """Per-primary write-ahead replication log.
+
+    Append *before* the primary applies (write-ahead): a diff that was
+    taken from its writer (an owner recall pulls the only dirty copy) must
+    survive the primary dying mid-merge, and the durable log is the only
+    place it still exists. Entries are appended in the primary's apply
+    order -- the server resource serializes every apply path -- so backups
+    that apply in LSN order converge to the primary's exact bytes.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self.entries: list[ReplEntry] = []
+        self._next_lsn = 0
+        self.stats = StatSet(f"wal{index}")
+
+    def append(self, page: int, diff: PageDiff, targets) -> ReplEntry | None:
+        """Log one diff bound for ``targets`` (backup server indices).
+
+        Returns None (and logs nothing) when no live backup wants it --
+        with every backup dead there is nobody left to replay to.
+        """
+        targets = tuple(targets)
+        if not targets:
+            return None
+        entry = ReplEntry(self._next_lsn, page, diff, targets)
+        self._next_lsn += 1
+        self.entries.append(entry)
+        self.stats.counters["wal_appends"] += 1
+        return entry
+
+    def unshipped(self, target: int) -> list[ReplEntry]:
+        """Entries ``target`` has not acknowledged, in LSN order."""
+        return [e for e in self.entries if target in e.pending]
+
+    def unshipped_for_page(self, page: int, target: int) -> list[ReplEntry]:
+        """Unacknowledged entries for one page (the repair-merge path)."""
+        return [e for e in self.entries
+                if e.page == page and target in e.pending]
+
+    def ack(self, target: int, entries) -> None:
+        """Record ``target``'s acknowledgement of ``entries`` and prune the
+        fully-acked head."""
+        for entry in entries:
+            entry.pending.discard(target)
+        self._prune()
+
+    def drop_target(self, target: int) -> None:
+        """Forget a dead backup: entries pending only for it are pruned."""
+        for entry in self.entries:
+            entry.pending.discard(target)
+        self._prune()
+
+    def _prune(self) -> None:
+        before = len(self.entries)
+        if before:
+            self.entries = [e for e in self.entries if e.pending]
+            pruned = before - len(self.entries)
+            if pruned:
+                self.stats.counters["wal_pruned"] += pruned
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 
-from repro.faults import drop_storm, latency_storm, server_outage
+from repro.faults import drop_storm, latency_storm, permanent_crash, server_outage
 
 DEFAULT_SEEDS = (11, 23, 47)
 
@@ -32,3 +32,11 @@ def chaos_profiles(seed: int) -> dict:
         "server_outage": server_outage(seed, "node1",
                                        start=2e-4, duration=3e-4),
     }
+
+
+def kill_plan(seed: int, at: float, bitrot_rate: float = 0.05):
+    """The replication kill-test schedule: ``node1`` (always a memory
+    server on cluster machines) crashes permanently at ``at`` and never
+    restarts, with enough bitrot sprinkled on served pages that every seed
+    exercises the checksum-repair path too."""
+    return permanent_crash(seed, "node1", at=at, bitrot_rate=bitrot_rate)

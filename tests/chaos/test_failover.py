@@ -1,0 +1,127 @@
+"""Chaos kill tests: lose a memory server permanently, finish anyway.
+
+With ``replication_factor=2`` every page home has a backup holding the
+acked prefix of its apply stream plus a durable WAL covering the rest, so
+a permanent mid-campaign crash of one memory server must be survivable:
+the heartbeat detector declares it dead, its backup is promoted, the WAL
+tail replays, and every kernel's final data comes out bit-identical to a
+fault-free run -- while the failover/WAL-replay/integrity-repair counters
+prove the machinery actually ran rather than the schedule missing.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.params import SamhitaConfig
+from repro.experiments.harness import run_workload_direct
+from repro.kernels.jacobi import JacobiParams, spawn_jacobi
+from repro.kernels.md import MDParams, spawn_md
+
+from tests.chaos.conftest import chaos_seeds, kill_plan
+
+pytestmark = pytest.mark.chaos
+
+N_THREADS = 4
+JACOBI_PARAMS = JacobiParams(rows=64, cols=256, iterations=3,
+                             collect_result=True)
+MD_PARAMS = MDParams(n_particles=48, steps=3, collect_energy=False,
+                     collect_state=True)
+#: Crash instants chosen inside each kernel's run so the dead server still
+#: holds unshipped (lazily recalled) WAL entries -- forcing a real replay,
+#: not just a remap of an already-synchronized backup.
+JACOBI_CRASH_AT = 4e-4
+MD_CRASH_AT = 8.5e-5
+
+
+def _replicated(faults=None) -> SamhitaConfig:
+    return SamhitaConfig(n_memory_servers=2, replication_factor=2,
+                         faults=faults)
+
+
+def _run_jacobi(config):
+    result = run_workload_direct("samhita", N_THREADS, spawn_jacobi,
+                                 JACOBI_PARAMS, functional=True,
+                                 config=config)
+    gdiff, grid = result.threads[0].value
+    return (gdiff, hashlib.sha256(grid.tobytes()).hexdigest()), result
+
+
+def _run_md(config):
+    result = run_workload_direct("samhita", N_THREADS, spawn_md, MD_PARAMS,
+                                 functional=True, config=config)
+    _energies, pos, vel = result.threads[0].value
+    return hashlib.sha256(pos.tobytes() + vel.tobytes()).hexdigest(), result
+
+
+@pytest.fixture(scope="module")
+def jacobi_baseline():
+    digest, result = _run_jacobi(_replicated())
+    return digest, result.stats
+
+
+@pytest.fixture(scope="module")
+def md_baseline():
+    digest, _result = _run_md(_replicated())
+    return digest
+
+
+def _assert_failover_ran(stats: dict) -> None:
+    repl = stats["replication"]
+    assert repl.get("failovers", 0) >= 1
+    assert repl.get("servers_declared_dead", 0) >= 1
+    assert repl.get("home_remaps", 0) >= 1
+    assert repl.get("wal_replayed", 0) > 0
+    assert repl.get("integrity_repairs", 0) > 0
+    # A crash can interrupt a repair mid-flight (the retried fetch then
+    # comes from the clean promoted server), so failures may exceed
+    # repairs -- but never the reverse.
+    assert repl.get("integrity_failures", 0) >= repl.get("integrity_repairs")
+    assert stats["faults"].get("crash_drops", 0) > 0
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_jacobi_survives_permanent_server_loss(jacobi_baseline, seed):
+    digest, result = _run_jacobi(
+        _replicated(kill_plan(seed, at=JACOBI_CRASH_AT)))
+    assert digest == jacobi_baseline[0]
+    _assert_failover_ran(result.stats)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_md_survives_permanent_server_loss(md_baseline, seed):
+    digest, result = _run_md(_replicated(kill_plan(seed, at=MD_CRASH_AT)))
+    assert digest == md_baseline
+    _assert_failover_ran(result.stats)
+
+
+def test_replication_itself_does_not_change_data(jacobi_baseline):
+    """rf=2 with two homes produces the same answer as the plain rf=1
+    single-home machine -- replication is pure redundancy."""
+    digest, _result = _run_jacobi(SamhitaConfig())
+    assert digest == jacobi_baseline[0]
+
+
+def test_healthy_replicated_run_ships_and_acks(jacobi_baseline):
+    """No faults: diffs still flow to backups through the WAL (shipped and
+    acknowledged inline with the flush), and nothing fails over."""
+    repl = jacobi_baseline[1]["replication"]
+    assert repl.get("repl_ships", 0) > 0
+    assert repl.get("replica_applies", 0) > 0
+    assert repl.get("wal_appends", 0) > 0
+    assert repl.get("repl_diffs", 0) == repl.get("wal_pruned", 0)
+    assert repl.get("failovers", 0) == 0
+    assert repl.get("pages_rotted", 0) == 0
+
+
+@pytest.mark.parametrize("seed", [chaos_seeds()[0]])
+def test_kill_schedule_replays_bit_identically(seed):
+    """Same kill plan, same seed: crash, failover, repairs and all, the
+    trajectory replays exactly (the WAL/bitrot machinery draws from
+    deterministic streams)."""
+    first = _run_jacobi(_replicated(kill_plan(seed, at=JACOBI_CRASH_AT)))
+    second = _run_jacobi(_replicated(kill_plan(seed, at=JACOBI_CRASH_AT)))
+    assert first[0] == second[0]
+    assert first[1].elapsed == second[1].elapsed
+    assert first[1].stats["replication"] == second[1].stats["replication"]
+    assert first[1].stats["faults"] == second[1].stats["faults"]

@@ -71,6 +71,41 @@ class TestRetryExhaustion:
         assert cause.attempts == 4
         assert system.injector.stats.counters["retransmits"] == 4
 
+    def test_exhaustion_error_carries_the_attempt_timeline(self):
+        """Every attempt -- the original send plus each retry -- leaves an
+        entry in the error's timeline: when it fired, which fault process
+        ate it, and the timeout/backoff in force. That per-attempt record
+        is what makes a retry-budget post-mortem possible."""
+        plan = FaultPlan(seed=3, drop_rate=1.0,
+                         retry=RetryPolicy(timeout=1e-6, max_backoff=2e-6,
+                                           max_retries=4))
+        system = SamhitaSystem.cluster(
+            n_threads=1, config=SamhitaConfig(faults=plan))
+        tid = system.add_thread()
+
+        def body():
+            yield from system.malloc(tid, 1 << 21)
+
+        with pytest.raises(SimulationError) as excinfo:
+            run_threads(system, [body()])
+        cause = excinfo.value.__cause__
+        timeline = cause.timeline
+        assert len(timeline) == 5  # original attempt + 4 retries
+        for i, entry in enumerate(timeline):
+            assert entry["attempt"] == i + 1
+            assert set(entry) == {"attempt", "t", "fault", "timeout",
+                                  "backoff"}
+            assert entry["fault"] == "drops_injected"
+            assert entry["timeout"] == 1e-6
+        # Simulated time advances monotonically across attempts, and only
+        # the final (give-up) entry has no backoff scheduled after it.
+        times = [entry["t"] for entry in timeline]
+        assert times == sorted(times)
+        assert all(e["backoff"] is not None for e in timeline[:-1])
+        assert timeline[-1]["backoff"] is None
+        # The message summarizes the timeline for humans.
+        assert "5x drops_injected" in str(cause)
+
     def test_partial_loss_is_survivable(self):
         plan = FaultPlan(seed=3, drop_rate=0.3,
                          retry=RetryPolicy(timeout=1e-6, max_backoff=4e-6))

@@ -10,6 +10,7 @@ The gates (used by CI after ``benchmarks/bench_perf.py``)::
     python tools/bench_report.py --check [--max-ratio 1.0]
     python tools/bench_report.py --check-events [--min-event-reduction 3.0]
     python tools/bench_report.py --check-faults-off
+    python tools/bench_report.py --check-replication-off
     python tools/bench_report.py --check-prefetch [--min-prefetch-accuracy
         0.6] [--min-fetch-reduction 0.2]
 
@@ -41,6 +42,12 @@ all-zero FaultPlan) -- differ in any field. Fingerprints are exact
 simulated metrics (grid hash, elapsed, event and cache counters), so this
 gate is bit-tight: arming the fault subsystem with nothing to inject must
 change NOTHING.
+
+``--check-replication-off`` is the same bit-tight gate for the
+replication subsystem: the default build vs an explicit
+``replication_factor=1`` must produce identical trajectory fingerprints,
+pinning the promise that at rf=1 no WAL, no checksums, no detector and no
+extra events exist.
 """
 
 from __future__ import annotations
@@ -112,6 +119,18 @@ def render(report: dict) -> str:
             f"  timeouts={counters.get('timeouts', 0)}"
             f"  retransmits={counters.get('retransmits', 0)}"
             f"  dup_rpcs_dropped={counters.get('dup_rpcs_dropped', 0)}")
+    replication = report.get("replication")
+    if replication:
+        lines.append("")
+        counters = replication.get("counters", {})
+        overhead = replication.get("elapsed_overhead")
+        lines.append(
+            f"replication rf=2: "
+            f"data_identical={replication['data_identical']}"
+            f"  elapsed +{(overhead or 0) * 100:.1f}%"
+            f"  wal_appends={counters.get('wal_appends', 0)}"
+            f"  repl_ships={counters.get('repl_ships', 0)}"
+            f"  replica_applies={counters.get('replica_applies', 0)}")
     for note in report.get("notes", ()):
         lines.append(f"note: {note}")
     return "\n".join(lines)
@@ -197,6 +216,24 @@ def check_faults_off(report: dict) -> tuple[bool, str]:
                   f"({len(absent)} fields compared)")
 
 
+def check_replication_off(report: dict) -> tuple[bool, str]:
+    """The replication-off gate: explicit rf=1 must equal the default
+    build, field for field -- the subsystem may not exist until asked."""
+    fingerprints = report.get("replication_off")
+    if not fingerprints:
+        return False, ("report has no 'replication_off' block; regenerate "
+                       "it with the current benchmarks/bench_perf.py")
+    absent = fingerprints.get("rf_absent", {})
+    rf_one = fingerprints.get("rf_one", {})
+    diverged = sorted(k for k in set(absent) | set(rf_one)
+                      if absent.get(k) != rf_one.get(k))
+    if diverged:
+        return False, ("replication-off fingerprints DIVERGED in: "
+                       + ", ".join(diverged))
+    return True, ("replication-off fingerprints bit-identical "
+                  f"({len(absent)} fields compared)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="BENCH_perf.json",
@@ -226,6 +263,10 @@ def main(argv=None) -> int:
                         help="determinism gate: exit 1 unless the recorded "
                              "injector-absent and injector-silent "
                              "fingerprints are bit-identical")
+    parser.add_argument("--check-replication-off", action="store_true",
+                        help="determinism gate: exit 1 unless the recorded "
+                             "default-build and replication_factor=1 "
+                             "fingerprints are bit-identical")
     args = parser.parse_args(argv)
 
     path = pathlib.Path(args.report)
@@ -252,6 +293,10 @@ def main(argv=None) -> int:
         failed |= not ok
     if args.check_faults_off:
         ok, msg = check_faults_off(report)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    if args.check_replication_off:
+        ok, msg = check_replication_off(report)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
         failed |= not ok
     return 1 if failed else 0
