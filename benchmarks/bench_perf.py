@@ -298,6 +298,98 @@ def prefetch_comparison() -> dict:
     }
 
 
+#: Control-plane sweep points: (compute servers, manager shards). Shards
+#: scale with the machine (16 compute servers per shard), which is the
+#: deployment the flat-load claim is about: adding cells adds shards, and
+#: the RPC load each shard absorbs stays constant.
+SHARD_SWEEP = ((16, 1), (64, 4), (256, 16))
+SHARD_SWEEP_ROUNDS = 3
+
+
+def _sync_sweep_cell(n_compute: int, shards: int,
+                     tree_barriers: bool) -> dict:
+    """One sync-heavy cell: every thread loops lock/unlock + barrier.
+
+    No data-plane traffic at all -- the cell isolates control-plane RPC
+    load so ``manager_rpcs_by_shard`` measures exactly the lock/barrier
+    protocol cost at this scale.
+    """
+    from repro.core.params import SamhitaConfig
+    from repro.core.system import SamhitaSystem
+    from repro.sim.engine import Timeout
+
+    config = SamhitaConfig(manager_shards=shards, lock_owner_cache=True,
+                           tree_barriers=tree_barriers)
+    system = SamhitaSystem.cluster(n_compute, config=config)
+    tids = [system.add_thread() for _ in range(n_compute)]
+    locks = [system.create_lock() for _ in range(n_compute)]
+    bar = system.create_barrier(n_compute)
+
+    def body(i, tid):
+        for _ in range(SHARD_SWEEP_ROUNDS):
+            yield from system.acquire_lock(tid, locks[i])
+            yield Timeout(1e-6)
+            yield from system.release_lock(tid, locks[i])
+            yield from system.barrier_wait(tid, bar)
+
+    for i, tid in enumerate(tids):
+        system.process(body(i, tid), name=f"t{i}")
+    system.run()
+    report = system.stats_report()
+    rows = report["manager_rpcs_by_shard"]
+    total = sum(r["requests"] for r in rows)
+    return {
+        "n_compute": n_compute,
+        "shards": shards,
+        "tree_barriers": tree_barriers,
+        "elapsed": system.engine.now,
+        "total_manager_rpcs": total,
+        "per_shard_mean": round(total / shards, 2),
+        "per_shard_requests": [r["requests"] for r in rows],
+        "barrier_rpcs": sum(r["barrier"] for r in rows),
+        "lock_rpcs": sum(r["lock"] for r in rows),
+        "lock_cache_hits": report.get("lock_cache", {})
+        .get("lock_cache_hits", 0),
+    }
+
+
+def shard_scaling() -> dict:
+    """16 -> 64 -> 256 compute-server sweep of the sharded control plane.
+
+    The ``--check-shard-scaling`` gate in tools/bench_report.py reads this
+    block: the ``manager_shards=1`` fingerprint must be bit-identical to
+    the default build, per-shard RPC load must stay flat (<= 25%
+    deviation) across the sweep, and hierarchical tree barriers must cut
+    total barrier RPCs by >= 2x versus flat barriers at every point.
+    """
+    from repro.core.params import SamhitaConfig
+
+    absent, _ = _jacobi_fingerprint(None)
+    one, _ = _jacobi_fingerprint(SamhitaConfig(manager_shards=1))
+    sweep = []
+    for n_compute, shards in SHARD_SWEEP:
+        tree = _sync_sweep_cell(n_compute, shards, tree_barriers=True)
+        flat = _sync_sweep_cell(n_compute, shards, tree_barriers=False)
+        tree["flat_barrier_rpcs"] = flat["barrier_rpcs"]
+        tree["barrier_rpc_reduction"] = (
+            round(flat["barrier_rpcs"] / tree["barrier_rpcs"], 2)
+            if tree["barrier_rpcs"] else None)
+        sweep.append(tree)
+    means = [cell["per_shard_mean"] for cell in sweep]
+    center = sum(means) / len(means)
+    return {
+        "campaign": (f"sync-heavy cell ({SHARD_SWEEP_ROUNDS} rounds of "
+                     "private lock + full barrier per thread), "
+                     "16 compute servers per shard"),
+        "shards_absent": absent,
+        "shards_one": one,
+        "sweep": sweep,
+        "per_shard_mean_deviation": (
+            round(max(abs(m - center) for m in means) / center, 4)
+            if center else None),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_perf.json",
@@ -328,6 +420,9 @@ def main(argv=None) -> int:
 
     print("prefetch comparison (compat vs adaptive data plane) ...")
     prefetch = prefetch_comparison()
+
+    print("shard scaling sweep (16 -> 64 -> 256 compute servers) ...")
+    shards = shard_scaling()
 
     print(f"after_serial: best of {args.best_of} ...")
     serial_best, serial_runs = best_of(args.best_of, run_smoke)
@@ -408,6 +503,7 @@ def main(argv=None) -> int:
         "chaos": chaos,
         "replication_off": replication_off,
         "replication": replication,
+        "shard_scaling": shards,
         "notes": [
             f"host has {cpus} CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
@@ -446,6 +542,15 @@ def main(argv=None) -> int:
           f"{replication['data_identical']} "
           f"elapsed +{overhead * 100:.1f}% "
           f"ships={replication['counters'].get('repl_ships', 0)}")
+    shards_ok = shards["shards_absent"] == shards["shards_one"]
+    print(f"  shards-off           "
+          f"{'bit-identical' if shards_ok else 'DIVERGED'}")
+    dev = shards["per_shard_mean_deviation"]
+    last = shards["sweep"][-1]
+    print(f"  shard sweep          per-shard load dev {dev * 100:.1f}% "
+          f"across {'/'.join(str(n) for n, _ in SHARD_SWEEP)} servers; "
+          f"barriers -{last['barrier_rpc_reduction']:.0f}x at "
+          f"{last['n_compute']}")
     return 0
 
 

@@ -78,10 +78,15 @@ class _Arena:
 class SamhitaAllocator:
     """Global-address-space allocator living at the manager."""
 
-    def __init__(self, config: SamhitaConfig):
+    def __init__(self, config: SamhitaConfig, base_page: int = 0):
         self.config = config
         self.layout = config.layout
-        self._next_page = 1  # page 0 reserved (null-pointer analogue)
+        #: First page of this allocator's address slice. 0 for the single
+        #: global allocator; shard k of a sharded control plane gets a
+        #: disjoint slice starting at ``k * SHARD_SLICE_PAGES`` so homes
+        #: and ownership can be routed back to the shard by address range.
+        self.base_page = base_page
+        self._next_page = base_page + 1  # first page reserved (null analogue)
         self._arenas: dict[int, _Arena] = {}
         self._regions: list[_Region] = []
         self._region_starts: list[int] = []

@@ -41,6 +41,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PLAN_PREFETCH_MAX_LINES = 16
 
 
+class _CachedLock:
+    """One cached lock-ownership grant (``config.lock_owner_cache``).
+
+    ``held`` tracks whether the caching thread currently holds the lock
+    locally; ``stash`` accumulates the release records (diffs, payload,
+    spans, invalidate pages) of local releases the manager has not seen --
+    surrendered on revoke, flushed at barrier entry, or shipped with the
+    next full release RPC once a revoke is pending.
+    """
+
+    __slots__ = ("tid", "held", "stash", "revoke_pending")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.held = False
+        self.stash: list = []
+        self.revoke_pending = False
+
+
 class ComputeServer:
     """Fault/prefetch/eviction engine for the threads on one component."""
 
@@ -51,6 +70,9 @@ class ComputeServer:
         self.threads: list[int] = []
         #: In-flight line fetches per thread: {tid: {line: SimEvent}}.
         self.pending: dict[int, dict[int, object]] = {}
+        #: Cached lock-ownership grants: {lock_id: _CachedLock}. Only ever
+        #: populated with ``config.lock_owner_cache``.
+        self.lock_cache: dict[int, _CachedLock] = {}
         self.stats = StatSet(f"compute[{component}]")
         config = system.config
         self.prefetch_policy = config.prefetch_policy
@@ -61,6 +83,83 @@ class ComputeServer:
     def register_thread(self, tid: int) -> None:
         self.threads.append(tid)
         self.pending[tid] = {}
+
+    # ------------------------------------------------------------------
+    # lock-ownership cache (config.lock_owner_cache)
+    # ------------------------------------------------------------------
+    def lock_cache_try_acquire(self, tid: int, lock_id: int):
+        """Local fast path: True when ``tid`` holds a cached grant for the
+        lock -- the acquire completes with zero manager traffic (any
+        intervening foreign acquire would have revoked the grant, so there
+        are no pending updates to apply either)."""
+        entry = self.lock_cache.get(lock_id)
+        if (entry is None or entry.tid != tid or entry.held
+                or entry.revoke_pending):
+            return False
+        entry.held = True
+        self.stats.counters["lock_cache_hits"] += 1
+        return True
+
+    def lock_cache_release(self, tid: int, lock_id: int, record):
+        """Local release of a cache-held lock.
+
+        Returns ``("local", None)`` when the record was stashed (no RPC
+        needed), ``("rpc", stash)`` when a revoke is pending and the caller
+        must issue a full release RPC carrying the stash, or
+        ``("miss", None)`` when the lock is not cached here."""
+        entry = self.lock_cache.get(lock_id)
+        if entry is None or entry.tid != tid or not entry.held:
+            return ("miss", None)
+        if entry.revoke_pending:
+            stash = entry.stash
+            del self.lock_cache[lock_id]
+            return ("rpc", stash)
+        entry.held = False
+        entry.stash.append(record)
+        self.stats.counters["lock_cache_local_releases"] += 1
+        return ("local", None)
+
+    def lock_cache_install(self, tid: int, lock_id: int) -> None:
+        """The manager granted cacheability at release: remember the grant
+        (idle, empty stash -- the release's record went to the manager)."""
+        self.lock_cache[lock_id] = _CachedLock(tid)
+
+    def lock_cache_surrender(self, lock_id: int):
+        """Manager-side revoke (synchronous call from the owning shard).
+
+        Returns ``("idle", stash)`` -- the grant is surrendered and the
+        stashed records travel back with the reply -- or ``("held", tid)``
+        when the caching thread holds the lock right now: the grant is
+        marked revoke-pending and the eventual release RPC carries the
+        stash."""
+        entry = self.lock_cache.get(lock_id)
+        self.stats.counters["lock_cache_revoked"] += 1
+        if entry is None:
+            return ("idle", [])
+        if entry.held:
+            entry.revoke_pending = True
+            return ("held", entry.tid)
+        stash = entry.stash
+        del self.lock_cache[lock_id]
+        return ("idle", stash)
+
+    def lock_cache_holds(self, tid: int, lock_id: int) -> bool:
+        entry = self.lock_cache.get(lock_id)
+        return entry is not None and entry.tid == tid and entry.held
+
+    def lock_cache_take_stashes(self, tid: int):
+        """Drain ``tid``'s non-empty stashes for a barrier-entry flush.
+        The grants themselves stay cached: once the records reach the
+        manager's logs, an idle cached grant is consistent with RegC's
+        global consistency point."""
+        drained = []
+        for lock_id, entry in self.lock_cache.items():
+            if entry.tid == tid and entry.stash:
+                drained.append((lock_id, entry.stash))
+                entry.stash = []
+        if drained:
+            self.stats.counters["lock_cache_flushes"] += len(drained)
+        return drained
 
     # ------------------------------------------------------------------
     # fault path

@@ -1,0 +1,612 @@
+"""The sharded control plane.
+
+PRs 1-5 kept the paper's architecture literal: ONE manager component owns
+the allocator, the page directory and every synchronization object, so all
+control traffic serializes through a single service queue -- the classic
+DSM hotspot (DiSquawk distributes exactly this state to reach 512 cores).
+This module splits that control plane into ``config.manager_shards``
+cooperating :class:`~repro.core.manager.Manager` instances:
+
+* **Address-range partitioning** -- each shard owns a disjoint slice of the
+  page address space (``SHARD_SLICE_PAGES`` pages). Shard *k*'s allocator
+  bump-allocates inside slice *k* and the sharded page directory routes
+  ownership/sharer updates to the slice's partition, so any page maps back
+  to its owning shard with one shift. The memory-server home remap
+  (``PageDirectory.remap_home``) is deliberately kept *global* across the
+  partitions: page homes name memory servers, not shards, so a memory
+  server failover stays a single indirection no matter how many shards
+  exist -- and a shard failover moves no page data at all (the partitions
+  are plain state; only the component serving them changes).
+
+* **ID-hash routing** -- locks, barriers and condition variables get
+  globally unique IDs from one counter; object ``i`` lives on shard
+  ``i % n``. Routing is pure arithmetic, no lookup traffic.
+
+* **Shard failover** -- each shard is an addressable, probe-able component.
+  When the failure detector declares one dead, its synchronization tables
+  merge into the ring successor (IDs are globally unique, so the merge is
+  collision-free) and a transitive shard remap -- same shape as
+  ``remap_home`` -- points routed RPCs at the successor. In-flight
+  requests that exhausted their retries against the corpse wait out the
+  detection window (:meth:`ControlPlane.await_shard_failover`) and re-issue.
+
+* **Tree barriers** (``config.tree_barriers``) -- flat barriers cost
+  O(threads) messages into one shard. The tree path combines arrivals per
+  compute node (level 0), per *cell* -- the group of nodes assigned to one
+  combiner shard (level 1) -- and finally sends ONE aggregate message per
+  cell to the barrier's root shard, whose reply fans back down the same
+  tree. Fan-in at any single component drops from O(threads) to O(cells).
+
+At ``manager_shards=1`` none of this is constructed: the system keeps the
+plain allocator/directory and the ControlPlane degenerates to a zero-cost
+delegation layer, preserving the single-manager trajectory bit-for-bit
+(CI-gated by ``--check-shard-scaling``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import protocol
+from repro.core.allocator import SamhitaAllocator
+from repro.errors import ReplicationError, RetryExhaustedError
+from repro.memory.directory import PageDirectory
+from repro.sim.engine import Timeout
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.manager import Manager
+    from repro.core.system import SamhitaSystem
+
+#: Pages per shard address slice (1 TiB of 4 KiB pages). Shard *k*'s
+#: allocator owns pages [k * SHARD_SLICE_PAGES, (k+1) * SHARD_SLICE_PAGES);
+#: the owning shard of any page is one integer divide.
+SHARD_SLICE_PAGES = 1 << 28
+
+
+def shard_of_page(page: int, n_shards: int) -> int:
+    """Shard whose address slice contains ``page``."""
+    return min(page // SHARD_SLICE_PAGES, n_shards - 1)
+
+
+class ShardedPageDirectory:
+    """N address-range partitions behind the PageDirectory interface.
+
+    Owner/sharer state routes to the partition of the page's slice; the
+    failover home remap lives once at this facade (page homes are
+    memory-server indices -- orthogonal to control-plane sharding), which
+    is what lets ``remap_home`` keep working per-shard unchanged.
+    """
+
+    def __init__(self, n_shards: int):
+        self.parts = [PageDirectory(f"directory.shard{i}")
+                      for i in range(n_shards)]
+        self._home_remap: dict[int, int] = {}
+        self.stats = StatSet("directory")
+
+    def _part(self, page: int) -> PageDirectory:
+        return self.parts[shard_of_page(page, len(self.parts))]
+
+    # -- home map (failover indirection), global across partitions --------
+    def resolve_home(self, index: int) -> int:
+        remap = self._home_remap
+        if not remap:
+            return index
+        return remap.get(index, index)
+
+    def remap_home(self, dead: int, promoted: int) -> None:
+        for logical, target in list(self._home_remap.items()):
+            if target == dead:
+                self._home_remap[logical] = promoted
+        self._home_remap[dead] = promoted
+        self.stats.counters["home_remaps"] += 1
+
+    @property
+    def home_remap(self) -> dict[int, int]:
+        return dict(self._home_remap)
+
+    # -- sharers ---------------------------------------------------------
+    def add_sharer(self, page: int, thread_id: int) -> None:
+        self._part(page).add_sharer(page, thread_id)
+
+    def remove_sharer(self, page: int, thread_id: int) -> None:
+        self._part(page).remove_sharer(page, thread_id)
+
+    def sharers_of(self, page: int) -> set[int]:
+        return self._part(page).sharers_of(page)
+
+    # -- owners ----------------------------------------------------------
+    def record_owner(self, page: int, thread_id: int) -> None:
+        self._part(page).record_owner(page, thread_id)
+
+    def record_owners(self, pages, thread_id: int) -> None:
+        groups: dict[int, list[int]] = {}
+        n = len(self.parts)
+        for page in pages:
+            groups.setdefault(shard_of_page(page, n), []).append(page)
+        for idx, group in groups.items():
+            self.parts[idx].record_owners(group, thread_id)
+
+    def owner_of(self, page: int) -> int | None:
+        return self._part(page).owner_of(page)
+
+    def clear_owner(self, page: int) -> None:
+        self._part(page).clear_owner(page)
+
+    def owned_by(self, thread_id: int) -> list[int]:
+        pages: list[int] = []
+        for part in self.parts:
+            pages.extend(part.owned_by(thread_id))
+        return sorted(pages)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._part(page)
+
+
+class ShardedAllocator:
+    """N slice allocators behind the SamhitaAllocator interface.
+
+    Allocation requests route by thread (``tid % n`` -- the thread's home
+    shard owns its arena metadata); address lookups route by slice. Both
+    are stable under shard failover: the slice objects persist, only the
+    Manager *serving* RPCs for a slice changes (the control plane passes
+    the slice allocator explicitly to the successor's RPC handlers).
+    """
+
+    def __init__(self, config, n_shards: int):
+        self.config = config
+        self.layout = config.layout
+        self.parts = [SamhitaAllocator(config, base_page=i * SHARD_SLICE_PAGES)
+                      for i in range(n_shards)]
+
+    def _part_of_page(self, page: int) -> SamhitaAllocator:
+        return self.parts[shard_of_page(page, len(self.parts))]
+
+    def part_for_thread(self, tid: int) -> SamhitaAllocator:
+        return self.parts[tid % len(self.parts)]
+
+    # -- strategy selection / lookups ------------------------------------
+    def classify(self, size: int):
+        return self.parts[0].classify(size)
+
+    def home_of_page(self, page: int) -> int:
+        return self._part_of_page(page).home_of_page(page)
+
+    def home_of_line(self, line: int) -> int:
+        return self.home_of_page(line * self.layout.pages_per_line)
+
+    def allocated_span(self, page: int):
+        return self._part_of_page(page).allocated_span(page)
+
+    def allocation_at(self, addr: int):
+        return self._part_of_page(addr // self.layout.page_bytes).allocation_at(addr)
+
+    # -- allocation paths ------------------------------------------------
+    def arena_alloc(self, tid: int, size: int) -> int | None:
+        return self.part_for_thread(tid).arena_alloc(tid, size)
+
+    def refill_arena(self, tid: int, min_size: int) -> None:
+        self.part_for_thread(tid).refill_arena(tid, min_size)
+
+    def shared_alloc(self, size: int, tid: int | None = None) -> int:
+        part = self.part_for_thread(tid) if tid is not None else self.parts[0]
+        return part.shared_alloc(size, tid)
+
+    def striped_alloc(self, size: int, tid: int | None = None) -> int:
+        part = self.part_for_thread(tid) if tid is not None else self.parts[0]
+        return part.striped_alloc(size, tid)
+
+    def free(self, addr: int) -> None:
+        self._part_of_page(addr // self.layout.page_bytes).free(addr)
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def allocations(self) -> dict:
+        merged: dict = {}
+        for part in self.parts:
+            merged.update(part.allocations)
+        return merged
+
+    @property
+    def total_pages(self) -> int:
+        return max(part.total_pages for part in self.parts)
+
+    @property
+    def stats(self) -> StatSet:
+        merged = StatSet("allocator")
+        for part in self.parts:
+            merged.merge(part.stats)
+        return merged
+
+
+class ControlPlane:
+    """Routes control-plane RPCs to the owning manager shard.
+
+    At ``n == 1`` every route resolves to the one manager with no extra
+    simulated events, keeping the default build bit-identical; at ``n > 1``
+    it owns the global ID counter, the shard remap, the cross-shard
+    consistency-gather hooks and the tree-barrier combiners.
+    """
+
+    def __init__(self, system: "SamhitaSystem", shards: list["Manager"]):
+        self.system = system
+        self.shards = shards
+        self.n = len(shards)
+        self._next_id = 0
+        #: dead shard index -> ring successor (transitive-free, like
+        #: ``PageDirectory.remap_home``).
+        self._shard_remap: dict[int, int] = {}
+        self._dead_shards: set[int] = set()
+        self.stats = StatSet("control_plane")
+        #: Tree-barrier combiner state: level 0 keyed (barrier_id, comp),
+        #: level 1 keyed (barrier_id, cell_index). Entries are deleted by
+        #: their leader before the upstream call, so barrier reuse across
+        #: generations gets a fresh combiner each round.
+        self._leaf_combiners: dict[tuple[int, str], dict] = {}
+        self._cell_combiners: dict[tuple[int, int], dict] = {}
+        self._cell_of = {comp: i % self.n
+                         for i, comp in enumerate(system._compute_order)}
+        self._cell_members: dict[int, set[str]] | None = None
+        if self.n > 1:
+            # Cross-shard hooks: a barrier's consistency-region collection
+            # must see every shard's lock logs, not just the root's.
+            for mgr in shards:
+                mgr.cr_source = self.all_lock_states
+                mgr.cr_gather = self.cr_gather
+                mgr.prune_hook = self.prune_lock_logs
+
+    # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+    def shard_index(self, obj_id: int) -> int:
+        return obj_id % self.n
+
+    def live_index(self, index: int) -> int:
+        remap = self._shard_remap
+        if not remap:
+            return index
+        return remap.get(index, index)
+
+    def shard_for_id(self, obj_id: int) -> "Manager":
+        return self.shards[self.live_index(self.shard_index(obj_id))]
+
+    def _guarded(self, index: int, op):
+        """Generator: run ``op(manager)`` against the live shard for
+        logical shard ``index``, re-issuing through a shard failover when
+        the RPC exhausts its retries against a corpse."""
+        while True:
+            live = self.live_index(index)
+            try:
+                result = yield from op(self.shards[live])
+                return result
+            except RetryExhaustedError as err:
+                yield from self.await_shard_failover(live, err)
+
+    # ------------------------------------------------------------------
+    # object creation (zero-cost, setup time)
+    # ------------------------------------------------------------------
+    def create_lock(self) -> int:
+        if self.n == 1:
+            return self.shards[0].create_lock()
+        self._next_id += 1
+        self.shard_for_id(self._next_id).register_lock(self._next_id)
+        return self._next_id
+
+    def create_barrier(self, parties: int) -> int:
+        if self.n == 1:
+            return self.shards[0].create_barrier(parties)
+        self._next_id += 1
+        self.shard_for_id(self._next_id).register_barrier(self._next_id, parties)
+        return self._next_id
+
+    def create_cond(self) -> int:
+        if self.n == 1:
+            return self.shards[0].create_cond()
+        self._next_id += 1
+        self.shard_for_id(self._next_id).register_cond(self._next_id)
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # thread registry
+    # ------------------------------------------------------------------
+    def register_thread(self, tid: int) -> None:
+        for mgr in self.shards:
+            mgr.known_threads.add(tid)
+
+    def mark_thread_dead(self, tid: int) -> None:
+        for mgr in self.shards:
+            mgr.mark_thread_dead(tid)
+
+    # ------------------------------------------------------------------
+    # allocation RPCs (routed by thread home; slice passed explicitly so
+    # failover can serve a dead shard's slice from the successor)
+    # ------------------------------------------------------------------
+    def alloc_rpc(self, tid: int, comp: str, size: int,
+                  force_shared: bool = False):
+        if self.n == 1:
+            return self._guarded(
+                0, lambda m: m.alloc_rpc(tid, comp, size, force_shared))
+        part = self.system.allocator.part_for_thread(tid)
+        return self._guarded(
+            self.shard_index(tid),
+            lambda m: m.alloc_rpc(tid, comp, size, force_shared,
+                                  allocator=part))
+
+    def free_rpc(self, tid: int, comp: str, addr: int):
+        if self.n == 1:
+            return self._guarded(0, lambda m: m.free_rpc(tid, comp, addr))
+        allocator = self.system.allocator
+        page = addr // allocator.layout.page_bytes
+        idx = shard_of_page(page, self.n)
+        part = allocator.parts[idx]
+        return self._guarded(
+            idx, lambda m: m.free_rpc(tid, comp, addr, allocator=part))
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def acquire_lock(self, tid: int, comp: str, lock_id: int):
+        return self._guarded(
+            self.shard_index(lock_id),
+            lambda m: m.acquire_lock(tid, comp, lock_id))
+
+    def release_lock(self, tid: int, comp: str, lock_id: int, diffs: list,
+                     payload_bytes: int, span_count: int,
+                     invalidate_pages=(), stash=()):
+        return self._guarded(
+            self.shard_index(lock_id),
+            lambda m: m.release_lock(tid, comp, lock_id, diffs,
+                                     payload_bytes, span_count,
+                                     invalidate_pages=invalidate_pages,
+                                     stash=stash))
+
+    def absorb_lock_stash(self, tid: int, lock_id: int, stash) -> None:
+        """Synchronous stash absorption (see Manager.absorb_lock_stash)."""
+        self.shard_for_id(lock_id).absorb_lock_stash(tid, lock_id, stash)
+
+    def flush_lock_stash(self, tid: int, comp: str, lock_id: int, stash):
+        return self._guarded(
+            self.shard_index(lock_id),
+            lambda m: m.flush_lock_stash(tid, comp, lock_id, stash))
+
+    def holds_lock(self, tid: int, lock_id: int) -> bool:
+        return self.shard_for_id(lock_id).holds_lock(tid, lock_id)
+
+    def all_lock_states(self):
+        """Every shard's lock-state table values (the barrier CR source)."""
+        for mgr in self.live_managers():
+            yield from mgr._locks.values()
+
+    def prune_lock_logs(self, all_tids) -> None:
+        for mgr in self.live_managers():
+            mgr.prune_lock_logs(all_tids)
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def barrier_parties(self, barrier_id: int) -> int:
+        return self.shard_for_id(barrier_id).barrier_parties(barrier_id)
+
+    def barrier_arrive(self, tid: int, comp: str, barrier_id: int, notices):
+        return self._guarded(
+            self.shard_index(barrier_id),
+            lambda m: m.barrier_arrive(tid, comp, barrier_id, notices))
+
+    def barrier_arrive_group(self, comp: str, barrier_id: int, arrivals):
+        return self._guarded(
+            self.shard_index(barrier_id),
+            lambda m: m.barrier_arrive_group(comp, barrier_id, arrivals))
+
+    def barrier_flush_done(self, tid: int, comp: str, barrier_id: int, state):
+        return self._guarded(
+            self.shard_index(barrier_id),
+            lambda m: m.barrier_flush_done(tid, comp, state))
+
+    # ------------------------------------------------------------------
+    # condition variables
+    # ------------------------------------------------------------------
+    def cond_register(self, tid: int, comp: str, cond_id: int):
+        return self._guarded(
+            self.shard_index(cond_id),
+            lambda m: m.cond_register(tid, comp, cond_id))
+
+    def cond_signal(self, tid: int, comp: str, cond_id: int,
+                    broadcast: bool = False):
+        return self._guarded(
+            self.shard_index(cond_id),
+            lambda m: m.cond_signal(tid, comp, cond_id, broadcast=broadcast))
+
+    # ------------------------------------------------------------------
+    # cross-shard consistency gather
+    # ------------------------------------------------------------------
+    def live_managers(self):
+        """Distinct live shard managers, in shard order."""
+        seen: set[int] = set()
+        out = []
+        for i in range(self.n):
+            live = self.live_index(i)
+            if live not in seen:
+                seen.add(live)
+                out.append(self.shards[live])
+        return out
+
+    def cr_gather(self, root: "Manager"):
+        """Generator: the barrier root pulls the other live shards'
+        consistency-region logs before computing directives -- one control
+        round trip plus one service slot per other shard, once per barrier
+        round (the cost that keeps cross-shard RegC honest)."""
+        scl = self.system.scl
+        service = self.system.config.manager_service_time
+        for mgr in self.live_managers():
+            if mgr is root:
+                continue
+            yield from scl.request_response(root.component, mgr.component,
+                                            category="barrier")
+            yield from mgr.resource.use(service)
+            self.stats.incr("cr_gathers")
+
+    # ------------------------------------------------------------------
+    # tree barriers
+    # ------------------------------------------------------------------
+    def _cell_population(self) -> dict[int, set[str]]:
+        """Cell index -> compute components with threads (computed once;
+        thread placement is fixed before the first barrier)."""
+        if self._cell_members is None:
+            members: dict[int, set[str]] = {}
+            for comp in self.system._compute_order:
+                if self.system.compute_servers[comp].threads:
+                    members.setdefault(self._cell_of[comp], set()).add(comp)
+            self._cell_members = members
+        return self._cell_members
+
+    def tree_arrive(self, tid: int, comp: str, barrier_id: int, notices):
+        """Generator: two-level combining barrier arrival.
+
+        Level 0 combines threads on one compute node (free: shared
+        memory); the node leader carries one message to its cell's
+        combiner shard. Level 1 combines node leaders per cell; the cell
+        leader carries ONE aggregate message to the barrier's root shard,
+        which runs the normal group-arrival protocol. Replies fan back
+        down: root -> cell shard (aggregate), cell shard -> each node
+        leader (per-node directives), leader -> local threads (free).
+        """
+        engine = self.system.engine
+        key = (barrier_id, comp)
+        leaf = self._leaf_combiners.get(key)
+        if leaf is None:
+            leaf = {"arrivals": {}, "result": None,
+                    "gate": engine.event(f"tree.leaf.b{barrier_id}.{comp}")}
+            self._leaf_combiners[key] = leaf
+        leaf["arrivals"][tid] = notices
+        expected = len(self.system.compute_servers[comp].threads)
+        if len(leaf["arrivals"]) == expected:
+            del self._leaf_combiners[key]
+            result = yield from self._cell_arrive(comp, barrier_id,
+                                                  leaf["arrivals"])
+            leaf["result"] = result
+            leaf["gate"].succeed()
+        else:
+            yield leaf["gate"]
+        state, directives = leaf["result"]
+        inv, flush, cr_diffs, cr_inval = directives[tid]
+        return state, inv, flush, cr_diffs, cr_inval
+
+    def _cell_arrive(self, comp: str, barrier_id: int,
+                     arrivals: dict[int, list[int]]):
+        """Generator: node-leader leg of the tree (level 1 + root)."""
+        cell_idx = self._cell_of[comp]
+        cell_mgr = self.shards[self.live_index(cell_idx)]
+        total_notices = sum(len(n) for n in arrivals.values())
+        # Leader -> combiner shard: one request into the cell's service queue.
+        yield from cell_mgr._rpc(
+            comp, protocol.notice_message_bytes(total_notices),
+            category="barrier")
+        key = (barrier_id, cell_idx)
+        cell = self._cell_combiners.get(key)
+        if cell is None:
+            cell = {"arrivals": {}, "comps": set(), "result": None,
+                    "gate": self.system.engine.event(
+                        f"tree.cell.b{barrier_id}.s{cell_idx}")}
+            self._cell_combiners[key] = cell
+        cell["arrivals"].update(arrivals)
+        cell["comps"].add(comp)
+        expected = len(self._cell_population()[cell_idx])
+        if len(cell["comps"]) == expected:
+            # Cell leader: one aggregate message to the root shard.
+            del self._cell_combiners[key]
+            root = self.shard_for_id(barrier_id)
+            result = yield from root.barrier_arrive_group(
+                cell_mgr.component, barrier_id, cell["arrivals"])
+            cell["result"] = result
+            cell["gate"].succeed()
+        else:
+            yield cell["gate"]
+        state, directives = cell["result"]
+        # Combiner shard -> this node's leader: per-node directive reply.
+        mine = {tid: directives[tid] for tid in arrivals}
+        reply_bytes = 0
+        for inv, flush, cr_diffs, cr_inval in mine.values():
+            reply_bytes += (
+                protocol.directive_message_bytes(len(inv), len(flush))
+                + sum(d.payload_bytes for d in cr_diffs)
+                + protocol.PAGE_ID_BYTES * len(cr_inval))
+        yield from cell_mgr.resource.use(
+            self.system.config.manager_service_time)
+        yield from cell_mgr._reply(comp, reply_bytes, category="barrier")
+        return state, mine
+
+    # ------------------------------------------------------------------
+    # shard failover
+    # ------------------------------------------------------------------
+    def handle_shard_failure(self, dead: int) -> None:
+        """Merge a dead shard's synchronization tables into its ring
+        successor and remap routing. Plain function (called from the
+        failure detector outside any process), so the whole transition is
+        atomic in simulated time. The tables survive the crash by design:
+        they model metadata replicated to the successor, the same
+        durability assumption the memory-server WAL makes."""
+        if dead in self._dead_shards:
+            return
+        self._dead_shards.add(dead)
+        successor = None
+        for step in range(1, self.n):
+            cand = (dead + step) % self.n
+            if cand not in self._dead_shards:
+                successor = cand
+                break
+        if successor is None:
+            raise ReplicationError(
+                f"manager shard {dead} failed with no live successor")
+        dead_mgr = self.shards[dead]
+        succ_mgr = self.shards[successor]
+        succ_mgr._locks.update(dead_mgr._locks)
+        succ_mgr._barriers.update(dead_mgr._barriers)
+        succ_mgr._conds.update(dead_mgr._conds)
+        succ_mgr.known_threads |= dead_mgr.known_threads
+        succ_mgr._dead_threads |= dead_mgr._dead_threads
+        # Transitive-free remap, mirroring PageDirectory.remap_home.
+        for idx, target in list(self._shard_remap.items()):
+            if target == dead:
+                self._shard_remap[idx] = successor
+        self._shard_remap[dead] = successor
+        self.stats.incr("shard_failovers")
+        self.system.stats.incr("shard_failovers")
+
+    def is_shard_dead(self, index: int) -> bool:
+        return index in self._dead_shards
+
+    def await_shard_failover(self, index: int, err):
+        """Generator: a control RPC against shard ``index`` exhausted its
+        retries. With a detector armed, wait (bounded by the detection
+        budget) for the shard failover to land, then return so the caller
+        re-routes; otherwise re-raise."""
+        detector = self.system.detector
+        if detector is None or self.n == 1:
+            raise err
+        config = self.system.config
+        for _ in range(config.heartbeat_misses + 2):
+            if index in self._dead_shards:
+                self.stats.incr("shard_failover_retries")
+                return
+            yield Timeout(config.heartbeat_interval)
+        raise err
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def rpcs_by_shard(self) -> list[dict]:
+        """Per-shard RPC load: total requests plus per-category counts
+        (the observable behind the flat-load scaling claim)."""
+        out = []
+        for i, mgr in enumerate(self.shards):
+            counters = mgr.stats.counters
+            row = {"shard": i, "component": mgr.component,
+                   "dead": i in self._dead_shards,
+                   "requests": counters.get("requests", 0)}
+            for cat in ("sync", "alloc", "lock", "barrier", "cond"):
+                row[cat] = counters.get(f"requests.{cat}", 0)
+            out.append(row)
+        return out

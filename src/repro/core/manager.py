@@ -32,7 +32,8 @@ RPC_CATEGORIES = frozenset({"sync", "alloc", "lock", "barrier", "cond"})
 
 
 class _LockState:
-    __slots__ = ("holder", "waiters", "log", "lease_deadline", "grant_seq")
+    __slots__ = ("holder", "waiters", "log", "lease_deadline", "grant_seq",
+                 "cached_at", "revoking")
 
     def __init__(self):
         self.holder: int | None = None
@@ -43,6 +44,17 @@ class _LockState:
         #: Incremented on every grant; a scheduled expiry callback compares
         #: it so a stale timer cannot revoke a later grant.
         self.grant_seq: int = 0
+        #: ``(tid, component)`` holding a cached ownership grant
+        #: (``config.lock_owner_cache``): the last releaser found no
+        #: waiters and kept the grant locally, so its repeat acquires skip
+        #: the manager. A contending acquire revokes it (see
+        #: :meth:`Manager._revoke_cached`). None while uncached.
+        self.cached_at: tuple[int, str] | None = None
+        #: Gate held by an in-flight revocation. Revokes are single-flight:
+        #: the first contender claims it, later contenders wait here, then
+        #: re-check. Without it, two concurrent revokes of the same grant
+        #: could both run and the second would clobber the first's grant.
+        self.revoking = None
 
 
 class _BarrierState:
@@ -93,6 +105,21 @@ class Manager:
         #: Threads declared dead (crashed holders); the lease recoverer
         #: force-releases their locks instead of letting waiters wedge.
         self._dead_threads: set[int] = set()
+        #: Sharded-control-plane hooks, wired by the ControlPlane when
+        #: ``config.manager_shards > 1``; all None on the single-manager
+        #: build so every call site is one falsy check.
+        #: Callable yielding lock states across ALL shards (barrier CR
+        #: collection must see every shard's logs, not just this one's).
+        self.cr_source = None
+        #: Generator hook charging the root's cross-shard log gather at
+        #: barrier-round completion.
+        self.cr_gather = None
+        #: Cross-shard lock-log pruner (defaults to the local one).
+        self.prune_hook = None
+        #: component -> ComputeServer resolver, wired by the system when
+        #: ``config.lock_owner_cache`` is on; lets a contending acquire
+        #: revoke another component's cached ownership grant.
+        self.cache_registry = None
 
     # ------------------------------------------------------------------
     # fault recovery: dead threads and lock leases
@@ -161,22 +188,35 @@ class Manager:
     # ------------------------------------------------------------------
     def create_lock(self) -> int:
         self._next_id += 1
-        self._locks[self._next_id] = _LockState()
+        self.register_lock(self._next_id)
         return self._next_id
 
     def create_barrier(self, parties: int) -> int:
         if parties < 1:
             raise SynchronizationError("barrier needs at least one party")
         self._next_id += 1
-        self._barriers[self._next_id] = _BarrierState(self.engine, parties, 0)
-        # Remember the party count for generation rollover.
-        self._barriers[self._next_id].parties = parties
+        self.register_barrier(self._next_id, parties)
         return self._next_id
 
     def create_cond(self) -> int:
         self._next_id += 1
-        self._conds[self._next_id] = _CondState()
+        self.register_cond(self._next_id)
         return self._next_id
+
+    # Registration with an externally assigned ID: the sharded control
+    # plane owns one global counter and places object i on shard i % n.
+    def register_lock(self, lock_id: int) -> None:
+        self._locks[lock_id] = _LockState()
+
+    def register_barrier(self, barrier_id: int, parties: int) -> None:
+        if parties < 1:
+            raise SynchronizationError("barrier needs at least one party")
+        self._barriers[barrier_id] = _BarrierState(self.engine, parties, 0)
+        # Remember the party count for generation rollover.
+        self._barriers[barrier_id].parties = parties
+
+    def register_cond(self, cond_id: int) -> None:
+        self._conds[cond_id] = _CondState()
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -199,6 +239,7 @@ class Manager:
             dedup.admit(comp, dedup.next_seq(comp))
         yield from self.resource.use(self.config.manager_service_time)
         self.stats.incr("requests")
+        self.stats.incr("requests." + category)
 
     def _reply(self, comp: str, nbytes: int = CONTROL_BYTES, category: str = "sync"):
         if self._is_local(comp):
@@ -210,31 +251,39 @@ class Manager:
     # ------------------------------------------------------------------
     # allocation RPCs
     # ------------------------------------------------------------------
-    def alloc_rpc(self, tid: int, comp: str, size: int, force_shared: bool = False):
+    def alloc_rpc(self, tid: int, comp: str, size: int, force_shared: bool = False,
+                  allocator: SamhitaAllocator | None = None):
         """Generator: manager-mediated allocation (strategies 2 and 3, and
         arena refills). Returns the address (or None for pure refills).
 
         ``force_shared`` bypasses the size classification and allocates
         page-aligned from the shared zone -- the path for program globals
         that must not share pages with any thread's arena data.
+
+        ``allocator`` overrides the shard's own address slice: after a
+        shard failover the ring successor serves the dead shard's slice,
+        so the control plane passes the (stable) slice object explicitly.
         """
+        allocator = allocator or self.allocator
         yield from self._rpc(comp, protocol.alloc_request_bytes(), category="alloc")
         kind = (AllocationKind.SHARED_ZONE if force_shared
-                else self.allocator.classify(size))
+                else allocator.classify(size))
         if kind is AllocationKind.ARENA:
-            self.allocator.refill_arena(tid, size)
+            allocator.refill_arena(tid, size)
             addr = None
         elif kind is AllocationKind.SHARED_ZONE:
-            addr = self.allocator.shared_alloc(size, tid)
+            addr = allocator.shared_alloc(size, tid)
         else:
-            addr = self.allocator.striped_alloc(size, tid)
+            addr = allocator.striped_alloc(size, tid)
         yield from self._reply(comp, protocol.alloc_reply_bytes(), category="alloc")
         self.stats.incr("allocs")
         return addr
 
-    def free_rpc(self, tid: int, comp: str, addr: int):
+    def free_rpc(self, tid: int, comp: str, addr: int,
+                 allocator: SamhitaAllocator | None = None):
+        allocator = allocator or self.allocator
         yield from self._rpc(comp, category="alloc")
-        self.allocator.free(addr)
+        allocator.free(addr)
         yield from self._reply(comp, category="alloc")
 
     # ------------------------------------------------------------------
@@ -251,9 +300,23 @@ class Manager:
         updates (diffs, payload_bytes, span_count) the acquirer must apply."""
         lock = self._lock(lock_id)
         yield from self._rpc(comp, category="lock")
+        if self.cache_registry is not None:
+            while True:
+                if lock.revoking is not None:
+                    # Another contender is mid-revoke: wait it out, then
+                    # re-check (the grant may have been re-cached since).
+                    yield lock.revoking
+                    continue
+                if lock.cached_at is not None:
+                    yield from self._revoke_cached(lock, lock_id)
+                break
         if lock.holder is None:
             lock.holder = tid
             self._arm_lease(lock)
+        elif lock.holder == tid:
+            # Retried RPC of an already-granted request (the original reply
+            # was lost to a shard crash): re-reply without re-queueing.
+            pass
         else:
             gate = self.engine.event(f"lock{lock_id}.wait")
             lock.waiters.append((tid, gate))
@@ -267,20 +330,80 @@ class Manager:
             category="lock")
         return diffs, payload, spans, invalidate
 
+    def _revoke_cached(self, lock: _LockState, lock_id: int):
+        """Generator: a contending acquire found the lock cached at another
+        component. Send a revoke; the caching component either surrenders
+        its stashed release records inline (idle grant -- the records join
+        the log and the lock is free) or marks the grant revoke-pending
+        (locally held -- the manager restores the holder and the contender
+        queues behind it; the eventual release RPC carries the stash)."""
+        ctid, ccomp = lock.cached_at
+        lock.revoking = self.engine.event(f"revoke.{ccomp}")
+        try:
+            t = self.scl.send(self.component, ccomp, category="lock")
+            if t is not None:
+                yield from t
+            verdict, payload = self.cache_registry(ccomp).lock_cache_surrender(
+                lock_id)
+            self.stats.incr("lock_cache_revokes")
+            if verdict == "idle":
+                nbytes = CONTROL_BYTES + sum(
+                    protocol.release_message_bytes(p, s)
+                    for _d, p, s, _i in payload)
+                t = self.scl.send(ccomp, self.component, nbytes,
+                                  category="lock")
+                if t is not None:
+                    yield from t
+                self._absorb_stash(lock, payload, ctid)
+                lock.cached_at = None
+                lock.holder = None
+            else:
+                # payload is the holding tid: hand the manager-side state
+                # back to the de-facto holder; the contender waits its turn.
+                lock.cached_at = None
+                lock.holder = payload
+                self._arm_lease(lock)
+        finally:
+            gate, lock.revoking = lock.revoking, None
+            gate.succeed()
+
+    def _absorb_stash(self, lock: _LockState, stash, tid: int) -> None:
+        """Append a surrendered/flushed stash of release records (in their
+        original order) to the lock's update log."""
+        for diffs, payload, _spans, invalidate in stash:
+            if diffs or payload or invalidate:
+                lock.log.append(diffs, invalidate)
+        if stash:
+            # The stasher has seen its own records by construction.
+            lock.log.last_seen[tid] = max(
+                lock.log.last_seen.get(tid, 0), lock.log.version)
+
     def release_lock(self, tid: int, comp: str, lock_id: int, diffs: list,
-                     payload_bytes: int, span_count: int, invalidate_pages=()):
+                     payload_bytes: int, span_count: int, invalidate_pages=(),
+                     stash=()):
         """Generator: record the releaser's store-log updates and hand the
         lock to the next waiter. The caller has already written the updates
-        through to the page homes."""
+        through to the page homes.
+
+        ``stash`` carries release records a revoked ownership cache held
+        back; they are logged (in order) ahead of this release's own.
+        Returns True when the releaser may keep the grant cached
+        (``config.lock_owner_cache``, no waiters, leases off).
+        """
         lock = self._lock(lock_id)
         if lock.holder != tid:
             raise SynchronizationError(
                 f"thread {tid} releasing lock {lock_id} held by {lock.holder}")
+        wire_payload = payload_bytes + sum(p for _d, p, _s, _i in stash)
+        wire_spans = span_count + sum(s for _d, _p, s, _i in stash)
         yield from self._rpc(
-            comp, protocol.release_message_bytes(payload_bytes, span_count),
+            comp, protocol.release_message_bytes(wire_payload, wire_spans),
             category="lock")
+        if stash:
+            self._absorb_stash(lock, stash, tid)
         if diffs or payload_bytes or invalidate_pages:
             lock.log.append(diffs, invalidate_pages)
+        cacheable = False
         if lock.waiters:
             next_tid, gate = lock.waiters.popleft()
             lock.holder = next_tid
@@ -289,7 +412,36 @@ class Manager:
         else:
             lock.holder = None
             lock.grant_seq += 1
+            if (self.cache_registry is not None
+                    and self.config.lock_lease_time == 0.0):
+                lock.cached_at = (tid, comp)
+                cacheable = True
         self.stats.incr("lock_releases")
+        return cacheable
+
+    def absorb_lock_stash(self, tid: int, lock_id: int, stash) -> None:
+        """Synchronously log a drained stash of release records.
+
+        Plain function on purpose: the records must enter the log at the
+        same instant the compute server drains its stash. If absorption
+        waited for the flush RPC's delivery, a concurrent revoke could find
+        the stash already empty, grant the contender, and the flushed
+        records would land in the log AFTER updates that logically followed
+        them -- out-of-order CR propagation. The wire cost is charged
+        separately by :meth:`flush_lock_stash`."""
+        self._absorb_stash(self._lock(lock_id), stash, tid)
+        self.stats.incr("lock_cache_flushes")
+
+    def flush_lock_stash(self, tid: int, comp: str, lock_id: int, stash):
+        """Generator: barrier-entry flush of a cached grant's stashed
+        release records -- RegC's global consistency point must see every
+        release, cached or not. The grant itself stays cached. The records
+        were already absorbed (:meth:`absorb_lock_stash`); this charges
+        the message exchange."""
+        nbytes = CONTROL_BYTES + sum(
+            protocol.release_message_bytes(p, s) for _d, p, s, _i in stash)
+        yield from self._rpc(comp, nbytes, category="lock")
+        yield from self._reply(comp, category="lock")
 
     def holds_lock(self, tid: int, lock_id: int) -> bool:
         return self._lock(lock_id).holder == tid
@@ -311,6 +463,39 @@ class Manager:
     def barrier_parties(self, barrier_id: int) -> int:
         return self._barrier(barrier_id).parties
 
+    def _cr_updates(self, tid: int):
+        """Pending consistency-region updates for ``tid`` across every lock
+        this control plane can see (all shards when ``cr_source`` is wired,
+        else the local table)."""
+        cr_diffs: list = []
+        cr_payload = 0
+        cr_invalidate: set[int] = set()
+        locks = self.cr_source() if self.cr_source is not None \
+            else self._locks.values()
+        for lock in locks:
+            diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
+            cr_diffs.extend(diffs)
+            cr_payload += payload
+            cr_invalidate.update(invalidate)
+        return cr_diffs, cr_payload, cr_invalidate
+
+    def _prune_logs(self) -> None:
+        if self.prune_hook is not None:
+            self.prune_hook(self.known_threads)
+        else:
+            self.prune_lock_logs(self.known_threads)
+
+    def _register_arrival(self, state: _BarrierState, tid: int,
+                          notices, barrier_id: int) -> None:
+        if tid in state.arrived:
+            if self.rpc_dedup is None:
+                raise SynchronizationError(
+                    f"thread {tid} arrived twice at barrier {barrier_id}")
+            # Fault build: a retried arrival whose original reply was lost
+            # re-presents itself; keep the first registration.
+            return
+        state.arrived[tid] = list(notices)
+
     def barrier_arrive(self, tid: int, comp: str, barrier_id: int,
                        notices: list[int]):
         """Generator: submit write notices, wait for the full party, and
@@ -322,11 +507,11 @@ class Manager:
         state = self._barrier(barrier_id)
         yield from self._rpc(comp, protocol.notice_message_bytes(len(notices)),
                              category="barrier")
-        if tid in state.arrived:
-            raise SynchronizationError(
-                f"thread {tid} arrived twice at barrier {barrier_id}")
-        state.arrived[tid] = list(notices)
+        self._register_arrival(state, tid, notices, barrier_id)
         if len(state.arrived) == state.parties:
+            if self.cr_gather is not None:
+                # Sharded: pull the other shards' lock logs before the plan.
+                yield from self.cr_gather(self)
             state.plan = plan_barrier(state.arrived, self.directory)
             state.flush_remaining = sum(
                 1 for pages in state.plan.flush.values() if pages)
@@ -346,17 +531,10 @@ class Manager:
         # consistency-region updates visible to threads that never acquire
         # the corresponding lock. Collect every lock-log update this thread
         # has not yet seen and ship it with the directive.
-        cr_diffs: list = []
-        cr_payload = 0
-        cr_invalidate: set[int] = set()
-        for lock in self._locks.values():
-            diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
-            cr_diffs.extend(diffs)
-            cr_payload += payload
-            cr_invalidate.update(invalidate)
+        cr_diffs, cr_payload, cr_invalidate = self._cr_updates(tid)
         # Safe point to garbage-collect lock logs: prunes only epochs every
         # known thread has already consumed.
-        self.prune_lock_logs(self.known_threads)
+        self._prune_logs()
         # Directive reply (manager serializes these sends).
         if not self._is_local(comp):
             yield from self.resource.use(self.config.manager_service_time)
@@ -380,11 +558,10 @@ class Manager:
         yield from self._rpc(comp, protocol.notice_message_bytes(total_notices),
                              category="barrier")
         for tid, notices in arrivals.items():
-            if tid in state.arrived:
-                raise SynchronizationError(
-                    f"thread {tid} arrived twice at barrier {barrier_id}")
-            state.arrived[tid] = list(notices)
+            self._register_arrival(state, tid, notices, barrier_id)
         if len(state.arrived) == state.parties:
+            if self.cr_gather is not None:
+                yield from self.cr_gather(self)
             state.plan = plan_barrier(state.arrived, self.directory)
             state.flush_remaining = sum(
                 1 for pages in state.plan.flush.values() if pages)
@@ -402,19 +579,12 @@ class Manager:
         for tid in arrivals:
             inv = plan.invalidate.get(tid, [])
             flush = plan.flush.get(tid, [])
-            cr_diffs: list = []
-            cr_payload = 0
-            cr_invalidate: set[int] = set()
-            for lock in self._locks.values():
-                diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
-                cr_diffs.extend(diffs)
-                cr_payload += payload
-                cr_invalidate.update(invalidate)
+            cr_diffs, cr_payload, cr_invalidate = self._cr_updates(tid)
             directives[tid] = (inv, flush, cr_diffs, sorted(cr_invalidate))
             reply_bytes += (protocol.directive_message_bytes(len(inv), len(flush))
                             + cr_payload
                             + protocol.PAGE_ID_BYTES * len(cr_invalidate))
-        self.prune_lock_logs(self.known_threads)
+        self._prune_logs()
         if not self._is_local(comp):
             yield from self.resource.use(self.config.manager_service_time)
         yield from self._reply(comp, reply_bytes, category="barrier")
@@ -459,7 +629,7 @@ class Manager:
 
 
 class FailureDetector:
-    """Manager-side heartbeat failure detector for memory servers.
+    """Heartbeat failure detector for memory servers and manager shards.
 
     REACTIVE, not free-running: the DES engine only returns when its event
     heap drains, so a detector that pinged every server forever would keep
@@ -478,6 +648,13 @@ class FailureDetector:
     ping message would drop on exactly the schedule the injector already
     encodes, so asking it avoids per-beat wire traffic without changing
     what the detector can observe.
+
+    Two populations are probe-able, each routed to its own failover on
+    declaration: memory servers (only with ``replication_factor > 1`` --
+    without a backup there is nothing to promote, so rf=1 servers are
+    never suspectable and cannot false-positive) and manager shards (only
+    with ``manager_shards > 1``, for the same reason: a lone manager has
+    no ring successor). A component in neither map is ignored outright.
     """
 
     def __init__(self, engine: Engine, config, system, injector):
@@ -489,8 +666,15 @@ class FailureDetector:
         #: comp -> consecutive missed beats, for servers under suspicion.
         self._misses: dict[str, int] = {}
         self._declared: set[str] = set()
-        self._index_of = {s.component: s.index
-                         for s in system.memory_servers}
+        self._index_of = ({s.component: s.index
+                           for s in system.memory_servers}
+                          if config.replication_factor > 1 else {})
+        self._shard_of: dict[str, int] = {}
+        if config.manager_shards > 1:
+            for i, mgr in enumerate(system.managers):
+                # Co-located shards (one component hosting several) cannot
+                # fail independently; the first registration wins.
+                self._shard_of.setdefault(mgr.component, i)
 
     def suspect(self, comp: str) -> None:
         """A message verdict implicated ``comp``: start probing it.
@@ -499,8 +683,8 @@ class FailureDetector:
         already-declared) server add nothing, so the injector can call this
         on every drop without flooding the heap with probe timers.
         """
-        if (comp not in self._index_of or comp in self._declared
-                or comp in self._misses):
+        if ((comp not in self._index_of and comp not in self._shard_of)
+                or comp in self._declared or comp in self._misses):
             return
         self._misses[comp] = 0
         self.stats.incr("suspicions")
@@ -525,21 +709,26 @@ class FailureDetector:
     def _declare_dead(self, comp: str) -> None:
         self._declared.add(comp)
         self._misses.pop(comp, None)
-        self.stats.incr("servers_declared_dead")
-        self.system.handle_server_failure(self._index_of[comp])
+        if comp in self._shard_of:
+            self.stats.incr("shards_declared_dead")
+            self.system.handle_shard_failure(self._shard_of[comp])
+        if comp in self._index_of:
+            self.stats.incr("servers_declared_dead")
+            self.system.handle_server_failure(self._index_of[comp])
 
     def on_deadlock(self, blocked) -> bool:
         """Deadlock-hook safety net.
 
         If the heap drains with blocked processes while an unreachable
-        server is still undeclared (every client exhausted its retries
-        before the probe cadence finished), declare it immediately so the
-        failover can unwedge the waiters. Returns True when it declared
-        anything (the watchdog then lets the run continue).
+        server or manager shard is still undeclared (every client
+        exhausted its retries before the probe cadence finished), declare
+        it immediately so the failover can unwedge the waiters. Returns
+        True when it declared anything (the watchdog then lets the run
+        continue).
         """
         now = self.engine.now
         acted = False
-        for comp in self._index_of:
+        for comp in (*self._index_of, *self._shard_of):
             if comp in self._declared:
                 continue
             if self.injector.server_down(comp, now):

@@ -147,6 +147,33 @@ class SamhitaConfig:
     manager_service_time: float = 1.5e-6
     memserver_service_time: float = 1.0e-6
 
+    # -- control plane ----------------------------------------------------
+    #: Manager shards. 1 (the default) keeps the single-manager build
+    #: bit-identical (CI-gated by ``--check-shard-scaling``); k > 1 splits
+    #: the control plane across k components: the page directory and
+    #: allocator partition by address range (one slice per shard), and
+    #: lock/barrier/cond RPCs route to the owning shard by ID hash. Each
+    #: shard is an addressable, probe-able component; with a fault model
+    #: armed a permanently crashed shard fails over to its ring successor.
+    manager_shards: int = 1
+    #: Lock-ownership caching at compute servers: when a release finds no
+    #: waiters, the manager leaves the grant cached at the releasing
+    #: component, so repeat acquires of an uncontended lock skip the
+    #: manager round trip entirely. A contending acquire revokes the
+    #: cached grant (the cached component surrenders its stashed release
+    #: records inline, or marks the grant for surrender at next release if
+    #: it is held). Stashed records flush at barrier entry, preserving
+    #: RegC's global-consistency semantics. Incompatible with lock leases
+    #: (a cached grant would dodge the lease timer), so releases stop
+    #: granting cacheability whenever ``lock_lease_time > 0``.
+    lock_owner_cache: bool = False
+    #: Hierarchical tree barriers: threads combine per compute node (as in
+    #: ``hierarchical_sync``), node leaders combine at a per-cell combiner
+    #: shard, and one aggregate message per cell reaches the barrier's
+    #: root shard -- barrier fan-in drops from O(threads) to O(cells).
+    #: Only applies to full-party barriers; partial barriers stay flat.
+    tree_barriers: bool = False
+
     # -- replication / availability ---------------------------------------
     #: Copies of every home page, primary included. 1 (the default) keeps
     #: today's single-copy behavior bit-identical (CI-gated by
@@ -211,6 +238,8 @@ class SamhitaConfig:
                 f"replication_factor={self.replication_factor} needs at "
                 f"least that many memory servers "
                 f"(n_memory_servers={self.n_memory_servers})")
+        if self.manager_shards < 1:
+            raise ReproError("manager_shards must be >= 1")
         if self.heartbeat_interval <= 0.0:
             raise ReproError("heartbeat_interval must be positive")
         if self.heartbeat_misses < 1:
@@ -236,6 +265,17 @@ class SamhitaConfig:
         """
         base: dict = {"prefetch": PrefetchPolicy(mode="stride"),
                       "batch_line_fetches": True}
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def sharded_control_plane(cls, shards: int = 4, **overrides) -> "SamhitaConfig":
+        """The scaled control plane: ``shards`` manager shards plus the two
+        RPC-avoidance optimizations they enable (lock-ownership caching and
+        tree barriers). Keyword overrides apply on top."""
+        base: dict = {"manager_shards": shards,
+                      "lock_owner_cache": True,
+                      "tree_barriers": True}
         base.update(overrides)
         return cls(**base)
 

@@ -23,6 +23,11 @@ import math
 
 from repro.core.allocator import AllocationKind, SamhitaAllocator
 from repro.core.compute_server import ComputeServer
+from repro.core.control_plane import (
+    ControlPlane,
+    ShardedAllocator,
+    ShardedPageDirectory,
+)
 from repro.core.manager import (
     FailureDetector,
     Manager,
@@ -72,28 +77,50 @@ class SamhitaSystem:
         compute_components: list[str] | None = None,
         model_contention: bool = True,
         placement: PlacementPolicy = PlacementPolicy.PACKED,
+        manager_components: list[str] | None = None,
     ):
         self.config = config or SamhitaConfig()
         self.topology = topology
         self.engine = Engine()
         self.fabric = Fabric(self.engine, topology, model_contention=model_contention)
         self.scl = SCL(self.fabric)
-        self.directory = PageDirectory()
-        self.allocator = SamhitaAllocator(self.config)
+        n_shards = self.config.manager_shards
+        # The sharded facades partition by address range; at shards=1 the
+        # plain objects are used unchanged (zero indirection, bit-identity).
+        if n_shards == 1:
+            self.directory = PageDirectory()
+            self.allocator = SamhitaAllocator(self.config)
+        else:
+            self.directory = ShardedPageDirectory(n_shards)
+            self.allocator = ShardedAllocator(self.config, n_shards)
         self.stats = StatSet("system")
 
         compute = compute_components or [c.name for c in topology.compute_components()]
         if not compute:
             raise BackendError("topology has no compute components")
-        manager_comp = manager_component or compute[0]
+        if manager_components is None:
+            base = manager_component or compute[0]
+            manager_components = [base] * n_shards
+        if len(manager_components) != n_shards:
+            raise BackendError(
+                f"config wants {n_shards} manager shards, "
+                f"got components {manager_components}")
         mem_comps = memserver_components or [compute[0]]
         if len(mem_comps) != self.config.n_memory_servers:
             raise BackendError(
                 f"config wants {self.config.n_memory_servers} memory servers, "
                 f"got components {mem_comps}")
 
-        self.manager = Manager(self.engine, manager_comp, self.config,
-                               self.allocator, self.directory, self.scl)
+        shard_allocators = ([self.allocator] if n_shards == 1
+                            else self.allocator.parts)
+        self.managers = [
+            Manager(self.engine, comp, self.config, shard_allocators[i],
+                    self.directory, self.scl)
+            for i, comp in enumerate(manager_components)
+        ]
+        #: Shard 0, kept under the historical name for direct-manager tests
+        #: and the shards=1 build (where it IS the whole control plane).
+        self.manager = self.managers[0]
         self.memory_servers = [
             MemoryServer(self.engine, comp, i, self.config, self.directory)
             for i, comp in enumerate(mem_comps)
@@ -105,6 +132,10 @@ class SamhitaSystem:
         }
         self._compute_order = list(compute)
         self.placement = placement
+        self.control = ControlPlane(self, self.managers)
+        if self.config.lock_owner_cache:
+            for mgr in self.managers:
+                mgr.cache_registry = self.compute_servers.__getitem__
 
         # Fault injection: constructed ONLY when the config carries a plan,
         # so the fault-free build never even imports a fault object into the
@@ -113,35 +144,39 @@ class SamhitaSystem:
         if self.config.faults is not None:
             self.injector = FaultInjector(self.config.faults)
             self.fabric.attach_injector(self.injector)
-            self.manager.rpc_dedup = RpcDedup(manager_comp, MANAGER_RPCS)
-            self.injector.register_endpoint(manager_comp,
-                                            self.manager.rpc_dedup)
+            for mgr in self.managers:
+                mgr.rpc_dedup = RpcDedup(mgr.component, MANAGER_RPCS)
+                self.injector.register_endpoint(mgr.component, mgr.rpc_dedup)
             for server in self.memory_servers:
                 server.rpc_dedup = RpcDedup(server.component, MEMSERVER_RPCS)
                 self.injector.register_endpoint(server.component,
                                                 server.rpc_dedup)
-            self.injector.watchdog.add(self.manager.recover_dead_holders)
+            for mgr in self.managers:
+                self.injector.watchdog.add(mgr.recover_dead_holders)
             self.engine.deadlock_hooks.append(self.injector.watchdog)
         elif self.config.lock_lease_time > 0.0:
             # Leases without injection: still give the engine a recoverer so
             # a dead holder cannot wedge the run.
-            self.engine.deadlock_hooks.append(self.manager.recover_dead_holders)
+            for mgr in self.managers:
+                self.engine.deadlock_hooks.append(mgr.recover_dead_holders)
 
-        # Replication: armed only when the config asks for extra copies.
-        # At the default replication_factor=1 nothing below runs, keeping
-        # the single-copy trajectory bit-identical (CI-gated).
+        # Replication / failover: armed only when the config asks for extra
+        # copies or extra shards. At the defaults (replication_factor=1,
+        # manager_shards=1) nothing below runs, keeping the single-copy
+        # single-manager trajectory bit-identical (CI-gated).
         self.detector: FailureDetector | None = None
         self._dead_servers: set[int] = set()
         if self.config.replication_factor > 1:
             for server in self.memory_servers:
                 server.arm_replication()
-            if self.injector is not None:
-                # Failure detection only makes sense with a fault model to
-                # observe; a fault-free replicated run just pays the copies.
-                self.detector = FailureDetector(self.engine, self.config,
-                                                self, self.injector)
-                self.injector.detector = self.detector
-                self.engine.deadlock_hooks.append(self.detector.on_deadlock)
+        if (self.injector is not None
+                and (self.config.replication_factor > 1 or n_shards > 1)):
+            # Failure detection only makes sense with a fault model to
+            # observe; a fault-free replicated run just pays the copies.
+            self.detector = FailureDetector(self.engine, self.config,
+                                            self, self.injector)
+            self.injector.detector = self.detector
+            self.engine.deadlock_hooks.append(self.detector.on_deadlock)
 
         # Per-thread state.
         self._caches: dict[int, SoftwareCache] = {}
@@ -163,14 +198,17 @@ class SamhitaSystem:
         node(s) + enough compute nodes for ``n_threads``."""
         config = config or SamhitaConfig()
         n_compute = max(1, math.ceil(n_threads / node.cores))
-        n_nodes = 1 + config.n_memory_servers + n_compute
+        n_shards = config.manager_shards
+        n_nodes = n_shards + config.n_memory_servers + n_compute
         topo = cluster_topology(n_nodes, node=node, fabric_link=fabric_link)
         names = [f"node{i}" for i in range(n_nodes)]
+        first_mem = n_shards
+        first_compute = n_shards + config.n_memory_servers
         return cls(
             topo, config,
-            manager_component=names[0],
-            memserver_components=names[1:1 + config.n_memory_servers],
-            compute_components=names[1 + config.n_memory_servers:],
+            manager_components=names[:n_shards],
+            memserver_components=names[first_mem:first_compute],
+            compute_components=names[first_compute:],
             model_contention=model_contention,
         )
 
@@ -233,7 +271,7 @@ class SamhitaSystem:
         self._storelogs[tid] = StoreLog(self.config.layout)
         self._cr_pages[tid] = set()
         self.compute_servers[component].register_thread(tid)
-        self.manager.known_threads.add(tid)
+        self.control.register_thread(tid)
         return tid
 
     def mark_thread_dead(self, tid: int) -> None:
@@ -242,7 +280,7 @@ class SamhitaSystem:
         Locks it holds become eligible for lease expiry (requires
         ``config.lock_lease_time > 0``); waiters are re-granted at the
         lease deadline instead of deadlocking."""
-        self.manager.mark_thread_dead(tid)
+        self.control.mark_thread_dead(tid)
 
     # -- lookups used across components ---------------------------------
     def cache_of(self, tid: int) -> SoftwareCache:
@@ -285,6 +323,11 @@ class SamhitaSystem:
 
     def is_server_dead(self, index: int) -> bool:
         return index in self._dead_servers
+
+    def handle_shard_failure(self, index: int) -> None:
+        """Control-plane failover: merge the dead manager shard's sync state
+        into its ring successor (detector probe callback)."""
+        self.control.handle_shard_failure(index)
 
     def handle_server_failure(self, dead: int) -> None:
         """Failover: promote the dead primary's backup.
@@ -372,18 +415,18 @@ class SamhitaSystem:
         """
         comp = self.component_of(tid)
         if shared:
-            addr = yield from self.manager.alloc_rpc(tid, comp, size,
+            addr = yield from self.control.alloc_rpc(tid, comp, size,
                                                      force_shared=True)
             return addr
         if self.allocator.classify(size) is AllocationKind.ARENA:
             addr = self.allocator.arena_alloc(tid, size)
             if addr is None:
                 # Arena refill is the only communication small allocs pay.
-                yield from self.manager.alloc_rpc(tid, comp, size)
+                yield from self.control.alloc_rpc(tid, comp, size)
                 addr = self.allocator.arena_alloc(tid, size)
                 assert addr is not None, "arena refill failed to satisfy"
             return addr
-        addr = yield from self.manager.alloc_rpc(tid, comp, size)
+        addr = yield from self.control.alloc_rpc(tid, comp, size)
         return addr
 
     def free(self, tid: int, addr: int):
@@ -393,7 +436,7 @@ class SamhitaSystem:
         if alloc is not None and alloc.kind is AllocationKind.ARENA:
             self.allocator.free(addr)
             return
-        yield from self.manager.free_rpc(tid, self.component_of(tid), addr)
+        yield from self.control.free_rpc(tid, self.component_of(tid), addr)
 
     # ------------------------------------------------------------------
     # memory access
@@ -493,18 +536,26 @@ class SamhitaSystem:
     # synchronization (each operation is also a consistency operation)
     # ------------------------------------------------------------------
     def create_lock(self) -> int:
-        return self.manager.create_lock()
+        return self.control.create_lock()
 
     def create_barrier(self, parties: int) -> int:
-        return self.manager.create_barrier(parties)
+        return self.control.create_barrier(parties)
 
     def create_cond(self) -> int:
-        return self.manager.create_cond()
+        return self.control.create_cond()
 
     def acquire_lock(self, tid: int, lock_id: int):
         """Generator: acquire + apply the pending consistency updates."""
         comp = self.component_of(tid)
-        diffs, payload, _spans, invalidate = yield from self.manager.acquire_lock(
+        if self.config.lock_owner_cache:
+            cs = self.compute_servers[comp]
+            if cs.lock_cache_try_acquire(tid, lock_id):
+                # Owner-cache hit: this thread released the lock last, no
+                # other thread contended since, so there is nothing to pull
+                # from the manager -- re-entry is free of any round trip.
+                self._regions[tid].enter()
+                return
+        diffs, payload, _spans, invalidate = yield from self.control.acquire_lock(
             tid, comp, lock_id)
         cache = self._caches[tid]
         if diffs:
@@ -534,8 +585,7 @@ class SamhitaSystem:
             payload, spans = log.wire_bytes, len(log)
             log.clear()
             yield from self._apply_at_homes(tid, diffs, category="fine_grain")
-            yield from self.manager.release_lock(tid, comp, lock_id, diffs,
-                                                 payload, spans)
+            record = (diffs, payload, spans, ())
         else:
             pages = sorted(self._cr_pages[tid])
             self._cr_pages[tid].clear()
@@ -545,8 +595,23 @@ class SamhitaSystem:
                 if diff is not None and not diff.empty:
                     diffs.append(diff)
             yield from self._apply_at_homes(tid, diffs, category="cr_page")
-            yield from self.manager.release_lock(tid, comp, lock_id, [], 0, 0,
-                                                 invalidate_pages=pages)
+            record = ([], 0, 0, tuple(pages))
+        stash: tuple | list = ()
+        if self.config.lock_owner_cache:
+            cs = self.compute_servers[comp]
+            verdict, surrendered = cs.lock_cache_release(tid, lock_id, record)
+            if verdict == "local":
+                # Cached grant, nobody contending: the release record stays
+                # stashed at the compute server; no manager round trip.
+                return
+            if verdict == "rpc":
+                # Revoked while held: the release RPC carries the stash.
+                stash = surrendered
+        cacheable = yield from self.control.release_lock(
+            tid, comp, lock_id, record[0], record[1], record[2],
+            invalidate_pages=record[3], stash=stash)
+        if cacheable:
+            self.compute_servers[comp].lock_cache_install(tid, lock_id)
 
     def _apply_at_homes(self, tid: int, diffs, category: str):
         """Generator: ship diffs to their home servers, grouped per
@@ -590,13 +655,33 @@ class SamhitaSystem:
             notices: list[int] = []
         else:
             notices = cache.take_epoch_notices()
-        if (self.config.hierarchical_sync
-                and self.manager.barrier_parties(barrier_id) == len(self._thread_comp)):
+        if self.config.lock_owner_cache:
+            # A barrier is a global consistency point: stashed (locally
+            # cached) release records must reach their lock's shard before
+            # the round's cross-lock CR gather. Grants stay cached. The
+            # drain and the log absorption are one atomic instant (a
+            # concurrent revoke must never observe drained-but-unlogged
+            # records); the message cost is charged afterwards.
+            cs = self.compute_servers[comp]
+            drained = cs.lock_cache_take_stashes(tid)
+            for lock_id, stash in drained:
+                self.control.absorb_lock_stash(tid, lock_id, stash)
+            for lock_id, stash in drained:
+                yield from self.control.flush_lock_stash(tid, comp, lock_id,
+                                                         stash)
+        full_party = (
+            (self.config.tree_barriers or self.config.hierarchical_sync)
+            and self.control.barrier_parties(barrier_id) == len(self._thread_comp))
+        if self.config.tree_barriers and full_party:
+            state, invalidate, flush, cr_diffs, cr_invalidate = (
+                yield from self.control.tree_arrive(tid, comp, barrier_id,
+                                                    notices))
+        elif self.config.hierarchical_sync and full_party:
             state, invalidate, flush, cr_diffs, cr_invalidate = (
                 yield from self._combined_arrive(tid, comp, barrier_id, notices))
         else:
             state, invalidate, flush, cr_diffs, cr_invalidate = (
-                yield from self.manager.barrier_arrive(tid, comp, barrier_id,
+                yield from self.control.barrier_arrive(tid, comp, barrier_id,
                                                        notices))
         if flush:
             yield Timeout(len(flush) * self.config.diff_scan_time)
@@ -608,7 +693,8 @@ class SamhitaSystem:
                 if diff is not None and not diff.empty:
                     diffs.append(diff)
             yield from self._apply_at_homes(tid, diffs, category="barrier_diff")
-            yield from self.manager.barrier_flush_done(tid, comp, state)
+            yield from self.control.barrier_flush_done(tid, comp, barrier_id,
+                                                       state)
         yield state.flush_gate
         # Consistency-region updates become globally visible here.
         if cr_diffs:
@@ -663,7 +749,7 @@ class SamhitaSystem:
         if len(combiner["arrivals"]) == expected:
             # Leader: close this generation's combiner and talk upstream.
             del self._combiners[key]
-            state, directives = yield from self.manager.barrier_arrive_group(
+            state, directives = yield from self.control.barrier_arrive_group(
                 comp, barrier_id, combiner["arrivals"])
             combiner["result"] = (state, directives)
             combiner["gate"].succeed()
@@ -675,11 +761,14 @@ class SamhitaSystem:
 
     def cond_wait(self, tid: int, cond_id: int, lock_id: int):
         """Generator: POSIX-style wait (caller must hold the lock)."""
-        if not self.manager.holds_lock(tid, lock_id):
+        comp = self.component_of(tid)
+        held = self.control.holds_lock(tid, lock_id)
+        if not held and self.config.lock_owner_cache:
+            held = self.compute_servers[comp].lock_cache_holds(tid, lock_id)
+        if not held:
             raise SynchronizationError(
                 f"thread {tid} called cond_wait without holding lock {lock_id}")
-        comp = self.component_of(tid)
-        gate = yield from self.manager.cond_register(tid, comp, cond_id)
+        gate = yield from self.control.cond_register(tid, comp, cond_id)
         yield from self.release_lock(tid, lock_id)
         yield gate
         yield from self.acquire_lock(tid, lock_id)
@@ -687,7 +776,7 @@ class SamhitaSystem:
     def cond_signal(self, tid: int, cond_id: int, broadcast: bool = False):
         """Generator: wake one or all waiters."""
         comp = self.component_of(tid)
-        woken = yield from self.manager.cond_signal(tid, comp, cond_id,
+        woken = yield from self.control.cond_signal(tid, comp, cond_id,
                                                     broadcast=broadcast)
         return woken
 
@@ -702,12 +791,24 @@ class SamhitaSystem:
 
     def stats_report(self) -> dict:
         """Merged counters from every component (diagnostics)."""
+        if len(self.managers) == 1:
+            manager_stats = self.manager.stats.snapshot()
+        else:
+            merged_mgr = StatSet("managers")
+            for mgr in self.managers:
+                merged_mgr.merge(mgr.stats)
+            manager_stats = merged_mgr.snapshot()
         report = {
             "fabric": self.fabric.stats.snapshot(),
             "scl": self.scl.stats.snapshot(),
-            "manager": self.manager.stats.snapshot(),
+            "manager": manager_stats,
             "allocator": self.allocator.stats.snapshot(),
         }
+        # Per-shard RPC load (one entry even at shards=1, so tooling can
+        # always read the same block).
+        report["manager_rpcs_by_shard"] = self.control.rpcs_by_shard()
+        if self.config.manager_shards > 1:
+            report["control_plane"] = self.control.stats.snapshot()
         merged_server = StatSet("memservers")
         for server in self.memory_servers:
             merged_server.merge(server.stats)
@@ -732,6 +833,17 @@ class SamhitaSystem:
             prefetch["prefetch_accuracy"] = (
                 prefetch.get("prefetch_hits", 0) / installs)
         report["prefetch"] = prefetch
+        if self.config.lock_owner_cache:
+            # One namespace for the ownership-cache protocol: hits and local
+            # releases at the compute servers, revocations and barrier
+            # flushes at the manager shards. Absent when the knob is off, so
+            # default reports stay byte-identical.
+            lock_cache = {k: v for k, v in report["compute_servers"].items()
+                          if k.startswith("lock_cache")}
+            revokes = report["manager"].get("lock_cache_revokes", 0)
+            if revokes:
+                lock_cache["lock_cache_revokes"] = revokes
+            report["lock_cache"] = lock_cache
         if self.injector is not None:
             report["faults"] = self.injector.snapshot()
         if self.config.replication_factor > 1:

@@ -13,6 +13,8 @@ The gates (used by CI after ``benchmarks/bench_perf.py``)::
     python tools/bench_report.py --check-replication-off
     python tools/bench_report.py --check-prefetch [--min-prefetch-accuracy
         0.6] [--min-fetch-reduction 0.2]
+    python tools/bench_report.py --check-shard-scaling
+        [--max-shard-load-deviation 0.25] [--min-barrier-reduction 2.0]
 
 ``--check`` exits non-zero when the measured serial smoke-campaign wall
 clock exceeds ``max_ratio x`` the recorded seed baseline -- i.e. when a
@@ -48,6 +50,16 @@ replication subsystem: the default build vs an explicit
 ``replication_factor=1`` must produce identical trajectory fingerprints,
 pinning the promise that at rf=1 no WAL, no checksums, no detector and no
 extra events exist.
+
+``--check-shard-scaling`` gates the sharded control plane on the
+16 -> 64 -> 256 compute-server sweep: the ``manager_shards=1``
+fingerprint must be bit-identical to the default build (same bit-tight
+comparison as the other off-gates), the mean per-shard manager RPC load
+must stay flat across the sweep (deviation at most
+``max_shard_load_deviation``), and hierarchical tree barriers must cut
+total barrier RPCs by at least ``min_barrier_reduction`` x versus flat
+barriers at every sweep point. All quantities are deterministic RPC
+counts, so the load and reduction gates are exact.
 """
 
 from __future__ import annotations
@@ -131,6 +143,23 @@ def render(report: dict) -> str:
             f"  wal_appends={counters.get('wal_appends', 0)}"
             f"  repl_ships={counters.get('repl_ships', 0)}"
             f"  replica_applies={counters.get('replica_applies', 0)}")
+    shards = report.get("shard_scaling")
+    if shards:
+        lines.append("")
+        lines.append(f"shard scaling campaign: {shards.get('campaign')}")
+        lines.append(f"  {'servers':>8} {'shards':>7} {'rpc/shard':>10} "
+                     f"{'barrier rpcs':>13} {'vs flat':>8}")
+        for cell in shards.get("sweep", ()):
+            reduction = cell.get("barrier_rpc_reduction")
+            lines.append(
+                f"  {cell['n_compute']:>8} {cell['shards']:>7} "
+                f"{cell['per_shard_mean']:>10} "
+                f"{cell['barrier_rpcs']:>13,} "
+                f"{f'-{reduction:.1f}x' if reduction else 'n/a':>8}")
+        dev = shards.get("per_shard_mean_deviation")
+        if dev is not None:
+            lines.append(f"  per-shard load deviation across sweep: "
+                         f"{dev * 100:.1f}%")
     for note in report.get("notes", ()):
         lines.append(f"note: {note}")
     return "\n".join(lines)
@@ -234,6 +263,47 @@ def check_replication_off(report: dict) -> tuple[bool, str]:
                   f"({len(absent)} fields compared)")
 
 
+def check_shard_scaling(report: dict, max_deviation: float,
+                        min_barrier_reduction: float) -> tuple[bool, str]:
+    """The sharded-control-plane gate: shards=1 bit-identical, per-shard
+    RPC load flat across the sweep, tree barriers beat flat barriers."""
+    shards = report.get("shard_scaling")
+    if not shards:
+        return False, ("report has no 'shard_scaling' block; regenerate it "
+                       "with the current benchmarks/bench_perf.py")
+    problems = []
+    absent = shards.get("shards_absent", {})
+    one = shards.get("shards_one", {})
+    diverged = sorted(k for k in set(absent) | set(one)
+                      if absent.get(k) != one.get(k))
+    if diverged:
+        problems.append("shards=1 fingerprint DIVERGED in: "
+                        + ", ".join(diverged))
+    deviation = shards.get("per_shard_mean_deviation")
+    if deviation is None or deviation > max_deviation:
+        problems.append(f"per-shard load deviation {deviation} > "
+                        f"{max_deviation:.2f}")
+    sweep = shards.get("sweep", ())
+    if not sweep:
+        problems.append("empty sweep")
+    for cell in sweep:
+        reduction = cell.get("barrier_rpc_reduction")
+        if reduction is None or reduction < min_barrier_reduction:
+            problems.append(f"barrier RPC reduction {reduction} < "
+                            f"{min_barrier_reduction:.1f}x at "
+                            f"{cell.get('n_compute')} servers")
+    if problems:
+        return False, "shard scaling FAILED: " + "; ".join(problems)
+    top = sweep[-1]
+    return True, (f"shard scaling: shards=1 bit-identical "
+                  f"({len(absent)} fields), per-shard load deviation "
+                  f"{deviation * 100:.1f}% (gate <= "
+                  f"{max_deviation * 100:.0f}%) across "
+                  f"{'/'.join(str(c['n_compute']) for c in sweep)} servers, "
+                  f"barriers -{top['barrier_rpc_reduction']:.1f}x vs flat "
+                  f"(gate >= {min_barrier_reduction:.1f}x)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="BENCH_perf.json",
@@ -267,6 +337,18 @@ def main(argv=None) -> int:
                         help="determinism gate: exit 1 unless the recorded "
                              "default-build and replication_factor=1 "
                              "fingerprints are bit-identical")
+    parser.add_argument("--check-shard-scaling", action="store_true",
+                        help="control-plane gate: exit 1 unless shards=1 is "
+                             "bit-identical, per-shard RPC load stays flat "
+                             "across the sweep, and tree barriers cut "
+                             "barrier RPCs by the required factor")
+    parser.add_argument("--max-shard-load-deviation", type=float,
+                        default=0.25,
+                        help="allowed per-shard mean RPC-load deviation "
+                             "across the sweep (default 0.25)")
+    parser.add_argument("--min-barrier-reduction", type=float, default=2.0,
+                        help="required tree-vs-flat barrier RPC reduction "
+                             "at every sweep point (default 2.0)")
     args = parser.parse_args(argv)
 
     path = pathlib.Path(args.report)
@@ -297,6 +379,11 @@ def main(argv=None) -> int:
         failed |= not ok
     if args.check_replication_off:
         ok, msg = check_replication_off(report)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    if args.check_shard_scaling:
+        ok, msg = check_shard_scaling(report, args.max_shard_load_deviation,
+                                      args.min_barrier_reduction)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
         failed |= not ok
     return 1 if failed else 0
