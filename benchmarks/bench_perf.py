@@ -36,6 +36,7 @@ from repro.experiments import figures  # noqa: E402
 from repro.experiments.__main__ import _QUICK_KWARGS  # noqa: E402
 from repro.experiments.parallel import (  # noqa: E402
     Executor, ResultCache, activate, cell_key)
+from repro.sim.engine import engine_variant  # noqa: E402
 
 #: The smoke campaign: one microbenchmark figure + one application figure,
 #: both at --quick scale. Small enough for CI, large enough to exercise the
@@ -334,7 +335,10 @@ def _sync_sweep_cell(n_compute: int, shards: int,
 
     for i, tid in enumerate(tids):
         system.process(body(i, tid), name=f"t{i}")
+    t0 = time.perf_counter()
     system.run()
+    run_wall = time.perf_counter() - t0
+    engine = system.engine
     report = system.stats_report()
     rows = report["manager_rpcs_by_shard"]
     total = sum(r["requests"] for r in rows)
@@ -343,6 +347,13 @@ def _sync_sweep_cell(n_compute: int, shards: int,
         "shards": shards,
         "tree_barriers": tree_barriers,
         "elapsed": system.engine.now,
+        "engine": engine.variant,
+        "run_wall_s": round(run_wall, 4),
+        "events_scheduled": engine.scheduled_events,
+        "events_coalesced": engine.coalesced_events,
+        "epochs_run": getattr(engine, "epochs_run", 0),
+        "events_per_sec": (round(engine.scheduled_events / run_wall)
+                           if run_wall else 0),
         "total_manager_rpcs": total,
         "per_shard_mean": round(total / shards, 2),
         "per_shard_requests": [r["requests"] for r in rows],
@@ -390,6 +401,35 @@ def shard_scaling() -> dict:
     }
 
 
+def sweep_events_rate(best_of_n: int = 3) -> dict:
+    """Sustained dispatch rate at the top of the shard sweep.
+
+    Re-runs the 256-server sync-heavy cell ``best_of_n`` times and keeps
+    the fastest run phase: the event count is deterministic, so only the
+    wall-clock denominator jitters, and the max rate is the honest
+    "sustained" figure on a shared box. The ``--check-events-rate`` gate
+    in tools/bench_report.py reads this block.
+    """
+    n_compute, shards = SHARD_SWEEP[-1]
+    best: dict | None = None
+    for _ in range(best_of_n):
+        cell = _sync_sweep_cell(n_compute, shards, tree_barriers=True)
+        if best is None or cell["events_per_sec"] > best["events_per_sec"]:
+            best = cell
+    assert best is not None
+    return {
+        "campaign": (f"sync-heavy sweep cell, {n_compute} compute servers / "
+                     f"{shards} shards, run phase only, best of {best_of_n}"),
+        "engine": best["engine"],
+        "events_scheduled": best["events_scheduled"],
+        "events_coalesced": best["events_coalesced"],
+        "epochs_run": best["epochs_run"],
+        "run_wall_s": best["run_wall_s"],
+        "events_per_sec": best["events_per_sec"],
+        "best_of": best_of_n,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_perf.json",
@@ -400,12 +440,26 @@ def main(argv=None) -> int:
                         help="pool size for the workers phase "
                              "(default: min(4, cpu count))")
     args = parser.parse_args(argv)
-    cpus = os.cpu_count() or 1
+    cpu_count = os.cpu_count()
+    # Schedulable CPUs can be fewer than the physical count (container
+    # affinity masks); the pool default must follow what this process can
+    # actually use, and the fingerprint records both so a "cpus: 1" entry
+    # from a pinned container is no longer mistaken for a 1-core host.
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable = cpu_count or 1
     # Default clamps to the host: a 4-worker pool on a 1-CPU box only adds
     # fork/IPC overhead. An explicit --workers is honoured as given.
-    workers = args.workers if args.workers is not None else min(4, cpus)
+    workers = args.workers if args.workers is not None else min(4, usable)
 
     print(f"smoke campaign: {', '.join(SMOKE_FIGURES)} (--quick scale)")
+
+    # The serial phase is timed FIRST, before the fingerprint and sweep
+    # phases grow the interpreter's GC population -- the seed baseline was
+    # measured in a fresh process, so the comparison must be too.
+    print(f"after_serial: best of {args.best_of} ...")
+    serial_best, serial_runs = best_of(args.best_of, run_smoke)
 
     print("per-cell instrumentation pass ...")
     cells = measure_cells()
@@ -424,8 +478,8 @@ def main(argv=None) -> int:
     print("shard scaling sweep (16 -> 64 -> 256 compute servers) ...")
     shards = shard_scaling()
 
-    print(f"after_serial: best of {args.best_of} ...")
-    serial_best, serial_runs = best_of(args.best_of, run_smoke)
+    print("sustained events/sec at the 256-server sweep point ...")
+    rate = sweep_events_rate(best_of_n=max(args.best_of, 3))
 
     print(f"after_adaptive_cache: best of {args.best_of} ...")
     from repro.core.params import SamhitaConfig
@@ -460,8 +514,11 @@ def main(argv=None) -> int:
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpus": cpus,
-            "workers": workers,
+            "cpu_count": cpu_count,
+            "cpus_usable": usable,
+            "workers_requested": args.workers,
+            "workers_effective": workers,
+            "engine_default": engine_variant(),
         },
         "smoke_figures": list(SMOKE_FIGURES),
         "baseline_seed": BASELINE_SEED,
@@ -477,11 +534,13 @@ def main(argv=None) -> int:
                 "wall_s": round(serial_best, 3),
                 "runs": [round(r, 3) for r in serial_runs],
                 "speedup_vs_seed": round(seed / serial_best, 2),
+                "engine": engine_variant(),
             },
             "after_adaptive_cache": {
                 "wall_s": round(adaptive_best, 3),
                 "runs": [round(r, 3) for r in adaptive_runs],
                 "speedup_vs_seed": round(seed / adaptive_best, 2),
+                "engine": engine_variant(),
                 "config": "SamhitaConfig.adaptive_cache()",
                 "fetch_reduction": prefetch["fetch_reduction"],
                 "prefetch_accuracy": prefetch["prefetch_accuracy"],
@@ -490,13 +549,16 @@ def main(argv=None) -> int:
                 "wall_s": round(cold, 3),
                 "runs": [round(r, 3) for r in cold_runs],
                 "speedup_vs_seed": round(seed / cold, 2),
+                "engine": engine_variant(),
             },
             f"after_workers{workers}_cached": {
                 "wall_s": round(warm, 3),
                 "speedup_vs_seed": round(seed / warm, 1),
+                "engine": engine_variant(),
                 "cache_hits": warm_cache.hits,
             },
         },
+        "events_rate": rate,
         "cells": cells,
         "prefetch": prefetch,
         "faults_off": faults_off,
@@ -505,7 +567,7 @@ def main(argv=None) -> int:
         "replication": replication,
         "shard_scaling": shards,
         "notes": [
-            f"host has {cpus} CPU(s); on a single-CPU host the "
+            f"host has {usable} schedulable CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
             "serial fast paths and the result cache (dedup + warm re-runs)",
             "simulated results are bit-identical across all configurations "
@@ -551,6 +613,10 @@ def main(argv=None) -> int:
           f"across {'/'.join(str(n) for n, _ in SHARD_SWEEP)} servers; "
           f"barriers -{last['barrier_rpc_reduction']:.0f}x at "
           f"{last['n_compute']}")
+    print(f"  events/sec (256)     {rate['events_per_sec']:,}/s sustained "
+          f"({rate['events_scheduled']:,} events in "
+          f"{rate['run_wall_s']:.3f} s run phase, "
+          f"{rate['engine']} engine)")
     return 0
 
 

@@ -21,10 +21,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Iterable, Mapping
 
 from repro.memory.diff import PageDiff
 from repro.memory.directory import PageDirectory
+
+#: Default column for ``dict.get`` when mapped over a thread population
+#: (keeps the prune horizon scan in C).
+_ZEROS = repeat(0)
 
 
 @dataclass
@@ -116,6 +121,13 @@ class LockUpdateLog:
         marks the thread up to date.
         """
         seen = self.last_seen.get(tid, 0)
+        if seen >= self._version or not self._epochs:
+            # Nothing outstanding (the overwhelmingly common case on the
+            # coherence broadcast path, which walks every lock per barrier
+            # arrival): skip the five comprehensions. Marking the thread up
+            # to date still matters when old epochs were pruned away.
+            self.last_seen[tid] = self._version
+            return [], 0, 0, []
         pending = [e for e in self._epochs if e.version > seen]
         self.last_seen[tid] = self._version
         diffs = [d for e in pending for d in e.diffs]
@@ -131,11 +143,19 @@ class LockUpdateLog:
         never acquired this lock still needs the full history on its first
         acquire, so pruning on ``last_seen`` alone would lose updates.
         """
+        epochs = self._epochs
+        if not epochs:
+            return
         tids = list(all_tids)
         if not tids:
             return
-        horizon = min(self.last_seen.get(t, 0) for t in tids)
-        self._epochs = [e for e in self._epochs if e.version > horizon]
+        get = self.last_seen.get
+        horizon = min(map(get, tids, _ZEROS))
+        if horizon < epochs[0].version:
+            # Oldest retained epoch is still unconsumed by someone: the
+            # rebuild below would be an identity copy.
+            return
+        self._epochs = [e for e in epochs if e.version > horizon]
 
     def __len__(self) -> int:
         return len(self._epochs)

@@ -252,11 +252,15 @@ class ControlPlane:
         self._cell_members: dict[int, set[str]] | None = None
         if self.n > 1:
             # Cross-shard hooks: a barrier's consistency-region collection
-            # must see every shard's lock logs, not just the root's.
+            # must see every shard's lock logs, not just the root's. All
+            # shards share one CR clock so any shard's walk-skip snapshot
+            # covers appends on every shard (and survives failover merges).
+            shared_clock = shards[0].cr_clock
             for mgr in shards:
                 mgr.cr_source = self.all_lock_states
                 mgr.cr_gather = self.cr_gather
                 mgr.prune_hook = self.prune_lock_logs
+                mgr.cr_clock = shared_clock
 
     # ------------------------------------------------------------------
     # shard routing
@@ -380,9 +384,12 @@ class ControlPlane:
         for mgr in self.live_managers():
             yield from mgr._locks.values()
 
-    def prune_lock_logs(self, all_tids) -> None:
+    def prune_lock_logs(self, all_tids) -> bool:
+        retained = False
         for mgr in self.live_managers():
-            mgr.prune_lock_logs(all_tids)
+            if mgr.prune_lock_logs(all_tids):
+                retained = True
+        return retained
 
     # ------------------------------------------------------------------
     # barriers

@@ -31,6 +31,22 @@ from repro.sim.stats import StatSet
 RPC_CATEGORIES = frozenset({"sync", "alloc", "lock", "barrier", "cond"})
 
 
+class CrClock:
+    """Shared monotone count of consistency-region log appends.
+
+    One instance per control plane (the ControlPlane hands the same object
+    to every shard manager); it only ever increases, so a snapshot equal to
+    the current value proves no lock log anywhere gained an epoch since the
+    snapshot was taken -- even across shard failovers, where a per-manager
+    counter sum could collapse back to a previously seen value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
 class _LockState:
     __slots__ = ("holder", "waiters", "log", "lease_deadline", "grant_seq",
                  "cached_at", "revoking")
@@ -105,6 +121,17 @@ class Manager:
         #: Threads declared dead (crashed holders); the lease recoverer
         #: force-releases their locks instead of letting waiters wedge.
         self._dead_threads: set[int] = set()
+        #: Monotone count of lock-log appends across every manager that
+        #: shares this clock (the ControlPlane hands all shards one
+        #: instance). A barrier arrival whose thread has already walked the
+        #: lock table at the current clock value can skip the whole
+        #: O(locks) coherence scan -- nothing was appended anywhere since,
+        #: so every per-lock ``updates_since`` would be an empty no-op.
+        self.cr_clock = CrClock()
+        self._cr_seen: dict[int, int] = {}
+        #: Clock value at which a prune pass left every visible log empty;
+        #: until the clock moves again, pruning is a guaranteed no-op.
+        self._prune_clean_at = -1
         #: Sharded-control-plane hooks, wired by the ControlPlane when
         #: ``config.manager_shards > 1``; all None on the single-manager
         #: build so every call site is one falsy check.
@@ -373,6 +400,7 @@ class Manager:
         for diffs, payload, _spans, invalidate in stash:
             if diffs or payload or invalidate:
                 lock.log.append(diffs, invalidate)
+                self.cr_clock.value += 1
         if stash:
             # The stasher has seen its own records by construction.
             lock.log.last_seen[tid] = max(
@@ -403,6 +431,7 @@ class Manager:
             self._absorb_stash(lock, stash, tid)
         if diffs or payload_bytes or invalidate_pages:
             lock.log.append(diffs, invalidate_pages)
+            self.cr_clock.value += 1
         cacheable = False
         if lock.waiters:
             next_tid, gate = lock.waiters.popleft()
@@ -446,10 +475,19 @@ class Manager:
     def holds_lock(self, tid: int, lock_id: int) -> bool:
         return self._lock(lock_id).holder == tid
 
-    def prune_lock_logs(self, all_tids) -> None:
-        """Garbage-collect fine-grain logs every thread has consumed."""
+    def prune_lock_logs(self, all_tids) -> bool:
+        """Garbage-collect fine-grain logs every thread has consumed.
+
+        Returns True when any log still retains epochs afterwards (the
+        prune-skip bookkeeping in :meth:`_prune_logs` needs to know)."""
+        retained = False
         for lock in self._locks.values():
-            lock.log.prune(all_tids)
+            log = lock.log
+            if len(log):
+                log.prune(all_tids)
+                if len(log):
+                    retained = True
+        return retained
 
     # ------------------------------------------------------------------
     # barriers (global consistency points)
@@ -470,20 +508,44 @@ class Manager:
         cr_diffs: list = []
         cr_payload = 0
         cr_invalidate: set[int] = set()
+        clock = self.cr_clock.value
+        if clock == 0 or self._cr_seen.get(tid) == clock:
+            # Either no lock log anywhere has ever gained an epoch, or none
+            # has since this thread's last full walk (which left it up to
+            # date on every lock): the whole O(locks) scan would be empty
+            # no-ops. The clock is monotone, so a stale snapshot can never
+            # alias the current value.
+            return cr_diffs, cr_payload, cr_invalidate
         locks = self.cr_source() if self.cr_source is not None \
             else self._locks.values()
         for lock in locks:
-            diffs, payload, _spans, invalidate = lock.log.updates_since(tid)
+            log = lock.log
+            if log.last_seen.get(tid, 0) >= log.version:
+                # Up to date on this lock: updates_since would return empty
+                # and leave last_seen unchanged. Skipping it keeps the
+                # every-lock walk O(locks) dict probes instead of O(locks)
+                # method calls + comprehensions.
+                continue
+            diffs, payload, _spans, invalidate = log.updates_since(tid)
             cr_diffs.extend(diffs)
             cr_payload += payload
             cr_invalidate.update(invalidate)
+        self._cr_seen[tid] = clock
         return cr_diffs, cr_payload, cr_invalidate
 
     def _prune_logs(self) -> None:
+        clock = self.cr_clock.value
+        if self._prune_clean_at == clock:
+            # The last prune pass left every visible log empty and nothing
+            # was appended since: pruning again is a guaranteed no-op
+            # (last_seen bumps alone cannot make an empty log prunable).
+            return
         if self.prune_hook is not None:
-            self.prune_hook(self.known_threads)
+            retained = self.prune_hook(self.known_threads)
         else:
-            self.prune_lock_logs(self.known_threads)
+            retained = self.prune_lock_logs(self.known_threads)
+        if not retained:
+            self._prune_clean_at = clock
 
     def _register_arrival(self, state: _BarrierState, tid: int,
                           notices, barrier_id: int) -> None:

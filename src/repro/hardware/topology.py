@@ -31,6 +31,9 @@ class Topology:
         self.graph = nx.Graph()
         self.components: dict[str, Component] = {}
         self._route_cache: dict[tuple[str, str], list[LinkModel]] = {}
+        #: BFS parent/depth tables for the tree fast path in :meth:`route`;
+        #: rebuilt lazily after every :meth:`connect`.
+        self._tree: tuple[dict, dict] | None = None
 
     def add(self, component: Component) -> Component:
         if component.name in self.components:
@@ -49,6 +52,7 @@ class Topology:
         edge_link = link.with_(name=f"{link.name}[{a}~{b}]")
         self.graph.add_edge(a, b, link=edge_link, weight=edge_link.latency)
         self._route_cache.clear()
+        self._tree = None
 
     def component(self, name: str) -> Component:
         try:
@@ -68,14 +72,71 @@ class Topology:
             if name not in self.components:
                 raise TopologyError(
                     f"unknown component {name!r} in route {src!r} -> {dst!r}")
-        try:
-            path = nx.shortest_path(self.graph, src, dst, weight="weight")
-        except nx.NetworkXNoPath:
-            raise TopologyError(f"no path {src!r} -> {dst!r}") from None
+        path = self._tree_path(src, dst)
+        if path is None:
+            try:
+                path = nx.shortest_path(self.graph, src, dst, weight="weight")
+            except nx.NetworkXNoPath:
+                raise TopologyError(f"no path {src!r} -> {dst!r}") from None
         links = [self.graph.edges[u, v]["link"] for u, v in zip(path, path[1:])]
         self._route_cache[key] = links
         self._route_cache[(dst, src)] = list(reversed(links))
         return links
+
+    def _tree_path(self, src: str, dst: str) -> list[str] | None:
+        """The unique simple path when the component graph is a tree.
+
+        All builders in this module produce trees (hub-and-spoke with
+        per-node access hops), where the weighted shortest path *is* the
+        only simple path -- so one BFS parent table replaces a Dijkstra per
+        component pair. Returns None (fall back to networkx) when the
+        graph has cycles; raises when src/dst are disconnected.
+        """
+        graph = self.graph
+        tables = self._tree
+        if tables is None:
+            if graph.number_of_edges() != graph.number_of_nodes() - 1:
+                return None  # has a cycle (or is a forest): not a tree
+            parent: dict[str, str | None] = {}
+            depth: dict[str, int] = {}
+            root = next(iter(graph.nodes))
+            parent[root] = None
+            depth[root] = 0
+            frontier = [root]
+            while frontier:
+                nxt = []
+                for node in frontier:
+                    d = depth[node] + 1
+                    for nb in graph.adj[node]:
+                        if nb not in depth:
+                            parent[nb] = node
+                            depth[nb] = d
+                            nxt.append(nb)
+                frontier = nxt
+            if len(depth) != graph.number_of_nodes():
+                return None  # disconnected forest: let networkx report it
+            tables = (parent, depth)
+            self._tree = tables
+        parent, depth = tables
+        if src not in depth or dst not in depth:
+            raise TopologyError(f"no path {src!r} -> {dst!r}")
+        # Climb both endpoints to their lowest common ancestor.
+        up, down = [src], [dst]
+        a, b = src, dst
+        while depth[a] > depth[b]:
+            a = parent[a]
+            up.append(a)
+        while depth[b] > depth[a]:
+            b = parent[b]
+            down.append(b)
+        while a != b:
+            a = parent[a]
+            up.append(a)
+            b = parent[b]
+            down.append(b)
+        down.pop()  # the meeting point is already the tail of `up`
+        down.reverse()
+        return up + down
 
     def compute_components(self) -> list[Component]:
         """Components that can host compute threads, in insertion order."""

@@ -212,9 +212,11 @@ class Fabric:
             if tail:
                 target = target + tail
             # Engine.try_advance_to inlined (target >= now by construction):
-            # transfers are the single hottest advance site.
-            heap = engine._heap
-            if not (heap and heap[0][0] <= target) and target <= engine._until:
+            # transfers are the single hottest advance site. _next_time is
+            # the earliest pending instant (inf when idle) on both engine
+            # variants, so this is the scalar heap-top peek and the epoch
+            # queue peek in one compare.
+            if target < engine._next_time and target <= engine._until:
                 engine.now = target
                 engine._coalesced += 1
                 return None

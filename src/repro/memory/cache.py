@@ -23,7 +23,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import ConsistencyError, MemoryError_, ProtectionError
-from repro.memory.diff import ByteRanges, PageDiff, compute_diff_spans
+from repro.memory.diff import (ByteRanges, PageDiff, SpanTwin,
+                               compute_diff_spans)
 from repro.memory.layout import MemoryLayout
 from repro.sim.stats import StatSet
 
@@ -66,7 +67,10 @@ class CacheEntry:
     def __init__(self, page: int, data: np.ndarray | None, tick: int, prefetched: bool):
         self.page = page
         self.data = data
-        self.twin: np.ndarray | None = None
+        #: Multiple-writer twin: a :class:`SpanTwin` (pre-images of dirty
+        #: ranges only) on the zero-copy path; a raw page copy is still
+        #: honoured everywhere for compatibility.
+        self.twin: SpanTwin | np.ndarray | None = None
         self.dirty = ByteRanges()
         self.last_access = tick
         self.prefetched = prefetched
@@ -234,6 +238,44 @@ class SoftwareCache:
         counters["installs"] += 1
         if prefetched:
             counters["prefetch_installs"] += 1
+
+    def install_many(self, pages_data, prefetched: bool = False) -> None:
+        """Batched :meth:`install` of distinct, non-resident pages.
+
+        Contract (the bulk-fetch fast path guarantees it): the caller has
+        verified capacity for the whole batch and that none of the pages is
+        already resident. Per-entry ticks advance exactly as the per-page
+        calls would; counters flush once.
+        """
+        entries = self.entries
+        n = 0
+        tick = self._tick
+        mask = self._resident_mask
+        heap = self._heap
+        victim_key = self._victim_key
+        counts = self._line_resident
+        pages_per_line = self._pages_per_line
+        for page, data in pages_data:
+            tick += 1
+            entry = CacheEntry(page, data, tick, prefetched)
+            entries[page] = entry
+            if page >= mask.shape[0]:
+                grown = np.zeros(max(mask.shape[0] * 2, page + 1), dtype=bool)
+                grown[:mask.shape[0]] = mask
+                self._resident_mask = mask = grown
+            mask[page] = True
+            line = page // pages_per_line
+            counts[line] = counts.get(line, 0) + 1
+            if heap is not None:
+                heappush(heap, (victim_key(entry), page))
+            n += 1
+        self._tick = tick
+        if len(entries) > self.capacity_pages:
+            raise MemoryError_(f"{self.name}: install over capacity")
+        counters = self.stats.counters
+        counters["installs"] += n
+        if prefetched:
+            counters["prefetch_installs"] += n
 
     def choose_victims(self, count: int, protect: Iterable[int] = ()) -> list[int]:
         """Pick ``count`` pages to evict under the configured policy.
@@ -470,10 +512,19 @@ class SoftwareCache:
             chunk = end - start
             if ordinary:
                 newly_dirty = entry.dirty.empty
-                if (use_twins and functional
-                        and entry.twin is None and newly_dirty):
-                    entry.twin = entry.data.copy()
-                    twins += 1
+                if use_twins and functional:
+                    twin = entry.twin
+                    if twin is None and newly_dirty:
+                        # Zero-copy twin: uninitialized scratch now, actual
+                        # pre-image bytes captured span by span below.
+                        twin = entry.twin = SpanTwin(page_bytes)
+                        twins += 1
+                    if type(twin) is SpanTwin:
+                        # Snapshot the about-to-be-dirtied bytes this write
+                        # adds; bytes already dirty were captured by the
+                        # write that dirtied them. (A raw-ndarray twin is a
+                        # full page copy and needs no upkeep.)
+                        twin.snapshot(entry.data, entry.dirty, off, off + chunk)
                 entry.dirty.add(off, off + chunk)
                 if newly_dirty and heap is not None:
                     # Clean->dirty is the one key-DECREASING transition of
@@ -481,13 +532,18 @@ class SoftwareCache:
                     # the lazy heap's min stays exact.
                     heappush(heap, (victim_key(entry), page))
             if functional and data is not None:
-                entry.data[off:off + chunk] = data[consumed:consumed + chunk]
+                chunk_data = data[consumed:consumed + chunk]
+                entry.data[off:off + chunk] = chunk_data
                 if not ordinary and entry.twin is not None:
                     # Consistency-region stores propagate via the store log;
                     # mirroring them into the twin keeps them out of this
                     # thread's ordinary-region diff (shipping them there
                     # could overwrite other threads' CR updates at the home).
-                    entry.twin[off:off + chunk] = data[consumed:consumed + chunk]
+                    twin = entry.twin
+                    if type(twin) is SpanTwin:
+                        twin.mirror(chunk_data, entry.dirty, off, off + chunk)
+                    else:
+                        twin[off:off + chunk] = chunk_data
             consumed += chunk
         self._tick = tick
         if ordinary:
@@ -515,8 +571,12 @@ class SoftwareCache:
                 return PageDiff(entry.page, spans=[(0, entry.data.copy())])
             return PageDiff(entry.page, spans=[(0, None)],
                             sizes=[self.layout.page_bytes])
-        if self.functional and entry.twin is not None:
-            spans = compute_diff_spans(entry.twin, entry.data)
+        twin = entry.twin
+        if self.functional and twin is not None:
+            if type(twin) is SpanTwin:
+                spans = twin.diff_spans(entry.data, entry.dirty)
+            else:
+                spans = compute_diff_spans(twin, entry.data)
             diff = PageDiff(entry.page, spans=spans)
         else:
             diff = PageDiff.from_ranges(entry.page, entry.dirty)
@@ -566,8 +626,15 @@ class SoftwareCache:
                 diff.apply_to(entry.data)
                 # Keep the twin in sync so these bytes don't reappear in the
                 # thread's own ordinary-region diff.
-                if entry.twin is not None:
-                    diff.apply_to(entry.twin)
+                twin = entry.twin
+                if twin is not None:
+                    if type(twin) is SpanTwin:
+                        for offset, span in diff.spans:
+                            if span is not None:
+                                twin.mirror(span, entry.dirty, offset,
+                                            offset + len(span))
+                    else:
+                        diff.apply_to(twin)
             applied += diff.payload_bytes
         self.stats.incr("fine_grain_bytes", applied)
         return applied

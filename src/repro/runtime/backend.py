@@ -134,7 +134,10 @@ class BaseBackend(ABC):
         engine_stats.incr("scheduled_events", self.engine.scheduled_events)
         engine_stats.incr("coalesced_events",
                           getattr(self.engine, "coalesced_events", 0))
+        engine_stats.incr("epochs_run", getattr(self.engine, "epochs_run", 0))
+        engine_stats.incr("epoch_peak", getattr(self.engine, "epoch_peak", 0))
         stats["engine"] = engine_stats.snapshot()
+        stats["engine"]["variant"] = getattr(self.engine, "variant", "scalar")
         return RunResult(
             backend=self.name,
             n_threads=self._spawned,
@@ -158,7 +161,7 @@ class BaseBackend(ABC):
         self._contexts.clear()
         engine = self.engine
         engine._procs.clear()
-        engine._heap.clear()
+        engine.clear_pending()
 
     # -- ops the concrete backend must provide -----------------------------
     @abstractmethod

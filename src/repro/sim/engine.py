@@ -1,9 +1,31 @@
-"""The discrete-event engine: virtual clock, event heap, process stepping.
+"""The discrete-event engine: virtual clock, event queue, process stepping.
 
-Determinism: the heap is ordered by ``(time, sequence)`` where the sequence
+Determinism: dispatch is ordered by ``(time, sequence)`` where the sequence
 number increments on every schedule, so equal-time events run in schedule
 order. Nothing in the engine consults wall-clock time or unseeded randomness,
 which makes every simulation in this package exactly reproducible.
+
+Two queue implementations share the contract (and are pinned against each
+other by ``tests/property/test_engine_equivalence.py``):
+
+* :class:`EpochEngine` (the default) -- the *epoch-sliced* core. Pending
+  work is bucketed by exact timestamp: one min-heap of distinct epoch
+  instants (a plain float column, so heap compares never touch tuples) plus
+  a dict mapping each instant to its slice of ``(fn, args)`` records in
+  sequence order. Scheduling into an instant that is already pending is an
+  O(1) append -- no ``heappush`` -- which is what lets independent
+  components (per-cell barriers, prefetch daemons, heartbeat probes) ride
+  through quiet epochs without per-event heap churn. ``run()`` drains one
+  epoch as a batch: a single pop surfaces the whole same-instant slice.
+* :class:`ScalarEngine` -- the legacy per-event heap of ``(time, seq, fn,
+  args)`` tuples, kept verbatim as an escape hatch and A/B baseline.
+  ``REPRO_SCALAR_ENGINE=1`` makes it the default build-wide.
+
+Both engines maintain ``_next_time`` -- the earliest pending-undispatched
+instant (``inf`` when idle) -- as the uniform O(1) peek used by the
+coalescing fast paths here and in :mod:`repro.interconnect.routing`. The
+trajectory of event execution is bit-identical across engines and across
+coalescing modes; only the bookkeeping differs.
 """
 
 from __future__ import annotations
@@ -19,6 +41,18 @@ from repro.sim.events import _PENDING, SimEvent, _Callback
 #: Event coalescing is on by default; set REPRO_NO_COALESCE=1 to force every
 #: resumption through the heap (A/B comparisons, equivalence tests).
 _COALESCE_DEFAULT = os.environ.get("REPRO_NO_COALESCE", "") == ""
+
+#: Engine selection: the epoch-sliced core is the default; set
+#: REPRO_SCALAR_ENGINE=1 to fall back to the legacy per-event heap
+#: (bit-identical trajectories, CI-gated -- the escape hatch exists for
+#: A/B debugging and as the reference the equivalence tests pin against).
+_SCALAR_DEFAULT = os.environ.get("REPRO_SCALAR_ENGINE", "") != ""
+
+#: Finished-process compaction: once at least this many processes have
+#: finished AND the dead outnumber the live, the process list is rebuilt
+#: with only live entries so the deadlock scan and ``live_processes`` stop
+#: iterating corpses on long campaigns.
+_COMPACT_MIN_DEAD = 64
 
 
 class Timeout:
@@ -69,7 +103,7 @@ class Process:
     __slots__ = ("engine", "gen", "name", "daemon", "_done_event", "_outcome",
                  "_alive", "blocked_on")
 
-    def __init__(self, engine: "Engine", gen: GeneratorType, name: str, daemon: bool):
+    def __init__(self, engine, gen: GeneratorType, name: str, daemon: bool):
         if not isinstance(gen, GeneratorType):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
         self.engine = engine
@@ -109,85 +143,35 @@ class Process:
         return f"<Process {self.name} {state}>"
 
 
-class Engine:
-    """Owns the virtual clock and runs processes to completion."""
+class _EngineCore:
+    """State and behaviour shared by both queue implementations."""
 
     def __init__(self, coalesce: bool | None = None):
         self.now: float = 0.0
-        self._heap: list = []
         self._seq: int = 0
         self._coalesced: int = 0
         self._until: float = inf
+        #: Earliest pending-undispatched instant (inf when idle): the O(1)
+        #: peek every coalescing fast path tests against, here and in the
+        #: interconnect's inlined transfer advance.
+        self._next_time: float = inf
         #: When True, resumptions whose outcome is already determined skip
-        #: the heap entirely (see :meth:`_step`); the trajectory of event
+        #: the queue entirely (see :meth:`_step`); the trajectory of event
         #: execution is provably identical either way.
         self.coalesce = _COALESCE_DEFAULT if coalesce is None else coalesce
         self._procs: list[Process] = []
+        self._dead: int = 0
         self._failed: list[tuple[Process, BaseException]] = []
         #: Deadlock hooks: callables ``fn(blocked) -> bool`` consulted when
-        #: the heap drains with non-daemon processes still blocked. A hook
+        #: the queue drains with non-daemon processes still blocked. A hook
         #: returning True means it scheduled recovery work (a lease expiry,
         #: a retransmit re-arm) and the run continues; only when every hook
         #: declines does DeadlockError propagate. Empty by default.
         self.deadlock_hooks: list = []
 
     # ------------------------------------------------------------------
-    # scheduling primitives
+    # scheduling primitives shared across implementations
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn, *args) -> None:
-        """Run ``fn(*args)`` after ``delay`` simulated seconds.
-
-        Heap entries are ``(time, seq, fn, args)`` tuples; passing the
-        callee's arguments explicitly (typically a bound method plus its
-        operands) avoids allocating a closure per scheduled event, which is
-        the dominant constant factor of the event loop.
-        """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
-
-    def try_advance(self, delay: float) -> bool:
-        """Advance ``now`` by ``delay`` without touching the heap, if legal.
-
-        Legal exactly when the heap's next entry is *strictly* later than
-        the target (an equal-time entry holds a smaller sequence number, so
-        it must run first) and the run horizon is not crossed. In that case
-        popping the would-be heap entry is the very next thing ``run()``
-        would do, so skipping the push/pop is unobservable. Returns True if
-        the clock moved; the caller falls back to yielding a Timeout.
-        """
-        if delay < 0:
-            raise SimulationError(f"cannot advance into the past (delay={delay})")
-        if not self.coalesce:
-            return False
-        target = self.now + delay
-        heap = self._heap
-        if (heap and heap[0][0] <= target) or target > self._until:
-            return False
-        self.now = target
-        self._coalesced += 1
-        return True
-
-    def try_advance_to(self, target: float) -> bool:
-        """Absolute-time counterpart of :meth:`try_advance`.
-
-        Same legality rule (heap top strictly later, horizon not crossed);
-        used by generators that have already accumulated an absolute resume
-        instant (the fused-transfer path) so they can skip the suspension
-        entirely instead of yielding an :class:`AdvanceTo`.
-        """
-        if not self.coalesce:
-            return False
-        if target < self.now:
-            raise SimulationError(f"cannot advance into the past (target={target})")
-        heap = self._heap
-        if (heap and heap[0][0] <= target) or target > self._until:
-            return False
-        self.now = target
-        self._coalesced += 1
-        return True
-
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh un-triggered event bound to this engine."""
         return SimEvent(self, name=name)
@@ -205,9 +189,6 @@ class Engine:
         self.schedule(0.0, self._step, proc, None, None)
         return proc
 
-    # ------------------------------------------------------------------
-    # process stepping
-    # ------------------------------------------------------------------
     def _resume_with_outcome(self, waiter, event: SimEvent) -> None:
         """Deliver a triggered event to a waiter (process or composite shim)."""
         if isinstance(waiter, _Callback):
@@ -217,13 +198,149 @@ class Engine:
         else:
             self.schedule(0.0, self._step, waiter, None, event._exc)
 
+    def _finish(self, proc: Process, value, exc) -> None:
+        proc._alive = False
+        ev = proc._done_event
+        if exc is None:
+            proc._outcome = (value, None)
+            if ev is not None:
+                ev.succeed(value)
+        else:
+            proc._outcome = (None, exc)
+            if ev is not None and ev._waiters:
+                ev.fail(exc)
+            else:
+                # Nobody is joining this process: surface the failure loudly
+                # instead of letting it vanish.
+                self._failed.append((proc, exc))
+                if ev is not None:
+                    ev.fail(exc)
+        # Compact finished processes so long campaigns (millions of
+        # short-lived prefetch daemons and transfers) don't grow _procs
+        # without bound -- the deadlock scan and live_processes would
+        # otherwise iterate every corpse ever spawned.
+        dead = self._dead + 1
+        if dead >= _COMPACT_MIN_DEAD and dead * 2 >= len(self._procs):
+            self._procs = [p for p in self._procs if p._alive]
+            self._dead = 0
+        else:
+            self._dead = dead
+
+    @staticmethod
+    def _wait_reasons(blocked) -> dict:
+        """``{process name: what it waits on}`` for deadlock diagnostics."""
+        reasons = {}
+        for proc in blocked:
+            event = proc.blocked_on
+            if event is None:
+                reasons[proc.name] = "<not waiting on any event>"
+            else:
+                reasons[proc.name] = getattr(event, "name", "") or repr(event)
+        return reasons
+
+    def _raise_failures(self) -> None:
+        if self._failed:
+            proc, exc = self._failed[0]
+            raise SimulationError(f"process {proc.name} failed: {exc!r}") from exc
+
+    @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled so far (the sequence counter)."""
+        return self._seq
+
+    @property
+    def coalesced_events(self) -> int:
+        """Resumptions that skipped the queue via the fast paths in
+        :meth:`_step` / :meth:`try_advance` -- work the legacy engine would
+        have scheduled as events."""
+        return self._coalesced
+
+    @property
+    def live_processes(self) -> list[Process]:
+        return [p for p in self._procs if p._alive]
+
+
+class ScalarEngine(_EngineCore):
+    """The legacy per-event heap: ``(time, seq, fn, args)`` tuples.
+
+    Kept behaviour-for-behaviour identical to the pre-epoch engine --
+    ``REPRO_SCALAR_ENGINE=1`` selects it build-wide so any trajectory can be
+    reproduced on the original dispatch machinery. The only addition is the
+    ``_next_time`` bookkeeping both engines now share.
+    """
+
+    variant = "scalar"
+
+    def __init__(self, coalesce: bool | None = None):
+        super().__init__(coalesce)
+        self._heap: list = []
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn, *args) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Heap entries are ``(time, seq, fn, args)`` tuples; passing the
+        callee's arguments explicitly (typically a bound method plus its
+        operands) avoids allocating a closure per scheduled event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        t = self.now + delay
+        heapq.heappush(self._heap, (t, self._seq, fn, args))
+        if t < self._next_time:
+            self._next_time = t
+
+    def try_advance(self, delay: float) -> bool:
+        """Advance ``now`` by ``delay`` without touching the heap, if legal.
+
+        Legal exactly when the next pending entry is *strictly* later than
+        the target (an equal-time entry holds a smaller sequence number, so
+        it must run first) and the run horizon is not crossed. In that case
+        popping the would-be heap entry is the very next thing ``run()``
+        would do, so skipping the push/pop is unobservable. Returns True if
+        the clock moved; the caller falls back to yielding a Timeout.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot advance into the past (delay={delay})")
+        if not self.coalesce:
+            return False
+        target = self.now + delay
+        if self._next_time <= target or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
+
+    def try_advance_to(self, target: float) -> bool:
+        """Absolute-time counterpart of :meth:`try_advance`."""
+        if not self.coalesce:
+            return False
+        if target < self.now:
+            raise SimulationError(f"cannot advance into the past (target={target})")
+        if self._next_time <= target or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
+
+    def clear_pending(self) -> None:
+        """Drop all scheduled work (teardown aid; engine unusable after)."""
+        self._heap.clear()
+        self._next_time = inf
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
     def _step(self, proc: Process, send_value, throw_exc) -> None:
         """Resume a process and keep stepping it while the outcome of each
         yield is already determined.
 
         Coalescing fast paths (all gated on :attr:`coalesce`):
 
-        * ``Timeout``: when the heap's next entry is strictly later than
+        * ``Timeout``: when the next pending entry is strictly later than
           ``now + delay`` (and the run horizon is not crossed), the pushed
           resumption would be the very next pop -- so advance the clock
           inline and continue the generator without ever entering the heap.
@@ -279,7 +396,7 @@ class Engine:
                     return
                 if (coalesce
                         and (event._value is not _PENDING or event._exc is not None)
-                        and not (heap and heap[0][0] <= self.now)):
+                        and not self._next_time <= self.now):
                     self._coalesced += 1
                     if event._exc is None:
                         send_value = event._value
@@ -291,7 +408,7 @@ class Engine:
                 event._add_waiter(proc)
                 return
             if (coalesce and target <= self._until
-                    and not (heap and heap[0][0] <= target)):
+                    and not self._next_time <= target):
                 self.now = target
                 self._coalesced += 1
                 send_value = command.value
@@ -299,25 +416,9 @@ class Engine:
             self._seq += 1
             heapq.heappush(heap, (target, self._seq, self._step,
                                   (proc, command.value, None)))
+            if target < self._next_time:
+                self._next_time = target
             return
-
-    def _finish(self, proc: Process, value, exc) -> None:
-        proc._alive = False
-        ev = proc._done_event
-        if exc is None:
-            proc._outcome = (value, None)
-            if ev is not None:
-                ev.succeed(value)
-        else:
-            proc._outcome = (None, exc)
-            if ev is not None and ev._waiters:
-                ev.fail(exc)
-            else:
-                # Nobody is joining this process: surface the failure loudly
-                # instead of letting it vanish.
-                self._failed.append((proc, exc))
-                if ev is not None:
-                    ev.fail(exc)
 
     # ------------------------------------------------------------------
     # main loop
@@ -347,6 +448,7 @@ class Engine:
                         self._raise_failures()
                         return self.now
                     heappop(heap)
+                    self._next_time = heap[0][0] if heap else inf
                     if time < self.now:  # pragma: no cover - guarded by schedule()
                         raise SimulationError("event heap went backwards in time")
                     self.now = time
@@ -363,35 +465,267 @@ class Engine:
         finally:
             self._until = inf
 
-    @staticmethod
-    def _wait_reasons(blocked) -> dict:
-        """``{process name: what it waits on}`` for deadlock diagnostics."""
-        reasons = {}
-        for proc in blocked:
-            event = proc.blocked_on
-            if event is None:
-                reasons[proc.name] = "<not waiting on any event>"
+
+class EpochEngine(_EngineCore):
+    """The epoch-sliced core: pending work bucketed by exact timestamp.
+
+    The queue is two columns: ``_times``, a min-heap of *distinct* pending
+    instants (plain floats -- comparisons never touch tuples), and
+    ``_buckets``, mapping each instant to its slice of ``(fn, args)``
+    records. Sequence order within a bucket is append order (the sequence
+    counter is globally monotonic), so the per-entry ``(time, seq)`` columns
+    of the scalar heap are implied by bucket identity and position -- each
+    record carries only the two object fields, and scheduling into an
+    already-pending instant never touches the heap.
+
+    ``run()`` drains one epoch per heap pop: the whole same-instant slice
+    dispatches as a batch, with new same-instant work appended to the live
+    slice mid-dispatch (exactly the order the scalar heap would produce).
+    """
+
+    variant = "epoch"
+
+    def __init__(self, coalesce: bool | None = None):
+        super().__init__(coalesce)
+        self._times: list[float] = []
+        self._buckets: dict[float, list] = {}
+        #: Epochs dispatched and the largest batch drained in one slice --
+        #: the amortization the epoch core buys (surfaced in stats_report).
+        self.epochs_run: int = 0
+        self.epoch_peak: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn, *args) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        O(1) when the target instant is already pending (the common case:
+        zero-delay resumptions, lockstep component wake-ups); one float
+        heappush when the instant is new.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        t = self.now + delay
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [(fn, args)]
+            heapq.heappush(self._times, t)
+        else:
+            bucket.append((fn, args))
+        if t < self._next_time:
+            self._next_time = t
+
+    def try_advance(self, delay: float) -> bool:
+        """Advance ``now`` by ``delay`` without queue traffic, if legal.
+
+        Same legality rule as the scalar engine (next pending instant
+        strictly later, horizon not crossed); ``_next_time`` makes the test
+        two float compares.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot advance into the past (delay={delay})")
+        if not self.coalesce:
+            return False
+        target = self.now + delay
+        if self._next_time <= target or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
+
+    def try_advance_to(self, target: float) -> bool:
+        """Absolute-time counterpart of :meth:`try_advance`."""
+        if not self.coalesce:
+            return False
+        if target < self.now:
+            raise SimulationError(f"cannot advance into the past (target={target})")
+        if self._next_time <= target or target > self._until:
+            return False
+        self.now = target
+        self._coalesced += 1
+        return True
+
+    def clear_pending(self) -> None:
+        """Drop all scheduled work (teardown aid; engine unusable after)."""
+        self._times.clear()
+        self._buckets.clear()
+        self._next_time = inf
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
+    def _step(self, proc: Process, send_value, throw_exc) -> None:
+        """Resume a process; same contract and fast paths as the scalar
+        engine's ``_step`` (see there for the coalescing rules), with the
+        queue peeks going through ``_next_time``."""
+        if not proc._alive:
+            raise SimulationError(f"stepping finished process {proc.name}")
+        gen = proc.gen
+        coalesce = self.coalesce
+        while True:
+            proc.blocked_on = None
+            try:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    command = gen.throw(exc)
+                else:
+                    command = gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(proc, stop.value, None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - deliberately catch all
+                self._finish(proc, None, exc)
+                return
+            ctype = type(command)
+            if ctype is Timeout:  # exact: Timeout is never subclassed
+                target = self.now + command.delay
+            elif ctype is AdvanceTo:
+                target = command.target
+                if target < self.now:  # pragma: no cover - executor guards
+                    raise SimulationError(
+                        f"cannot advance into the past (target={target})")
             else:
-                reasons[proc.name] = getattr(event, "name", "") or repr(event)
-        return reasons
+                if isinstance(command, Process):
+                    event = command.done_event
+                elif isinstance(command, SimEvent):
+                    event = command
+                else:
+                    exc = SimulationError(
+                        f"process {proc.name} yielded {command!r}; "
+                        f"expected Timeout, SimEvent or Process")
+                    self.schedule(0.0, self._step, proc, None, exc)
+                    return
+                if (coalesce
+                        and (event._value is not _PENDING or event._exc is not None)
+                        and not self._next_time <= self.now):
+                    self._coalesced += 1
+                    if event._exc is None:
+                        send_value = event._value
+                    else:
+                        send_value = None
+                        throw_exc = event._exc
+                    continue
+                proc.blocked_on = event
+                event._add_waiter(proc)
+                return
+            if (coalesce and target <= self._until
+                    and not self._next_time <= target):
+                self.now = target
+                self._coalesced += 1
+                send_value = command.value
+                continue
+            # Park the resumption in its epoch bucket (seq order = append
+            # order; the counter stays the scalar engine's event count).
+            self._seq += 1
+            bucket = self._buckets.get(target)
+            if bucket is None:
+                self._buckets[target] = [(self._step,
+                                          (proc, command.value, None))]
+                heapq.heappush(self._times, target)
+            else:
+                bucket.append((self._step, (proc, command.value, None)))
+            if target < self._next_time:
+                self._next_time = target
+            return
 
-    def _raise_failures(self) -> None:
-        if self._failed:
-            proc, exc = self._failed[0]
-            raise SimulationError(f"process {proc.name} failed: {exc!r}") from exc
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float = inf) -> float:
+        """Advance the simulation until the queue drains or `until` is hit.
 
-    @property
-    def scheduled_events(self) -> int:
-        """Total events scheduled so far (the sequence counter)."""
-        return self._seq
+        One heap pop surfaces a whole epoch: every record at that instant
+        dispatches in sequence order from the bucket list, including records
+        appended *during* the slice by the handlers themselves (a zero-delay
+        schedule lands at the live instant and runs in turn, exactly as the
+        scalar heap would order it). ``_next_time`` is advanced to the next
+        epoch just before the final record of the slice runs, so the
+        coalescing peeks inside that record see precisely what the scalar
+        engine's heap top would show.
+        """
+        times = self._times
+        buckets = self._buckets
+        failed = self._failed
+        heappop = heapq.heappop
+        self._until = until
+        try:
+            while True:
+                while times:
+                    t = times[0]
+                    if t > until:
+                        self.now = until
+                        self._raise_failures()
+                        return self.now
+                    heappop(times)
+                    if t < self.now:  # pragma: no cover - guarded by schedule()
+                        raise SimulationError("event queue went backwards in time")
+                    self.now = t
+                    bucket = buckets[t]
+                    self.epochs_run += 1
+                    i = 0
+                    try:
+                        n = len(bucket)
+                        while i < n:
+                            if i + 1 == n:
+                                # Last known record of the slice: future
+                                # peeks must see the next epoch (the scalar
+                                # heap's top would already be it).
+                                self._next_time = times[0] if times else inf
+                            fn, args = bucket[i]
+                            i += 1
+                            fn(*args)
+                            if failed:
+                                self._raise_failures()
+                            n = len(bucket)
+                        if n > self.epoch_peak:
+                            self.epoch_peak = n
+                    finally:
+                        if i < len(bucket):
+                            # Abnormal exit mid-slice: keep the undispatched
+                            # tail queued so a caller that catches the error
+                            # observes the same pending set as the scalar
+                            # engine would.
+                            del bucket[:i]
+                            heapq.heappush(times, t)
+                            self._next_time = times[0]
+                        else:
+                            del buckets[t]
+                blocked = [p for p in self._procs if p._alive and not p.daemon]
+                if not blocked:
+                    return self.now
+                if not any(hook(blocked) for hook in self.deadlock_hooks):
+                    raise DeadlockError(blocked, now=self.now,
+                                        reasons=self._wait_reasons(blocked))
+                # A hook scheduled recovery work: keep draining the queue.
+        finally:
+            self._until = inf
 
-    @property
-    def coalesced_events(self) -> int:
-        """Resumptions that skipped the heap via the fast paths in
-        :meth:`_step` / :meth:`try_advance` -- work the legacy engine would
-        have scheduled as events."""
-        return self._coalesced
+    def pending_epochs(self):
+        """Sorted ndarray of pending epoch instants (introspection aid)."""
+        import numpy as np
 
-    @property
-    def live_processes(self) -> list[Process]:
-        return [p for p in self._procs if p._alive]
+        return np.sort(np.array(self._times, dtype=np.float64))
+
+
+def Engine(coalesce: bool | None = None, impl: str | None = None):
+    """Build an engine: the epoch-sliced core unless ``REPRO_SCALAR_ENGINE``
+    (or ``impl='scalar'``) asks for the legacy per-event heap.
+
+    A factory rather than a class so every existing ``Engine()`` call site
+    picks up the selected implementation; both classes are importable
+    directly for A/B tests.
+    """
+    if impl is None:
+        impl = "scalar" if _SCALAR_DEFAULT else "epoch"
+    if impl == "scalar":
+        return ScalarEngine(coalesce)
+    if impl == "epoch":
+        return EpochEngine(coalesce)
+    raise SimulationError(f"unknown engine impl {impl!r}")
+
+
+def engine_variant() -> str:
+    """The build-wide default engine variant name (for fingerprints)."""
+    return "scalar" if _SCALAR_DEFAULT else "epoch"
