@@ -212,6 +212,124 @@ def chaos_counters() -> dict:
     }
 
 
+def _checkpoint_roundtrip() -> dict:
+    """Mini barrier campaign run three ways: straight through; to a
+    mid-round checkpoint whose machine is then discarded; and a fresh
+    machine restored from that checkpoint replaying the rest. The final
+    bytes of (1) and (3) must match -- the --check-partition-safety gate
+    compares them."""
+    import hashlib
+
+    import numpy as np
+
+    from repro.core.params import SamhitaConfig
+    from repro.core.system import SamhitaSystem
+
+    n_threads, rounds, cut_round = 4, 4, 2
+    slice_bytes = 1024 * 8
+    nbytes = n_threads * slice_bytes
+
+    def config(interval):
+        return SamhitaConfig(n_memory_servers=2, replication_factor=2,
+                             fencing=True, checkpoint_interval=interval)
+
+    def campaign(system, tids, state, start, end):
+        bar = system.create_barrier(len(tids))
+
+        def body(i, tid):
+            if i == 0:
+                state["addr"] = yield from system.malloc(tid, nbytes,
+                                                        shared=True)
+            yield from system.barrier_wait(tid, bar)
+            addr = state["addr"] + i * slice_bytes
+            for r in range(start, end):
+                data = yield from system.mem_read(tid, addr, slice_bytes)
+                arr = np.frombuffer(data, dtype=np.float64).copy()
+                arr = arr * 1.25 + float((r + 1) * (i + 1))
+                yield from system.mem_write(tid, addr, slice_bytes,
+                                            arr.view(np.uint8))
+                yield from system.barrier_wait(tid, bar)
+            if i == 0:
+                state["final"] = bytes(
+                    (yield from system.mem_read(tid, state["addr"], nbytes)))
+
+        for i, tid in enumerate(tids):
+            system.process(body(i, tid), name=f"t{i}")
+        system.run()
+
+    def build(interval):
+        system = SamhitaSystem.cluster(n_threads, config=config(interval))
+        return system, [system.add_thread() for _ in range(n_threads)]
+
+    straight_sys, tids = build(interval=1)
+    straight: dict = {}
+    campaign(straight_sys, tids, straight, 0, rounds)
+    taken = straight_sys.stats.snapshot().get("checkpoints_taken", 0)
+
+    doomed_sys, tids = build(interval=1)
+    doomed: dict = {}
+    campaign(doomed_sys, tids, doomed, 0, cut_round + 1)
+    ckpt = doomed_sys.checkpoints.latest()
+
+    restored_sys, tids = build(interval=0)
+    restored_sys.restore_checkpoint(ckpt)
+    restored: dict = {}
+    campaign(restored_sys, tids, restored, cut_round + 1, rounds)
+
+    return {
+        "campaign": (f"{n_threads}-thread barrier rounds x{rounds}, "
+                     f"restore after round {cut_round}"),
+        "checkpoints_taken": taken,
+        "checkpoint_pages": ckpt.page_count,
+        "final_sha256": hashlib.sha256(straight["final"]).hexdigest(),
+        "restored_sha256": hashlib.sha256(restored["final"]).hexdigest(),
+        "roundtrip_identical": restored["final"] == straight["final"],
+    }
+
+
+def partition_safety_fingerprint() -> dict:
+    """The --check-partition-safety gate's evidence:
+
+    * a healthy run with ``fencing=True`` is bit-identical to the default
+      build (the fence is pure bookkeeping until a failover mints an
+      epoch);
+    * a partition that severs one memory server of the fenced three-shard
+      machine still produces bit-identical data, with the promotion and at
+      least one fenced stale-epoch write on the record (zero stale writes
+      APPLIED -- the data identity is the proof);
+    * a checkpoint/restore round trip reproduces the straight-through
+      final bytes.
+    """
+    from repro.core.params import SamhitaConfig
+    from repro.faults import partition
+
+    defaults, _ = _jacobi_fingerprint(None)
+    fenced_idle, _ = _jacobi_fingerprint(SamhitaConfig(fencing=True))
+
+    def fenced(faults=None):
+        return SamhitaConfig(manager_shards=3, n_memory_servers=2,
+                             replication_factor=2, fencing=True,
+                             faults=faults)
+
+    baseline, _ = _jacobi_fingerprint(fenced())
+    plan = partition(11, ("node4",), start=4e-4, duration=3e-4)
+    cut, cut_result = _jacobi_fingerprint(fenced(plan))
+    membership = cut_result.stats.get("membership", {})
+    return {
+        "fencing_absent": defaults,
+        "fencing_idle": fenced_idle,
+        "partition": {
+            "plan": "partition(seed=11, ('node4',), 4e-4 +3e-4)",
+            "data_identical": (cut["grid_sha256"] == baseline["grid_sha256"]
+                               and cut["gdiff"] == baseline["gdiff"]),
+            "elapsed_baseline": baseline["elapsed"],
+            "elapsed_cut": cut["elapsed"],
+            "membership": {k: membership[k] for k in sorted(membership)},
+        },
+        "checkpoint": _checkpoint_roundtrip(),
+    }
+
+
 class _AggregatingExecutor(Executor):
     """Serial executor summing data-plane counters over unique Samhita cells."""
 
@@ -478,6 +596,9 @@ def main(argv=None) -> int:
     print("shard scaling sweep (16 -> 64 -> 256 compute servers) ...")
     shards = shard_scaling()
 
+    print("partition-safety fingerprint (fencing, quorum, checkpoint) ...")
+    partition_safety = partition_safety_fingerprint()
+
     print("sustained events/sec at the 256-server sweep point ...")
     rate = sweep_events_rate(best_of_n=max(args.best_of, 3))
 
@@ -566,6 +687,7 @@ def main(argv=None) -> int:
         "replication_off": replication_off,
         "replication": replication,
         "shard_scaling": shards,
+        "partition_safety": partition_safety,
         "notes": [
             f"host has {usable} schedulable CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "

@@ -28,7 +28,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.prefetcher import StridePrefetcher
-from repro.errors import MemoryError_, ReplicationError, RetryExhaustedError
+from repro.errors import (
+    MemoryError_,
+    ReplicationError,
+    RetryExhaustedError,
+    StaleEpochError,
+)
 from repro.memory.backing import payload_crc_ok
 from repro.sim.engine import Timeout
 from repro.sim.stats import StatSet
@@ -74,6 +79,10 @@ class ComputeServer:
         #: populated with ``config.lock_owner_cache``.
         self.lock_cache: dict[int, _CachedLock] = {}
         self.stats = StatSet(f"compute[{component}]")
+        #: Last cluster epoch this sender observed (``config.fencing``):
+        #: stamped on write-side RPCs, refreshed when a receiver fences a
+        #: stale stamp after a failover this component missed.
+        self.known_epoch = 0
         config = system.config
         self.prefetch_policy = config.prefetch_policy
         self.batch_fetches = config.batch_line_fetches
@@ -354,7 +363,8 @@ class ComputeServer:
                 except RetryExhaustedError as err:
                     # Home unreachable mid-exchange: wait out the failover
                     # and refetch the whole group from the promoted server.
-                    yield from system.await_failover(server.index, err)
+                    yield from system.await_failover(server.index, err,
+                                                     comp=self.component)
                     continue
                 break
             # Bulk-install fast path: when every install's inline advance
@@ -448,7 +458,8 @@ class ComputeServer:
                     data = yield from server.serve_fetch_pinned(
                         tid, self.component, server_pages)
                 except RetryExhaustedError as err:
-                    yield from self.system.await_failover(server.index, err)
+                    yield from self.system.await_failover(server.index, err,
+                                                          comp=self.component)
                     continue
                 break
             for page in server_pages:
@@ -620,8 +631,11 @@ class ComputeServer:
 
     def flush_diff(self, tid: int, diff):
         """Generator: write one page diff back to its (live) home server,
-        retrying through a failover."""
+        retrying through a failover (and through a fencing reject: the
+        first write after a missed failover refreshes this sender's epoch
+        and re-ships)."""
         config = self.system.config
+        fencing = self.system.membership is not None
         while True:
             server = self.system.server_of_page(diff.page)
             try:
@@ -631,8 +645,14 @@ class ComputeServer:
                                              lead=config.diff_scan_time)
                 if t is not None:
                     yield from t
-                yield from server.apply_diffs([diff])
+                yield from server.apply_diffs(
+                    [diff], epoch=self.known_epoch if fencing else None)
             except RetryExhaustedError as err:
-                yield from self.system.await_failover(server.index, err)
+                yield from self.system.await_failover(server.index, err,
+                                                      comp=self.component)
+                continue
+            except StaleEpochError:
+                self.known_epoch = self.system.membership.epoch
+                self.stats.incr("epoch_refreshes")
                 continue
             break

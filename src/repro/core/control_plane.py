@@ -241,6 +241,11 @@ class ControlPlane:
         self._shard_remap: dict[int, int] = {}
         self._dead_shards: set[int] = set()
         self.stats = StatSet("control_plane")
+        #: Fencing (``config.fencing``): last cluster epoch each sender
+        #: component observed on the control plane. A shard that inherited
+        #: state in a failover rejects grant/release traffic from senders
+        #: still stamping the pre-merge epoch (see :meth:`_guarded`).
+        self._known_epoch: dict[str, int] = {}
         #: Tree-barrier combiner state: level 0 keyed (barrier_id, comp),
         #: level 1 keyed (barrier_id, cell_index). Entries are deleted by
         #: their leader before the upstream call, so barrier reuse across
@@ -277,17 +282,31 @@ class ControlPlane:
     def shard_for_id(self, obj_id: int) -> "Manager":
         return self.shards[self.live_index(self.shard_index(obj_id))]
 
-    def _guarded(self, index: int, op):
+    def _guarded(self, index: int, op, comp: str | None = None):
         """Generator: run ``op(manager)`` against the live shard for
         logical shard ``index``, re-issuing through a shard failover when
-        the RPC exhausts its retries against a corpse."""
+        the RPC exhausts its retries against a corpse.
+
+        With fencing on, a sender whose epoch view predates the successor
+        shard's promotion is fenced first: its stale stamp is rejected
+        (counted), its view refreshed, and the op then issues with the
+        current epoch -- so a lock grant or release can never be served
+        under a membership the sender has not acknowledged.
+        """
+        membership = self.system.membership
         while True:
             live = self.live_index(index)
+            mgr = self.shards[live]
+            if (membership is not None and comp is not None
+                    and self._known_epoch.get(comp, 0) < mgr.fence_epoch):
+                membership.fenced()
+                self.stats.incr("control_rpcs_fenced")
+                self._known_epoch[comp] = membership.epoch
             try:
-                result = yield from op(self.shards[live])
+                result = yield from op(mgr)
                 return result
             except RetryExhaustedError as err:
-                yield from self.await_shard_failover(live, err)
+                yield from self.await_shard_failover(live, err, comp=comp)
 
     # ------------------------------------------------------------------
     # object creation (zero-cost, setup time)
@@ -332,22 +351,26 @@ class ControlPlane:
                   force_shared: bool = False):
         if self.n == 1:
             return self._guarded(
-                0, lambda m: m.alloc_rpc(tid, comp, size, force_shared))
+                0, lambda m: m.alloc_rpc(tid, comp, size, force_shared),
+                comp=comp)
         part = self.system.allocator.part_for_thread(tid)
         return self._guarded(
             self.shard_index(tid),
             lambda m: m.alloc_rpc(tid, comp, size, force_shared,
-                                  allocator=part))
+                                  allocator=part),
+            comp=comp)
 
     def free_rpc(self, tid: int, comp: str, addr: int):
         if self.n == 1:
-            return self._guarded(0, lambda m: m.free_rpc(tid, comp, addr))
+            return self._guarded(0, lambda m: m.free_rpc(tid, comp, addr),
+                                 comp=comp)
         allocator = self.system.allocator
         page = addr // allocator.layout.page_bytes
         idx = shard_of_page(page, self.n)
         part = allocator.parts[idx]
         return self._guarded(
-            idx, lambda m: m.free_rpc(tid, comp, addr, allocator=part))
+            idx, lambda m: m.free_rpc(tid, comp, addr, allocator=part),
+            comp=comp)
 
     # ------------------------------------------------------------------
     # locks
@@ -355,7 +378,8 @@ class ControlPlane:
     def acquire_lock(self, tid: int, comp: str, lock_id: int):
         return self._guarded(
             self.shard_index(lock_id),
-            lambda m: m.acquire_lock(tid, comp, lock_id))
+            lambda m: m.acquire_lock(tid, comp, lock_id),
+            comp=comp)
 
     def release_lock(self, tid: int, comp: str, lock_id: int, diffs: list,
                      payload_bytes: int, span_count: int,
@@ -365,7 +389,8 @@ class ControlPlane:
             lambda m: m.release_lock(tid, comp, lock_id, diffs,
                                      payload_bytes, span_count,
                                      invalidate_pages=invalidate_pages,
-                                     stash=stash))
+                                     stash=stash),
+            comp=comp)
 
     def absorb_lock_stash(self, tid: int, lock_id: int, stash) -> None:
         """Synchronous stash absorption (see Manager.absorb_lock_stash)."""
@@ -374,7 +399,8 @@ class ControlPlane:
     def flush_lock_stash(self, tid: int, comp: str, lock_id: int, stash):
         return self._guarded(
             self.shard_index(lock_id),
-            lambda m: m.flush_lock_stash(tid, comp, lock_id, stash))
+            lambda m: m.flush_lock_stash(tid, comp, lock_id, stash),
+            comp=comp)
 
     def holds_lock(self, tid: int, lock_id: int) -> bool:
         return self.shard_for_id(lock_id).holds_lock(tid, lock_id)
@@ -400,17 +426,20 @@ class ControlPlane:
     def barrier_arrive(self, tid: int, comp: str, barrier_id: int, notices):
         return self._guarded(
             self.shard_index(barrier_id),
-            lambda m: m.barrier_arrive(tid, comp, barrier_id, notices))
+            lambda m: m.barrier_arrive(tid, comp, barrier_id, notices),
+            comp=comp)
 
     def barrier_arrive_group(self, comp: str, barrier_id: int, arrivals):
         return self._guarded(
             self.shard_index(barrier_id),
-            lambda m: m.barrier_arrive_group(comp, barrier_id, arrivals))
+            lambda m: m.barrier_arrive_group(comp, barrier_id, arrivals),
+            comp=comp)
 
     def barrier_flush_done(self, tid: int, comp: str, barrier_id: int, state):
         return self._guarded(
             self.shard_index(barrier_id),
-            lambda m: m.barrier_flush_done(tid, comp, state))
+            lambda m: m.barrier_flush_done(tid, comp, state),
+            comp=comp)
 
     # ------------------------------------------------------------------
     # condition variables
@@ -418,13 +447,15 @@ class ControlPlane:
     def cond_register(self, tid: int, comp: str, cond_id: int):
         return self._guarded(
             self.shard_index(cond_id),
-            lambda m: m.cond_register(tid, comp, cond_id))
+            lambda m: m.cond_register(tid, comp, cond_id),
+            comp=comp)
 
     def cond_signal(self, tid: int, comp: str, cond_id: int,
                     broadcast: bool = False):
         return self._guarded(
             self.shard_index(cond_id),
-            lambda m: m.cond_signal(tid, comp, cond_id, broadcast=broadcast))
+            lambda m: m.cond_signal(tid, comp, cond_id, broadcast=broadcast),
+            comp=comp)
 
     # ------------------------------------------------------------------
     # cross-shard consistency gather
@@ -579,17 +610,30 @@ class ControlPlane:
             if target == dead:
                 self._shard_remap[idx] = successor
         self._shard_remap[dead] = successor
+        membership = self.system.membership
+        if membership is not None:
+            # Fence the dead shard's senders: lock grants and releases now
+            # carry the successor's promotion epoch; anything stamped older
+            # is refused until the sender refreshes its view.
+            succ_mgr.fence_epoch = membership.promote(("shard", dead),
+                                                      successor)
         self.stats.incr("shard_failovers")
         self.system.stats.incr("shard_failovers")
 
     def is_shard_dead(self, index: int) -> bool:
         return index in self._dead_shards
 
-    def await_shard_failover(self, index: int, err):
+    def await_shard_failover(self, index: int, err, comp: str | None = None):
         """Generator: a control RPC against shard ``index`` exhausted its
         retries. With a detector armed, wait (bounded by the detection
         budget) for the shard failover to land, then return so the caller
-        re-routes; otherwise re-raise."""
+        re-routes; otherwise re-raise.
+
+        With fencing on and a partition explaining the failure -- either
+        this sender is on the minority side, or the target shard is
+        isolated but quorum refused to declare it dead -- the caller parks
+        in degraded mode until the cut heals, then re-issues against a
+        shard that never split its brain."""
         detector = self.system.detector
         if detector is None or self.n == 1:
             raise err
@@ -599,6 +643,11 @@ class ControlPlane:
                 self.stats.incr("shard_failover_retries")
                 return
             yield Timeout(config.heartbeat_interval)
+        if self.system.membership is not None and comp is not None:
+            target = self.shards[index].component
+            healed = yield from self.system._degraded_wait(comp, target)
+            if healed:
+                return
         raise err
 
     # ------------------------------------------------------------------

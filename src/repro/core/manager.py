@@ -147,6 +147,10 @@ class Manager:
         #: ``config.lock_owner_cache`` is on; lets a contending acquire
         #: revoke another component's cached ownership grant.
         self.cache_registry = None
+        #: Fencing (``config.fencing``): minimum epoch this shard accepts
+        #: on control RPCs, set to the minted epoch when the shard inherits
+        #: a dead peer's state in a failover. 0 = never promoted.
+        self.fence_epoch = 0
 
     # ------------------------------------------------------------------
     # fault recovery: dead threads and lock leases
@@ -727,6 +731,11 @@ class FailureDetector:
         self.stats = StatSet("failure_detector")
         #: comp -> consecutive missed beats, for servers under suspicion.
         self._misses: dict[str, int] = {}
+        #: comp -> simulated time of the last probe (or the suspicion that
+        #: started probing): lets a probe detect that the component came
+        #: back up *between* beats, so two distinct short outages straddling
+        #: the probe cadence cannot accumulate into a false declaration.
+        self._last_probe: dict[str, float] = {}
         self._declared: set[str] = set()
         self._index_of = ({s.component: s.index
                            for s in system.memory_servers}
@@ -749,6 +758,7 @@ class FailureDetector:
                 or comp in self._declared or comp in self._misses):
             return
         self._misses[comp] = 0
+        self._last_probe[comp] = self.engine.now
         self.stats.incr("suspicions")
         self.engine.schedule(self.config.heartbeat_interval, self._probe, comp)
 
@@ -756,27 +766,84 @@ class FailureDetector:
         if comp in self._declared or comp not in self._misses:
             return
         self.stats.incr("heartbeats")
-        if self.injector.server_down(comp, self.engine.now):
+        now = self.engine.now
+        last = self._last_probe.get(comp, now)
+        self._last_probe[comp] = now
+        if self.injector.server_down(comp, now):
+            if (self._misses[comp]
+                    and self.injector.came_up_between(comp, last, now)):
+                # The component was reachable at some instant since the
+                # last beat (a partition healed mid-probe): what it suffers
+                # NOW is a fresh outage, not a continuation of the one
+                # under suspicion. Only consecutive misses of one outage
+                # may accumulate toward a declaration.
+                self._misses[comp] = 0
+                self.stats.incr("suspicions_cleared")
             self._misses[comp] += 1
             if self._misses[comp] >= self.config.heartbeat_misses:
-                self._declare_dead(comp)
-                return
+                if self._declare_dead(comp):
+                    return
+                # Quorum refused (partition ambiguity): keep probing; the
+                # declaration re-attempts once connectivity lets a majority
+                # agree -- or the probe below clears the suspicion when the
+                # partition heals and the component answers.
+                self._misses[comp] = 0
             self.engine.schedule(self.config.heartbeat_interval,
                                  self._probe, comp)
         else:
             # The beat answered: transient blip, stand down.
             del self._misses[comp]
+            self._last_probe.pop(comp, None)
             self.stats.incr("suspicions_cleared")
 
-    def _declare_dead(self, comp: str) -> None:
+    def _quorum_grants(self, target: str) -> bool:
+        """Majority agreement that ``target`` is gone (``config.fencing``).
+
+        The first live, non-isolated manager shard coordinates; every shard
+        it can reach votes on whether IT can reach ``target``; declaring
+        requires a strict majority of all configured shards. On the
+        fencing-off or single-shard build this is unconditionally True --
+        the PR-5/PR-6 reactive path, bit-identical.
+        """
+        system = self.system
+        membership = system.membership
+        control = system.control
+        if membership is None or control.n == 1:
+            return True
+        now = self.engine.now
+        injector = self.injector
+        candidates = [mgr.component for i, mgr in enumerate(control.shards)
+                      if not control.is_shard_dead(i)
+                      and mgr.component != target]
+        coordinator = next((c for c in candidates
+                            if not injector.server_down(c, now)), None)
+        if coordinator is None:
+            membership.quorum_denied()
+            return False
+        votes = 0
+        for c in candidates:
+            if c != coordinator and injector.unreachable(coordinator, c, now):
+                continue  # the coordinator cannot collect this vote
+            if injector.unreachable(c, target, now):
+                votes += 1
+        if votes >= control.n // 2 + 1:
+            return True
+        membership.quorum_denied()
+        return False
+
+    def _declare_dead(self, comp: str) -> bool:
+        if not self._quorum_grants(comp):
+            return False
         self._declared.add(comp)
         self._misses.pop(comp, None)
+        self._last_probe.pop(comp, None)
         if comp in self._shard_of:
             self.stats.incr("shards_declared_dead")
             self.system.handle_shard_failure(self._shard_of[comp])
         if comp in self._index_of:
             self.stats.incr("servers_declared_dead")
             self.system.handle_server_failure(self._index_of[comp])
+        return True
 
     def on_deadlock(self, blocked) -> bool:
         """Deadlock-hook safety net.
@@ -794,7 +861,7 @@ class FailureDetector:
             if comp in self._declared:
                 continue
             if self.injector.server_down(comp, now):
-                self.stats.incr("deadlock_declarations")
-                self._declare_dead(comp)
-                acted = True
+                if self._declare_dead(comp):
+                    self.stats.incr("deadlock_declarations")
+                    acted = True
         return acted

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ReplicationError, RetryExhaustedError
+from repro.errors import ReplicationError, RetryExhaustedError, StaleEpochError
 from repro.faults.recovery import RpcDedup
 from repro.memory.backing import BackingStore, PageFrame
 from repro.memory.directory import PageDirectory
@@ -63,6 +63,13 @@ class MemoryServer:
         #: Valid only until the requester's next yield -- it reads them
         #: synchronously after the serve returns. None when integrity off.
         self.last_serve_crcs: dict[int, int] | None = None
+        #: Fencing (``config.fencing``): minimum epoch this server accepts
+        #: on write-side RPCs, set to the minted epoch when the server is
+        #: promoted. 0 means "never promoted": everything is acceptable.
+        self.fence_epoch = 0
+        #: Last cluster epoch this server observed, stamped on its own
+        #: outbound WAL shipments.
+        self.known_epoch = 0
 
     def bind(self, system: "SamhitaSystem") -> None:
         """Late-bind the system for owner-recall resolution."""
@@ -336,13 +343,36 @@ class MemoryServer:
         finally:
             self.resource.release()
 
-    def apply_diffs(self, diffs: list):
+    def _fence(self, epoch: int | None, category: str) -> None:
+        """Reject a write-side RPC stamped with a pre-promotion epoch.
+
+        ``epoch`` is None unless ``config.fencing`` is armed (senders only
+        stamp when a membership view exists), so the default build pays one
+        ``is None`` check. The write is never applied: the sender catches
+        :class:`StaleEpochError`, refreshes its epoch and re-issues against
+        the current primary -- which is how a partitioned old primary (or
+        any sender that missed a failover) is stopped from laundering
+        stale writes.
+        """
+        if epoch is None or epoch >= self.fence_epoch:
+            return
+        self.stats.counters["writes_fenced"] += 1
+        membership = self._system.membership
+        if membership is not None:
+            membership.fenced()
+        raise StaleEpochError(self.component, self.component, category,
+                              epoch, self.fence_epoch, self.engine.now)
+
+    def apply_diffs(self, diffs: list, epoch: int | None = None):
         """Generator: merge flushed diffs (server service + apply cost).
 
         The caller pays the wire transfer; homes apply in arrival order,
         which the DES serializes deterministically. As with fetches, the
-        resource is held until the merge is visible.
+        resource is held until the merge is visible. ``epoch`` is the
+        sender's fencing stamp (``config.fencing``); stale stamps are
+        rejected before any byte is merged.
         """
+        self._fence(epoch, "diff")
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:
@@ -409,18 +439,29 @@ class MemoryServer:
                 backup = system.memory_servers[target]
                 diffs = [e.diff for e in entries]
                 wire = sum(d.wire_bytes for d in diffs)
+                fencing = system.membership is not None
                 try:
                     t = system.scl.rdma_put(self.component, backup.component,
                                             wire, category="repl")
                     if t is not None:
                         yield from t
-                    yield from backup.apply_replica(diffs)
+                    yield from backup.apply_replica(
+                        diffs, epoch=self.known_epoch if fencing else None)
                     t = system.scl.send(backup.component, self.component,
                                         category="repl_ack")
                     if t is not None:
                         yield from t
                 except RetryExhaustedError:
                     counters["repl_ship_failed"] += 1
+                    continue
+                except StaleEpochError:
+                    # The backup was promoted past us: these entries were
+                    # already replayed into it from the durable log at
+                    # failover time, so shipping them again would launder
+                    # pre-failover writes. Mark them superseded.
+                    self.known_epoch = system.membership.epoch
+                    wal.ack(target, entries)
+                    counters["repl_ship_fenced"] += 1
                     continue
                 wal.ack(target, entries)
                 counters["repl_ships"] += 1
@@ -429,15 +470,18 @@ class MemoryServer:
         finally:
             self._repl_lock.release()
 
-    def apply_replica(self, diffs: list):
+    def apply_replica(self, diffs: list, epoch: int | None = None):
         """Generator: apply a primary's shipped WAL entries (backup side).
 
         Charges this server's queueing + service + apply cost, merges into
         the backing store, and nothing else -- no directory writes and no
         WAL append of its own. A backup is a passive byte copy until
         promoted; on promotion its frames already equal the dead primary's
-        acked prefix, and the replayed WAL tail supplies the rest.
+        acked prefix, and the replayed WAL tail supplies the rest. A stamp
+        older than this server's own promotion epoch is fenced: the shipper
+        is a deposed primary whose tail the failover already replayed.
         """
+        self._fence(epoch, "repl")
         yield from self.resource.request_service(
             self.config.memserver_service_time)
         try:

@@ -189,6 +189,23 @@ class SamhitaConfig:
     #: Consecutive missed heartbeats before a suspected server is declared
     #: dead and failover runs (the detector's ``k``).
     heartbeat_misses: int = 3
+    #: Partition-tolerant failover: fencing epochs on write-side RPCs plus
+    #: quorum-gated promotion. Off (the default) keeps every failover path
+    #: bit-identical to the pre-fencing build (CI-gated by
+    #: ``--check-partition-safety``). On, every failover bumps a cluster
+    #: epoch, stale-epoch writes are rejected at memory servers and manager
+    #: shards, declaring a component dead needs a majority of manager
+    #: shards to agree it is unreachable (single-shard configs keep the
+    #: reactive path), and senders isolated by a partition degrade to
+    #: read-only retries with backoff instead of diverging.
+    fencing: bool = False
+    #: Coordinated crash-consistent checkpoints every N barrier rounds;
+    #: 0 (the default) disables checkpointing entirely. Snapshots are taken
+    #: at the barrier's quiesce point (all diffs applied at their homes):
+    #: manager directory + epoch, every server's pages, replication-WAL
+    #: high-water marks and the engine clock. ``Samhita.restore()`` resumes
+    #: a campaign from the latest snapshot.
+    checkpoint_interval: int = 0
 
     # -- fault model ------------------------------------------------------
     #: Seeded fault schedule, or None (the default) for a perfect network.
@@ -244,6 +261,8 @@ class SamhitaConfig:
             raise ReproError("heartbeat_interval must be positive")
         if self.heartbeat_misses < 1:
             raise ReproError("heartbeat_misses must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ReproError("checkpoint_interval must be >= 0")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ReproError("faults must be a FaultPlan or None")
         if self.lock_lease_time < 0.0:

@@ -37,7 +37,9 @@ from repro.core.memory_server import (
     MemoryServer,
     RPC_CATEGORIES as MEMSERVER_RPCS,
 )
+from repro.core.membership import Membership
 from repro.core.params import SamhitaConfig
+from repro.checkpoint import CheckpointStore, restore_checkpoint, take_checkpoint
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RpcDedup
 from repro.core.placement import PlacementPolicy, choose_component
@@ -47,6 +49,7 @@ from repro.errors import (
     ConsistencyError,
     ReplicationError,
     RetryExhaustedError,
+    StaleEpochError,
     SynchronizationError,
 )
 from repro.hardware.specs import NodeSpec, PENRYN_NODE, XEON_PHI_KNC
@@ -166,6 +169,20 @@ class SamhitaSystem:
         # single-manager trajectory bit-identical (CI-gated).
         self.detector: FailureDetector | None = None
         self._dead_servers: set[int] = set()
+        # Fencing epochs: the membership view exists only when the knob is
+        # on, so every fencing check below degrades to one ``is None`` on
+        # the default build (bit-identity, CI-gated by
+        # ``--check-partition-safety``).
+        self.membership: Membership | None = (
+            Membership() if self.config.fencing else None)
+        # Crash-consistent checkpoints, taken at barrier-aligned quiesce
+        # points every ``checkpoint_interval`` rounds (0 = never, and the
+        # hook in barrier_wait is one ``is None`` check).
+        self.checkpoints: CheckpointStore | None = (
+            CheckpointStore() if self.config.checkpoint_interval > 0
+            else None)
+        self._ckpt_gate = None
+        self._ckpt_rounds = 0
         if self.config.replication_factor > 1:
             for server in self.memory_servers:
                 server.arm_replication()
@@ -379,13 +396,27 @@ class SamhitaSystem:
             if server.index != dead and server.wal is not None:
                 server.wal.drop_target(dead)
         self.directory.remap_home(dead, promoted)
+        if self.membership is not None:
+            # Fence the old primary: the promotion mints a fresh epoch and
+            # the promoted server rejects every write-side RPC stamped
+            # older -- a partitioned (not actually dead) old primary, or
+            # any sender that has not refreshed its view, cannot launder
+            # pre-failover writes into the new primary's pages.
+            epoch = self.membership.promote(("server", dead), promoted)
+            promoted_server.fence_epoch = epoch
         self.stats.incr("failovers")
 
-    def await_failover(self, index: int, err):
+    def await_failover(self, index: int, err, comp: str | None = None):
         """Generator: a request against server ``index`` exhausted its
         retries. With a detector armed, wait (bounded by the detection
         budget) for the failover to land, then return so the caller can
         re-resolve the home and retry; otherwise re-raise ``err``.
+
+        With fencing on and a partition active (the request died on a cut,
+        not a corpse), the caller instead enters *degraded mode*: read-only
+        from its cache, write-side retries parked on a capped exponential
+        backoff until the partition heals -- a minority-side compute server
+        waits out the cut rather than diverging.
         """
         if self.detector is None:
             raise err
@@ -394,7 +425,33 @@ class SamhitaSystem:
                 self.stats.incr("failover_retries")
                 return
             yield Timeout(self.config.heartbeat_interval)
+        if self.membership is not None and comp is not None:
+            target = self.memory_servers[index].component
+            healed = yield from self._degraded_wait(comp, target)
+            if healed:
+                return
         raise err
+
+    def _degraded_wait(self, comp: str, target: str):
+        """Generator: if ``comp`` or its ``target`` peer sits inside an
+        active partition group, back off (capped exponential) until the cut
+        heals, then return True so the caller re-issues. Returns False
+        immediately when no partition explains the failure (a real corpse:
+        let the failover machinery handle it)."""
+        injector = self.injector
+        if injector is None:
+            return False
+        isolated = (injector.partition_isolates(comp, self.engine.now)
+                    or injector.partition_isolates(target, self.engine.now))
+        if not isolated:
+            return False
+        delay = self.config.heartbeat_interval
+        while (injector.partition_isolates(comp, self.engine.now)
+               or injector.partition_isolates(target, self.engine.now)):
+            self.stats.incr("degraded_waits")
+            yield Timeout(delay)
+            delay = min(delay * 2.0, 64.0 * self.config.heartbeat_interval)
+        return True
 
     def region_tracker_of(self, tid: int) -> RegionTracker:
         return self._regions[tid]
@@ -520,7 +577,8 @@ class SamhitaSystem:
                 except RetryExhaustedError as err:
                     # Home unreachable: wait out the failover and retry the
                     # whole exchange against the promoted server.
-                    yield from self.await_failover(server.index, err)
+                    yield from self.await_failover(server.index, err,
+                                                   comp=comp)
                     continue
                 # Synchronous from here: install + store, no yields.
                 if cache.resident(page) or cache.free_pages > 0:
@@ -620,6 +678,8 @@ class SamhitaSystem:
         if not diffs:
             return
         comp = self.component_of(tid)
+        cs = self.compute_servers[comp]
+        fencing = self.membership is not None
         by_server: dict[int, list] = {}
         for diff in diffs:
             by_server.setdefault(self.allocator.home_of_page(diff.page), []).append(diff)
@@ -633,9 +693,19 @@ class SamhitaSystem:
                                           category=category)
                     if t is not None:
                         yield from t
-                    yield from server.apply_diffs(group)
+                    yield from server.apply_diffs(
+                        group, epoch=cs.known_epoch if fencing else None)
                 except RetryExhaustedError as err:
-                    yield from self.await_failover(server.index, err)
+                    yield from self.await_failover(server.index, err,
+                                                   comp=comp)
+                    continue
+                except StaleEpochError:
+                    # First write after a failover this sender missed: the
+                    # receiver fenced it. Refresh the epoch view and re-ship
+                    # (the retry pays its own wire cost -- the reject round
+                    # trip).
+                    cs.known_epoch = self.membership.epoch
+                    cs.stats.incr("epoch_refreshes")
                     continue
                 break
 
@@ -696,6 +766,16 @@ class SamhitaSystem:
             yield from self.control.barrier_flush_done(tid, comp, barrier_id,
                                                        state)
         yield state.flush_gate
+        if self.checkpoints is not None and state.flush_gate is not self._ckpt_gate:
+            # Barrier-aligned quiesce point: the gate succeeds only after
+            # every thread's flushed diffs are applied at their homes, so
+            # the global pages are a consistent cut of the computation.
+            # Each generation gets a fresh _BarrierState, so gate identity
+            # makes exactly one thread per round take the snapshot.
+            self._ckpt_gate = state.flush_gate
+            self._ckpt_rounds += 1
+            if self._ckpt_rounds % self.config.checkpoint_interval == 0:
+                self.take_checkpoint()
         # Consistency-region updates become globally visible here.
         if cr_diffs:
             applied = cache.apply_fine_grain(cr_diffs)
@@ -779,6 +859,25 @@ class SamhitaSystem:
         woken = yield from self.control.cond_signal(tid, comp, cond_id,
                                                     broadcast=broadcast)
         return woken
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def take_checkpoint(self):
+        """Snapshot the coordinated global state (see repro.checkpoint).
+
+        Plain function called from the barrier quiesce point, so the whole
+        cut is atomic in simulated time."""
+        ckpt = take_checkpoint(self)
+        self.checkpoints.add(ckpt)
+        self.stats.incr("checkpoints_taken")
+        return ckpt
+
+    def restore_checkpoint(self, ckpt) -> None:
+        """Rehydrate this (fresh) system's global memory from a checkpoint
+        so a continuation program can replay the remaining rounds."""
+        restore_checkpoint(self, ckpt)
+        self.stats.incr("checkpoints_restored")
 
     # ------------------------------------------------------------------
     # execution & reporting
@@ -868,4 +967,17 @@ class SamhitaSystem:
             repl.update({k: v for k, v in report["compute_servers"].items()
                          if k.startswith("integrity_")})
             report["replication"] = repl
+        if self.membership is not None or self.checkpoints is not None:
+            # One namespace for the partition-tolerance machinery: the
+            # fencing epoch and its counters, quorum decisions, degraded
+            # waits and checkpoint activity. Absent at the defaults, so
+            # fencing-off/no-checkpoint reports stay byte-identical.
+            member: dict = {}
+            if self.membership is not None:
+                member.update(self.membership.snapshot())
+            member.update({k: v for k, v in self.stats.snapshot().items()
+                           if k.startswith(("degraded_", "checkpoints_"))})
+            member.update({k: v for k, v in report["compute_servers"].items()
+                           if k.startswith("epoch_")})
+            report["membership"] = member
         return report

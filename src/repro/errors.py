@@ -92,6 +92,26 @@ class ReplicationError(CommunicationError):
     replica to promote or repair from)."""
 
 
+class StaleEpochError(CommunicationError):
+    """A write-side RPC carried a fencing epoch older than the receiver's.
+
+    Raised by memory servers and manager shards (``config.fencing``) when a
+    sender that has not yet observed a failover presents traffic stamped
+    with a pre-promotion epoch: the write is rejected, never applied. The
+    sender refreshes its epoch from the membership view and retries against
+    the current primary.
+    """
+
+    def __init__(self, src, dst, category, sent_epoch, fence_epoch, now=None):
+        self.src, self.dst, self.category = src, dst, category
+        self.sent_epoch, self.fence_epoch = sent_epoch, fence_epoch
+        self.now = now
+        at = f" at t={now:.9f}s" if now is not None else ""
+        super().__init__(
+            f"{category} {src}->{dst} fenced: epoch {sent_epoch} < "
+            f"{fence_epoch}{at}")
+
+
 class MemoryError_(ReproError):
     """DSM address-space misuse (bad address, double free, overflow)."""
 

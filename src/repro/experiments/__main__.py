@@ -47,7 +47,7 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
     from repro.core.params import SamhitaConfig
     from repro.experiments.harness import run_workload_direct
     from repro.experiments.report import format_chaos
-    from repro.faults import drop_storm, latency_storm, server_outage
+    from repro.faults import drop_storm, latency_storm, partition, server_outage
     from repro.kernels.jacobi import JacobiParams, spawn_jacobi
 
     params = JacobiParams(rows=64, cols=256, iterations=3,
@@ -60,6 +60,9 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
         return (gdiff, hashlib.sha256(grid.tobytes()).hexdigest()), result
 
     baseline, clean = run()
+    fenced_kwargs = dict(manager_shards=3, n_memory_servers=2,
+                         replication_factor=2, fencing=True)
+    fenced_baseline, fenced_clean = run(SamhitaConfig(**fenced_kwargs))
     rows = []
     for seed in seeds:
         profiles = {
@@ -76,6 +79,24 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
                 "elapsed": result.elapsed,
                 "counters": result.stats.get("faults", {}),
             })
+        # The partition profile needs the fenced machine: quorum + epochs
+        # live on manager_shards>1 / rf>1 (node4 is a memory server
+        # there). The severed server is declared by majority vote, its
+        # backup promoted under a fresh epoch, and the row's counters
+        # surface the membership bookkeeping next to the fault verdicts.
+        plan = partition(seed, ("node4",), start=4e-4, duration=3e-4)
+        data, result = run(SamhitaConfig(faults=plan, **fenced_kwargs))
+        counters = dict(result.stats.get("faults", {}))
+        counters.update(result.stats.get("membership", {}))
+        rows.append({
+            "profile": "partition", "seed": seed,
+            "data_identical": data == baseline == fenced_baseline,
+            # Normalized so the table's slowdown column stays relative to
+            # THIS profile's own fault-free machine.
+            "elapsed": (result.elapsed / fenced_clean.elapsed
+                        * clean.elapsed),
+            "counters": counters,
+        })
     print(format_chaos(rows, clean.elapsed))
     return 0 if all(r["data_identical"] for r in rows) else 1
 

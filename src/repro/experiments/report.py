@@ -46,9 +46,14 @@ def print_figure(fr: FigureResult) -> None:
     print()
 
 
-#: Recovery counters shown by the chaos report, in display order.
+#: Recovery counters shown by the chaos report, in display order. The
+#: last four belong to the partition profile (fenced machine): severed
+#: messages, quorum promotions, fenced stale-epoch writes, degraded-mode
+#: backoff waits -- zero for the non-partition profiles.
 FAULT_COUNTERS = ("retries", "timeouts", "retransmits", "dup_rpcs_dropped",
-                  "lease_expiries", "delay_spikes", "crash_drops")
+                  "lease_expiries", "delay_spikes", "crash_drops",
+                  "partition_drops", "promotions", "stale_writes_fenced",
+                  "degraded_waits")
 
 
 def format_chaos(rows: list[dict], clean_elapsed: float) -> str:

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     RetryPolicy,
     drop_storm,
     latency_storm,
+    partition,
     permanent_crash,
     server_outage,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "RpcDedup",
     "drop_storm",
     "latency_storm",
+    "partition",
     "permanent_crash",
     "server_outage",
     "wait_reasons",

@@ -56,6 +56,10 @@ class FaultInjector:
         self._flaps = tuple(plan.link_flaps)
         self._crashes = tuple(plan.server_crash_windows)
         self._permanent = tuple(plan.permanent_crashes)
+        #: Partition windows as ((frozenset(group), start, end), ...):
+        #: membership tests dominate the hot path.
+        self._partitions = tuple((frozenset(group), start, end)
+                                 for group, start, end in plan.partitions)
         #: Bitrot has its own RNG stream: page-serve draws must never
         #: perturb the message-verdict sequence (and vice versa), or two
         #: plans differing only in bitrot_rate would diverge in timing.
@@ -86,6 +90,19 @@ class FaultInjector:
                 if detector is not None:
                     detector.suspect(comp)
                 return (_DROP, "crash_drops")
+        for group, start, end in self._partitions:
+            # Severed iff exactly one endpoint is inside the group: traffic
+            # wholly on either side of the cut still flows. Checked before
+            # any RNG draw so arming partitions never perturbs the verdict
+            # stream of an otherwise identical plan.
+            if start <= now < end and (src in group) != (dst in group):
+                detector = self.detector
+                if detector is not None:
+                    # The isolated (in-group) endpoint is the one the rest
+                    # of the machine should probe; the detector ignores
+                    # components it does not monitor.
+                    detector.suspect(src if src in group else dst)
+                return (_DROP, "partition_drops")
         for a, b, start, end in self._flaps:
             if (start <= now < end
                     and ((src == a and dst == b) or (src == b and dst == a))):
@@ -115,7 +132,68 @@ class FaultInjector:
         for comp, start, end in self._crashes:
             if comp == component and start <= now < end:
                 return True
+        for group, start, end in self._partitions:
+            # From the (majority-side) detector's vantage point an isolated
+            # component misses heartbeats exactly like a crashed one -- the
+            # ambiguity quorum-gated promotion exists to resolve.
+            if component in group and start <= now < end:
+                return True
         return False
+
+    def partition_isolates(self, component: str, now: float) -> bool:
+        """Is ``component`` inside an active partition group at ``now``?
+
+        Distinguishes "isolated but alive" (degrade and wait for the heal)
+        from "actually down" (fail over) on the sender's side.
+        """
+        for group, start, end in self._partitions:
+            if component in group and start <= now < end:
+                return True
+        return False
+
+    def unreachable(self, src: str, dst: str, now: float) -> bool:
+        """Would a message from ``src`` to ``dst`` be severed at ``now``?
+
+        The quorum vote's connectivity oracle: ``dst`` down, or a partition
+        cut between the two. Pure window arithmetic -- consulting it draws
+        no RNG and perturbs no verdict stream.
+        """
+        if self.server_down(dst, now):
+            return True
+        for group, start, end in self._partitions:
+            if start <= now < end and (src in group) != (dst in group):
+                return True
+        return False
+
+    def came_up_between(self, component: str, since: float,
+                        until: float) -> bool:
+        """Was ``component`` reachable at any instant in ``(since, until]``?
+
+        Exact window arithmetic for the failure detector: a transient
+        outage (crash window or partition) that healed between two probes
+        must RESET the consecutive-miss count even if a second outage has
+        already begun by the next probe -- otherwise distinct short windows
+        straddling the probe interval accumulate into a false declaration.
+        """
+        if since >= until:
+            return False
+        downs = [(s, e) for c, s, e in self._crashes if c == component]
+        downs += [(s, e) for g, s, e in self._partitions if component in g]
+        downs += [(at, float("inf")) for c, at in self._permanent
+                  if c == component]
+        # Reachable at t iff no down-window covers t. Every window is
+        # half-open [s, e) -- matching ``server_down`` -- so merge them
+        # exactly (adjacent half-open windows fuse seamlessly): the probe
+        # interval (since, until] was entirely dark iff one merged window
+        # starts at or before ``since`` and strictly outlasts ``until``.
+        merged: list[list[float]] = []
+        for start, end in sorted(downs):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return not any(start <= since and until < end
+                       for start, end in merged)
 
     def draw_bitrot(self) -> bool:
         """One bitrot draw for a page about to be served (dedicated RNG)."""

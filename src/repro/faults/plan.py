@@ -96,6 +96,14 @@ class FaultPlan:
     #: layer (``SamhitaConfig.replication_factor > 1``) to fail the dead
     #: server's pages over to a backup.
     permanent_crashes: tuple = ()
+    #: Network partitions: ``(group, start, end)`` where ``group`` is a
+    #: tuple of component names. During ``[start, end)`` the group is
+    #: severed from the rest of the machine: every message with exactly one
+    #: endpoint inside the group is lost (both directions), while traffic
+    #: wholly inside or wholly outside the group flows normally. Unlike a
+    #: crash window the partitioned components keep RUNNING -- which is
+    #: exactly the split-brain hazard fencing epochs exist for.
+    partitions: tuple = ()
     #: Per-served-page probability that a page frame at a memory server has
     #: silently rotted (a flipped byte) by the time it is read for a fetch.
     #: Detected by the end-to-end CRC attached at the server and verified at
@@ -127,6 +135,11 @@ class FaultPlan:
             if len(crash) != 2 or crash[1] < 0:
                 raise ReproError(f"malformed permanent crash {crash!r}; "
                                  "want (component, at)")
+        for window in self.partitions:
+            if (len(window) != 3 or not isinstance(window[0], tuple)
+                    or not window[0] or window[1] > window[2]):
+                raise ReproError(f"malformed partition {window!r}; "
+                                 "want ((comp, ...), start, end)")
 
     @property
     def silent(self) -> bool:
@@ -136,7 +149,7 @@ class FaultPlan:
                 and self.duplicate_rate == 0.0
                 and self.bitrot_rate == 0.0
                 and not self.link_flaps and not self.server_crash_windows
-                and not self.permanent_crashes)
+                and not self.permanent_crashes and not self.partitions)
 
 
 #: Canonical chaos profiles for the test harness and CI: each maps a name to
@@ -176,4 +189,22 @@ def permanent_crash(seed: int, component: str, at: float,
                      bitrot_rate=bitrot_rate, retry=retry)
 
 
-CHAOS_PROFILES = ("drop_storm", "latency_storm", "server_outage")
+def partition(seed: int, group, start: float, duration: float,
+              drop_rate: float = 0.0) -> FaultPlan:
+    """Sever ``group`` (a tuple of component names) from everyone else for
+    ``[start, start + duration)``; the isolated components keep running.
+
+    The retry budget matches :func:`permanent_crash`: senders facing the
+    partition must exhaust within tens of microseconds and fall into the
+    degraded-wait / failover machinery rather than stalling the run on the
+    default multi-millisecond budget.
+    """
+    retry = RetryPolicy(timeout=2e-6, backoff=2.0, max_backoff=16e-6,
+                        max_retries=10)
+    return FaultPlan(seed=seed, drop_rate=drop_rate,
+                     partitions=((tuple(group), start, start + duration),),
+                     retry=retry)
+
+
+CHAOS_PROFILES = ("drop_storm", "latency_storm", "server_outage",
+                  "partition")

@@ -326,6 +326,55 @@ def check_replication_off(report: dict) -> tuple[bool, str]:
                   f"({len(absent)} fields compared)")
 
 
+def check_partition_safety(report: dict) -> tuple[bool, str]:
+    """The partition-safety gate, three sub-checks in one:
+
+    * fencing idle must be bit-identical to the default build (field for
+      field -- the fence may not perturb a healthy run);
+    * the partition chaos cell must end with data identical to its
+      fault-free baseline, with >= 1 promotion and >= 1 fenced
+      stale-epoch write on the record (zero stale writes applied);
+    * the checkpoint/restore round trip must reproduce the
+      straight-through final bytes.
+    """
+    block = report.get("partition_safety")
+    if not block:
+        return False, ("report has no 'partition_safety' block; regenerate "
+                       "it with the current benchmarks/bench_perf.py")
+    problems = []
+    absent = block.get("fencing_absent", {})
+    idle = block.get("fencing_idle", {})
+    diverged = sorted(k for k in set(absent) | set(idle)
+                      if absent.get(k) != idle.get(k))
+    if diverged:
+        problems.append("fencing-idle fingerprint DIVERGED in: "
+                        + ", ".join(diverged))
+    cut = block.get("partition", {})
+    membership = cut.get("membership", {})
+    if not cut.get("data_identical"):
+        problems.append("partitioned run data NOT identical to baseline "
+                        "(a stale-epoch write got applied?)")
+    if membership.get("promotions", 0) < 1:
+        problems.append("no quorum promotion during the partition cell")
+    if membership.get("stale_writes_fenced", 0) < 1:
+        problems.append("no stale-epoch write was fenced")
+    ckpt = block.get("checkpoint", {})
+    if not ckpt.get("roundtrip_identical"):
+        problems.append("checkpoint/restore round trip diverged: "
+                        f"{ckpt.get('final_sha256')} vs "
+                        f"{ckpt.get('restored_sha256')}")
+    if ckpt.get("checkpoints_taken", 0) < 1:
+        problems.append("no checkpoints were taken")
+    if problems:
+        return False, "partition safety FAILED: " + "; ".join(problems)
+    return True, (f"partition safety: fencing idle bit-identical "
+                  f"({len(absent)} fields), cut survived with "
+                  f"{membership.get('promotions')} promotion(s) and "
+                  f"{membership.get('stale_writes_fenced')} fenced stale "
+                  f"write(s), checkpoint round trip reproduced "
+                  f"{ckpt.get('checkpoint_pages')} pages exactly")
+
+
 def check_shard_scaling(report: dict, max_deviation: float,
                         min_barrier_reduction: float) -> tuple[bool, str]:
     """The sharded-control-plane gate: shards=1 bit-identical, per-shard
@@ -415,6 +464,10 @@ def main(argv=None) -> int:
                         help="determinism gate: exit 1 unless the recorded "
                              "default-build and replication_factor=1 "
                              "fingerprints are bit-identical")
+    parser.add_argument("--check-partition-safety", action="store_true",
+                        help="gate: fencing idle bit-identical to defaults, "
+                             "partition cell data-identical with >=1 fenced "
+                             "stale write, checkpoint round trip exact")
     parser.add_argument("--check-shard-scaling", action="store_true",
                         help="control-plane gate: exit 1 unless shards=1 is "
                              "bit-identical, per-shard RPC load stays flat "
@@ -463,6 +516,10 @@ def main(argv=None) -> int:
         failed |= not ok
     if args.check_replication_off:
         ok, msg = check_replication_off(report)
+        print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
+        failed |= not ok
+    if args.check_partition_safety:
+        ok, msg = check_partition_safety(report)
         print(f"\n[{'PASS' if ok else 'FAIL'}] {msg}")
         failed |= not ok
     if args.check_shard_scaling:
