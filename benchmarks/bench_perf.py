@@ -59,6 +59,34 @@ BASELINE_SEED = {
 }
 
 
+#: Trajectory fingerprint of the canonical functional Jacobi cell at the
+#: PR 8 commit (a0b19e2), captured with the same ``_jacobi_fingerprint``
+#: shape. ``batched_round_trips=False`` must reproduce this dict exactly --
+#: the --check-batched-rt gate in tools/bench_report.py compares them.
+PR8_FINGERPRINT = {
+    "grid_sha256": ("2b3e7a116b07bdfd16475c9584b7b7e1"
+                    "8394155fdfc4cc67038985f54f9e34b2"),
+    "gdiff": 7.8125,
+    "elapsed": 0.001379653349999996,
+    "events_scheduled": 849,
+    "cache_counters": {
+        "diff_bytes": 512,
+        "diffs_taken": 166,
+        "fine_grain_bytes": 480,
+        "installs": 292,
+        "invalidations": 174,
+        "page_touches": 489,
+        "prefetch_hits": 113,
+        "prefetch_installs": 189,
+        "read_bytes": 848096,
+        "reads": 49,
+        "twins_created": 182,
+        "write_bytes": 897144,
+        "writes": 37,
+    },
+}
+
+
 def run_smoke(executor=None, config=None) -> float:
     """Run the smoke campaign once; returns wall-clock seconds."""
     t0 = time.perf_counter()
@@ -519,6 +547,88 @@ def shard_scaling() -> dict:
     }
 
 
+#: Modeled round-trip *request* categories: one fabric message per modeled
+#: round trip in both protocol shapes (replies -- ``page``/``recall_diff``
+#: -- are the same trips seen from the other end and are not re-counted).
+RT_REQUEST_CATEGORIES = ("fetch_req", "recall", "diff", "barrier_diff",
+                         "fine_grain", "cr_page")
+
+
+class _FabricSummingExecutor(Executor):
+    """Serial executor summing fabric message counts over Samhita cells."""
+
+    def __init__(self, totals: dict):
+        super().__init__(workers=0, cache=None)
+        self.totals = totals
+        self._seen: dict[str, object] = {}
+
+    def map(self, specs):
+        out = []
+        for spec in specs:
+            key = cell_key(spec)
+            result = self._seen.get(key)
+            if result is None:
+                result = super().map([spec])[0]
+                self._seen[key] = result
+                if spec.backend == "samhita":
+                    fabric = result.stats.get("fabric", {})
+                    for cat in RT_REQUEST_CATEGORIES:
+                        self.totals[cat] = (self.totals.get(cat, 0)
+                                            + fabric.get(f"messages.{cat}", 0))
+            out.append(result)
+        return out
+
+
+def _rt_request_totals(config) -> dict:
+    """Sum round-trip request messages over the fig12 smoke cells."""
+    totals: dict = {}
+    with activate(_FabricSummingExecutor(totals)):
+        figures.FIGURES["fig12"](**_QUICK_KWARGS["fig12"], config=config)
+    totals["total"] = sum(totals.values())
+    return totals
+
+
+def batched_rt_comparison() -> dict:
+    """Batched vs per-operation protocol shape; the --check-batched-rt
+    gate's evidence.
+
+    Three facts recorded:
+
+    * the ``batched_round_trips=False`` trajectory fingerprint, compared
+      against :data:`PR8_FINGERPRINT` (the gate requires bit-identity --
+      off must be the PR 8 protocol, not a near miss);
+    * modeled round-trip request messages over the fig12 smoke cells,
+      batched off vs on (the gate requires the reduction factor);
+    * data identity between the two shapes on the canonical functional
+      cell (the batching may change timing, never bytes), plus the
+      on-state ``round_trips`` ledger snapshot.
+    """
+    from repro.core.params import SamhitaConfig
+
+    off_fp, _ = _jacobi_fingerprint(SamhitaConfig(batched_round_trips=False))
+    on_fp, on_result = _jacobi_fingerprint(None)
+    off_req = _rt_request_totals(SamhitaConfig(batched_round_trips=False))
+    on_req = _rt_request_totals(None)
+    reduction = (round(off_req["total"] / on_req["total"], 2)
+                 if on_req["total"] else None)
+    return {
+        "campaign": ("fig12 --quick samhita cells (modeled round-trip "
+                     "request messages) + canonical jacobi cell "
+                     "(fingerprints)"),
+        "request_categories": list(RT_REQUEST_CATEGORIES),
+        "off_requests": off_req,
+        "on_requests": on_req,
+        "trip_reduction": reduction,
+        "off_fingerprint": off_fp,
+        "pr8_fingerprint": PR8_FINGERPRINT,
+        "off_identical_to_pr8": off_fp == PR8_FINGERPRINT,
+        "data_identical_on_off": (
+            on_fp["grid_sha256"] == off_fp["grid_sha256"]
+            and on_fp["gdiff"] == off_fp["gdiff"]),
+        "round_trips": on_result.stats.get("round_trips"),
+    }
+
+
 def sweep_events_rate(best_of_n: int = 3) -> dict:
     """Sustained dispatch rate at the top of the shard sweep.
 
@@ -599,6 +709,9 @@ def main(argv=None) -> int:
     print("partition-safety fingerprint (fencing, quorum, checkpoint) ...")
     partition_safety = partition_safety_fingerprint()
 
+    print("batched round-trip comparison (off-pin + trip reduction) ...")
+    batched_rt = batched_rt_comparison()
+
     print("sustained events/sec at the 256-server sweep point ...")
     rate = sweep_events_rate(best_of_n=max(args.best_of, 3))
 
@@ -674,7 +787,12 @@ def main(argv=None) -> int:
             },
             f"after_workers{workers}_cached": {
                 "wall_s": round(warm, 3),
-                "speedup_vs_seed": round(seed / warm, 1),
+                # A warm cache can answer the campaign in ~no wall time;
+                # a division there yields a five-digit nonsense speedup
+                # (and 0.0 s would divide by zero). None renders as
+                # "cached" in tools/bench_report.py.
+                "speedup_vs_seed": (round(seed / warm, 1)
+                                    if warm >= 0.005 else None),
                 "engine": engine_variant(),
                 "cache_hits": warm_cache.hits,
             },
@@ -688,6 +806,7 @@ def main(argv=None) -> int:
         "replication": replication,
         "shard_scaling": shards,
         "partition_safety": partition_safety,
+        "batched_rt": batched_rt,
         "notes": [
             f"host has {usable} schedulable CPU(s); on a single-CPU host the "
             "pool adds no parallel speedup -- gains there come from the "
@@ -709,8 +828,8 @@ def main(argv=None) -> int:
           f"accuracy {prefetch['prefetch_accuracy'] * 100:.0f}%)")
     print(f"  workers{workers} cold        {cold:7.3f} s  "
           f"({seed / cold:.2f}x vs seed)")
-    print(f"  workers{workers} warm cache  {warm:7.3f} s  "
-          f"({seed / warm:.0f}x vs seed)")
+    warm_vs = f"({seed / warm:.0f}x vs seed)" if warm >= 0.005 else "(cached)"
+    print(f"  workers{workers} warm cache  {warm:7.3f} s  {warm_vs}")
     print(f"  scheduled events     {events_scheduled:,} "
           f"({seed_events / events_scheduled:.2f}x fewer than seed; "
           f"{events_coalesced:,} coalesced)")
@@ -739,6 +858,12 @@ def main(argv=None) -> int:
           f"({rate['events_scheduled']:,} events in "
           f"{rate['run_wall_s']:.3f} s run phase, "
           f"{rate['engine']} engine)")
+    print(f"  batched round trips  "
+          f"{'off==PR8' if batched_rt['off_identical_to_pr8'] else 'off DIVERGED'}"
+          f"  requests {batched_rt['off_requests']['total']:,} -> "
+          f"{batched_rt['on_requests']['total']:,} "
+          f"(-{batched_rt['trip_reduction']:.1f}x)  data_identical="
+          f"{batched_rt['data_identical_on_off']}")
     return 0
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core import rtbatch
 from repro.core.prefetcher import StridePrefetcher
 from repro.errors import (
     MemoryError_,
@@ -86,6 +87,10 @@ class ComputeServer:
         config = system.config
         self.prefetch_policy = config.prefetch_policy
         self.batch_fetches = config.batch_line_fetches
+        #: Batched round-trip protocol model (repro.core.rtbatch): the
+        #: fault, prefetch and eviction paths below dispatch to the
+        #: per-home batched forms when set.
+        self.batched_rt = config.batched_round_trips
         self.prefetcher = (StridePrefetcher(self.prefetch_policy, self.stats)
                            if self.prefetch_policy.mode == "stride" else None)
 
@@ -194,7 +199,11 @@ class ComputeServer:
             if not cache.missing_pages(addr, nbytes):
                 return
             if attempt < 8:
-                if self.batch_fetches:
+                if self.batched_rt:
+                    yield from rtbatch.fault_lines_batched(
+                        self, tid, cache.missing_lines(addr, nbytes),
+                        protect, speculate)
+                elif self.batch_fetches:
                     yield from self._fault_lines(
                         tid, cache.missing_lines(addr, nbytes), protect,
                         speculate)
@@ -308,8 +317,20 @@ class ComputeServer:
 
         Installs are guarded by per-page invalidation counters: data fetched
         before an invalidation of that page (barrier directive, page-grain
-        acquire, IVY upgrade) is dropped instead of installed.
+        acquire, IVY upgrade) is dropped instead of installed. The pages
+        are registered as in flight for the duration so those counters
+        actually advance (see :meth:`SoftwareCache.begin_fetch`).
         """
+        cache = self.system.cache_of(tid)
+        token = cache.begin_fetch(pages)
+        try:
+            yield from self._fetch_pages_flight(tid, pages, protect,
+                                                prefetched)
+        finally:
+            cache.end_fetch(token)
+
+    def _fetch_pages_flight(self, tid: int, pages: list[int],
+                            protect: set[int], prefetched: bool):
         system = self.system
         cache = system.cache_of(tid)
         config = system.config
@@ -602,8 +623,13 @@ class ComputeServer:
             entries = self.system.cache_of(tid).entries
             still_missing = [p for p in pages if p not in entries]
             if still_missing:
-                yield from self._fetch_pages(tid, still_missing, set(),
-                                             prefetched=True)
+                if self.batched_rt:
+                    # Pure speculative trip(s): one per home server.
+                    yield from rtbatch.fetch_batched(self, tid, [],
+                                                     still_missing, set())
+                else:
+                    yield from self._fetch_pages(tid, still_missing, set(),
+                                                 prefetched=True)
         finally:
             pending = self.pending[tid]
             for line in lines:
@@ -615,6 +641,9 @@ class ComputeServer:
     # ------------------------------------------------------------------
     def _evict(self, tid: int, count: int, protect: set[int]):
         """Generator: evict ``count`` pages, writing dirty victims back."""
+        if self.batched_rt:
+            yield from rtbatch.evict_batched(self, tid, count, protect)
+            return
         cache = self.system.cache_of(tid)
         victims = cache.choose_victims(count, protect=protect)
         for page in victims:

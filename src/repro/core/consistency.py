@@ -36,8 +36,12 @@ _ZEROS = repeat(0)
 class BarrierPlan:
     """The manager's directives for one barrier generation."""
 
-    #: Per-thread pages whose cached copies must be dropped.
-    invalidate: dict[int, list[int]]
+    #: Per-thread pages whose cached copies must be dropped. Kept as sets:
+    #: consumers only intersect them with (much smaller) residency and
+    #: in-flight structures and take their length for message sizing, so
+    #: sorting thousands of mostly-non-resident page ids per thread per
+    #: barrier would be pure waste.
+    invalidate: dict[int, set[int]]
     #: Per-thread dirty pages that must be diff-flushed to their homes now.
     flush: dict[int, list[int]]
     #: Pages written by more than one thread this epoch (diagnostics).
@@ -67,11 +71,11 @@ def plan_barrier(notices: Mapping[int, Iterable[int]],
         directory.record_owners(mine - multi, tid)
 
     all_pages = set(counts)
-    invalidate: dict[int, list[int]] = {}
+    invalidate: dict[int, set[int]] = {}
     flush: dict[int, list[int]] = {}
     for tid, mine in notice_sets.items():
         mine_multi = mine & multi
-        invalidate[tid] = sorted((all_pages - mine) | mine_multi)
+        invalidate[tid] = (all_pages - mine) | mine_multi
         flush[tid] = sorted(mine_multi)
     total = sum(len(p) for p in notice_sets.values())
     return BarrierPlan(invalidate=invalidate, flush=flush,

@@ -154,6 +154,67 @@ class MemoryServer:
         finally:
             self.resource.release()
 
+    def serve_fetch_bulk(self, requester_tid: int, pages: list[int]):
+        """Generator: batched fetch serve (``config.batched_round_trips``).
+
+        The round-trip twin of :meth:`serve_fetch`: one dedup admission and
+        ONE service charge for the whole request (alpha is paid once per
+        trip, not per line), owner recalls grouped into one bulk recall
+        round trip per owner. The resource is held for the whole request,
+        exactly as in the per-page path.
+        """
+        self._admit(requester_tid)
+        yield from self.resource.request_service(
+            self.config.memserver_service_time)
+        try:
+            counters = self.stats.counters
+            counters["fetches"] += 1
+            counters["pages_served"] += len(pages)
+            owner_of = self.directory.owner_of
+            by_owner: dict[int, list[int]] = {}
+            for page in pages:
+                owner = owner_of(page)
+                if owner is not None and owner != requester_tid:
+                    by_owner.setdefault(owner, []).append(page)
+            for owner in sorted(by_owner):
+                r = self._recall_bulk(owner, by_owner[owner])
+                if r is not None:
+                    yield from r
+            add_sharer = self.directory.add_sharer
+            backing = self.backing
+            functional = backing.functional
+            integrity = backing.integrity
+            crcs: dict[int, int] | None = {} if integrity else None
+            result = {}
+            if functional or integrity:
+                read_page = backing.read_page
+                frames = backing.frames
+                backing_counters = backing.stats.counters
+                for page in pages:
+                    add_sharer(page, requester_tid)
+                    if integrity:
+                        self._maybe_bitrot(page)
+                        crcs[page] = backing.page_crc(page)
+                    if functional:
+                        result[page] = read_page(page)
+                    else:
+                        backing_counters["page_reads"] += 1
+                        if page not in frames:
+                            frames[page] = PageFrame(None)
+                            backing_counters["frames_created"] += 1
+                        result[page] = None
+            else:
+                # Timing fast path: no bytes move; only frame existence and
+                # the read counters matter, paid in bulk. The returned
+                # mapping stays empty -- timing-mode callers only ``.get``
+                # per-page data, which is None either way.
+                self.directory.add_sharers(pages, requester_tid)
+                backing.serve_pages_timing(pages)
+            self.last_serve_crcs = crcs
+            return result
+        finally:
+            self.resource.release()
+
     def _maybe_bitrot(self, page: int) -> None:
         """One bitrot draw for a page about to be served.
 
@@ -241,6 +302,105 @@ class MemoryServer:
         yield from transfer_gen
         self.backing.apply_diff(diff)
         self.stats.incr("recall_bytes", diff.payload_bytes)
+
+    # ------------------------------------------------------------------
+    # bulk recall (config.batched_round_trips)
+    # ------------------------------------------------------------------
+    def _recall_bulk(self, owner_tid: int, pages: list[int]):
+        """Pull ALL pages one owner holds as ONE modeled round trip: a
+        single recall request, a single bulk diff return (summed wire
+        bytes, one fused apply tail) and a single merge.
+
+        Plain-or-generator, like :meth:`_recall`. The per-page ``recalls``
+        counter keeps its meaning (pages recalled); ``recall_trips``
+        counts the batched request messages.
+        """
+        system = self._system
+        counters = self.stats.counters
+        counters["recalls"] += len(pages)
+        counters["recall_trips"] += 1
+        line_of = self.config.layout.line_of_page
+        system.rt_ledger.record(self.index, "recall",
+                                len({line_of(p) for p in pages}))
+        owner_comp = system.component_of(owner_tid)
+        t = system.scl.send(self.component, owner_comp, category="recall")
+        if t is not None:
+            return self._recall_bulk_after_send(t, owner_tid, owner_comp,
+                                                pages)
+        return self._recall_bulk_merge(owner_tid, owner_comp, pages)
+
+    def _recall_bulk_after_send(self, send_gen, owner_tid, owner_comp, pages):
+        """Generator: bulk-recall slow path -- request message in flight."""
+        yield from send_gen
+        r = self._recall_bulk_merge(owner_tid, owner_comp, pages)
+        if r is not None:
+            yield from r
+
+    def _recall_bulk_merge(self, owner_tid, owner_comp, pages):
+        """Plain-or-generator: take every dirty diff the owner holds,
+        clear ownership (atomically with the take -- no yield between),
+        then one bulk transfer + merge."""
+        system = self._system
+        owner_cache = system.cache_of(owner_tid)
+        clear_owner = self.directory.clear_owner
+        backing = self.backing
+        if (not backing.functional and owner_cache.use_twins
+                and self.wal is None and not backing.integrity):
+            # Timing fast path: a diff is pure sizes here, so take and
+            # apply in bulk without materializing PageDiff objects.
+            dirty_pages, payload, wire = owner_cache.take_diff_sizes(pages)
+            for page in pages:
+                clear_owner(page)
+            if not dirty_pages:
+                return None
+            t = system.fabric.transfer_inline(
+                owner_comp, self.component, wire, category="recall_diff",
+                tail=self.config.apply_time_per_byte * payload)
+            if t is not None:
+                return self._recall_bulk_apply_sizes(t, dirty_pages, payload)
+            backing.apply_diff_sizes(dirty_pages, payload)
+            self.stats.incr("recall_bytes", payload)
+            return None
+        entries = owner_cache.entries
+        take_diff = owner_cache.take_diff
+        diffs = []
+        for page in pages:
+            entry = entries.get(page)
+            if entry is not None and entry.is_dirty:
+                diff = take_diff(page)
+                if diff is not None:
+                    diffs.append(diff)
+            clear_owner(page)
+        if not diffs:
+            return None
+        for diff in diffs:
+            self._wal_append(diff.page, diff)
+        payload = sum(d.payload_bytes for d in diffs)
+        wire = sum(d.wire_bytes for d in diffs)
+        t = system.fabric.transfer_inline(
+            owner_comp, self.component, wire, category="recall_diff",
+            tail=self.config.apply_time_per_byte * payload)
+        if t is not None:
+            return self._recall_bulk_apply(t, diffs, payload)
+        apply_diff = backing.apply_diff
+        for diff in diffs:
+            apply_diff(diff)
+        self.stats.incr("recall_bytes", payload)
+        return None
+
+    def _recall_bulk_apply(self, transfer_gen, diffs, payload):
+        """Generator: bulk-recall slow path -- diff transfer in flight."""
+        yield from transfer_gen
+        apply_diff = self.backing.apply_diff
+        for diff in diffs:
+            apply_diff(diff)
+        self.stats.incr("recall_bytes", payload)
+
+    def _recall_bulk_apply_sizes(self, transfer_gen, dirty_pages, payload):
+        """Generator: timing-mode bulk-recall slow path."""
+        yield from transfer_gen
+        self.backing.apply_diff_sizes(dirty_pages, payload)
+        self.stats.incr("recall_bytes", payload)
 
     def serve_upgrade(self, writer_tid: int, writer_comp: str, page: int):
         """Generator: grant exclusive write access to a page (the eager

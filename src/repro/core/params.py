@@ -101,6 +101,14 @@ class SamhitaConfig:
     #: changes simulated timing, so the compatibility mode keeps the
     #: per-line shape the goldens pin.
     batch_line_fetches: bool = False
+    #: Batched round-trip protocol model (:mod:`repro.core.rtbatch`): all
+    #: demand misses, speculative prefetches, owner recalls and diff merges
+    #: bound for the SAME home server within a round aggregate into one
+    #: modeled round trip (single request message + single service charge +
+    #: single bulk data return, cost = alpha + beta * lines). On by default;
+    #: False restores the per-line/per-page protocol shape bit-identically
+    #: (CI-gated by ``--check-batched-rt``).
+    batched_round_trips: bool = True
 
     # -- consistency ----------------------------------------------------
     #: Memory coherence protocol: "regc" (the paper's Regional Consistency)
@@ -305,7 +313,8 @@ class SamhitaConfig:
         metrics must stay bit-identical to the goldens."""
         base: dict = {"prefetch": PrefetchPolicy(mode="adjacent"),
                       "eviction_impl": "sorted",
-                      "batch_line_fetches": False}
+                      "batch_line_fetches": False,
+                      "batched_round_trips": False}
         base.update(overrides)
         return cls(**base)
 

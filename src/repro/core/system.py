@@ -43,6 +43,7 @@ from repro.checkpoint import CheckpointStore, restore_checkpoint, take_checkpoin
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RpcDedup
 from repro.core.placement import PlacementPolicy, choose_component
+from repro.core.rtbatch import RoundTripLedger
 from repro.core.regions import RegionTracker
 from repro.errors import (
     BackendError,
@@ -97,6 +98,12 @@ class SamhitaSystem:
             self.directory = ShardedPageDirectory(n_shards)
             self.allocator = ShardedAllocator(self.config, n_shards)
         self.stats = StatSet("system")
+        #: Round-trip accounting (config.batched_round_trips): one record
+        #: per modeled batched trip, surfaced as stats_report's
+        #: ``round_trips`` namespace. None when the gate is off, so the
+        #: per-operation build carries no ledger branches at all.
+        self.rt_ledger = (RoundTripLedger()
+                          if self.config.batched_round_trips else None)
 
         compute = compute_components or [c.name for c in topology.compute_components()]
         if not compute:
@@ -708,6 +715,11 @@ class SamhitaSystem:
                     cs.stats.incr("epoch_refreshes")
                     continue
                 break
+            if self.rt_ledger is not None:
+                # Already one trip per home; the ledger only accounts it.
+                line_of = self.config.layout.line_of_page
+                self.rt_ledger.record(
+                    index, "merge", len({line_of(d.page) for d in group}))
 
     def barrier_wait(self, tid: int, barrier_id: int):
         """Generator: the RegC global consistency point.
@@ -789,25 +801,29 @@ class SamhitaSystem:
         dirty_skip = {p for p in entries.keys() & invalidate
                       if not entries[p].dirty.empty}
         if dirty_skip:
-            targets = [p for p in invalidate if p not in dirty_skip]
+            # Never mutate in place: ``invalidate`` may alias the plan.
+            targets = set(invalidate) - dirty_skip
         else:
             targets = invalidate
         if cr_invalidate:
-            seen = set(targets)
             extra = [p for p in cr_invalidate
                      if (p not in entries or entries[p].dirty.empty)
-                     and p not in seen]
+                     and p not in targets]
             if extra:
-                # Never extend in place: ``invalidate`` may alias the plan.
-                targets = list(targets) + extra
+                targets = set(targets) | set(extra)
         dropped = cache.invalidate(targets)
         if dropped:
             yield Timeout(len(dropped) * self.config.invalidate_page_time)
             if self.config.barrier_eager_refresh:
                 # Update-style: pull the merged pages back now, batched per
                 # home server, instead of lazily refaulting line by line.
-                yield from self.compute_server_of(tid)._fetch_pages(
-                    tid, dropped, protect=set(), prefetched=False)
+                cs = self.compute_server_of(tid)
+                if cs.batched_rt:
+                    from repro.core.rtbatch import fetch_batched
+                    yield from fetch_batched(cs, tid, dropped, [], set())
+                else:
+                    yield from cs._fetch_pages(
+                        tid, dropped, protect=set(), prefetched=False)
 
     def _combined_arrive(self, tid: int, comp: str, barrier_id: int,
                          notices: list[int]):
@@ -932,6 +948,15 @@ class SamhitaSystem:
             prefetch["prefetch_accuracy"] = (
                 prefetch.get("prefetch_hits", 0) / installs)
         report["prefetch"] = prefetch
+        if self.rt_ledger is not None:
+            # The batched-round-trip ledger: per-home trip counts by kind
+            # plus the lines-per-trip histogram. Absent when the gate is
+            # off, so per-operation reports stay byte-identical.
+            trips = self.rt_ledger.snapshot()
+            recall_trips = report["memory_servers"].get("recall_trips")
+            if recall_trips:
+                trips["recall_trips"] = recall_trips
+            report["round_trips"] = trips
         if self.config.lock_owner_cache:
             # One namespace for the ownership-cache protocol: hits and local
             # releases at the compute servers, revocations and barrier

@@ -101,6 +101,31 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
     return 0 if all(r["data_identical"] for r in rows) else 1
 
 
+def _print_round_trips_row() -> None:
+    """One live row from the ``round_trips`` stats namespace: the batched
+    protocol's aggregation at a glance (canonical Jacobi cell, so the row
+    costs well under a second to produce)."""
+    from repro.experiments.harness import run_workload_direct
+    from repro.kernels.jacobi import JacobiParams, spawn_jacobi
+
+    params = JacobiParams(rows=64, cols=256, iterations=3)
+    result = run_workload_direct("samhita", 4, spawn_jacobi, params,
+                                 functional=True)
+    rt = result.stats.get("round_trips")
+    print("===== round trips (live, canonical jacobi cell) =====")
+    if not rt:
+        print("batched_round_trips off: per-operation protocol, no ledger")
+        return
+    kinds: dict[str, int] = {}
+    for per_kind in rt.get("by_home", {}).values():
+        for kind, n in per_kind.items():
+            kinds[kind] = kinds.get(kind, 0) + n
+    kind_cells = "  ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    print(f"trips={rt['trips']}  lines={rt['lines']}  "
+          f"lines/trip={rt['lines_per_trip_mean']}  {kind_cells}")
+    print(f"lines-per-trip histogram: {rt['lines_per_trip_hist']}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -166,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"===== {path.name} =====")
             print(path.read_text().rstrip())
             print()
+        _print_round_trips_row()
         return 0
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]

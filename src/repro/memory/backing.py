@@ -114,6 +114,38 @@ class BackingStore:
         if self.integrity and not frame.corrupt:
             frame.crc = None
 
+    def apply_diff_sizes(self, pages: list[int], payload_bytes: int) -> None:
+        """Timing-mode bulk twin of :meth:`apply_diff` for a recall batch:
+        the frame/version/counter side effects of one diff per page,
+        without PageDiff objects (no bytes to merge; the caller gates on
+        integrity being off)."""
+        counters = self.stats.counters
+        counters["diffs_applied"] += len(pages)
+        counters["diff_bytes"] += payload_bytes
+        frames = self.frames
+        created = 0
+        for page in pages:
+            frame = frames.get(page)
+            if frame is None:
+                frame = frames[page] = PageFrame(None)
+                created += 1
+            frame.version += 1
+        if created:
+            counters["frames_created"] += created
+
+    def serve_pages_timing(self, pages: list[int]) -> None:
+        """Timing-mode bulk read touch: the ``read_page`` side effects
+        (frame existence + read counter) for a whole served batch, paid in
+        two dict sweeps instead of one call per page."""
+        counters = self.stats.counters
+        counters["page_reads"] += len(pages)
+        frames = self.frames
+        missing = [p for p in pages if p not in frames]
+        if missing:
+            for p in missing:
+                frames[p] = PageFrame(None)
+            counters["frames_created"] += len(missing)
+
     def read_range(self, addr: int, nbytes: int) -> np.ndarray | None:
         """Gather an arbitrary byte range (used by the SMP baseline, which
         accesses memory directly rather than through a software cache)."""

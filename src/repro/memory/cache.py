@@ -118,13 +118,29 @@ class SoftwareCache:
         self.epoch_written: set[int] = set()
         #: Per-page invalidation counters. A fetch in flight when the page
         #: is invalidated must not install its (pre-invalidation) data; the
-        #: fetcher snapshots this counter and checks it at install time.
-        #: A Counter so invalidate() can advance thousands of counters with
-        #: one C-level update() call.
+        #: fetcher registers its pages (:meth:`begin_fetch`), snapshots
+        #: this counter and checks it at install time. Counters advance
+        #: only for registered in-flight pages -- a bump on a page nobody
+        #: is fetching has no observer, and barrier directives routinely
+        #: list thousands of non-resident pages.
         self.inval_epoch: Counter = Counter()
+        #: Active fetch registrations: token -> page set (see begin_fetch).
+        self._inflight_sets: dict[int, set[int]] = {}
+        self._inflight_token = 0
         self.stats = StatSet(name)
         self._tick = 0
         self._victim_key = _VICTIM_KEYS[policy]
+        #: Precomputed heap-key prefixes for the two hot transitions: a
+        #: just-installed (or just-diffed) entry is clean, a just-written
+        #: entry is dirty, so their victim keys are ``(prefix, tick)``
+        #: without calling the key function or probing the entry. None
+        #: means LRU (the key is the bare tick).
+        if policy is EvictionPolicy.DIRTY_BIASED:
+            self._clean_key_first, self._dirty_key_first = True, False
+        elif policy is EvictionPolicy.CLEAN_FIRST:
+            self._clean_key_first, self._dirty_key_first = False, True
+        else:
+            self._clean_key_first = self._dirty_key_first = None
         #: Lazy min-heap of ``(victim_key, page)`` records, or None under
         #: the legacy full-sort implementation. The heap is *lazy*: records
         #: go stale when a page is re-accessed (its key only grows then)
@@ -233,7 +249,10 @@ class SoftwareCache:
         counts = self._line_resident
         counts[line] = counts.get(line, 0) + 1
         if self._heap is not None:
-            heappush(self._heap, (self._victim_key(entry), page))
+            first = self._clean_key_first
+            heappush(self._heap,
+                     (self._tick if first is None else (first, self._tick),
+                      page))
         counters = self.stats.counters
         counters["installs"] += 1
         if prefetched:
@@ -248,28 +267,34 @@ class SoftwareCache:
         calls would; counters flush once.
         """
         entries = self.entries
-        n = 0
         tick = self._tick
-        mask = self._resident_mask
         heap = self._heap
-        victim_key = self._victim_key
+        first = self._clean_key_first
         counts = self._line_resident
+        counts_get = counts.get
         pages_per_line = self._pages_per_line
+        pages: list[int] = []
+        append = pages.append
         for page, data in pages_data:
             tick += 1
-            entry = CacheEntry(page, data, tick, prefetched)
-            entries[page] = entry
-            if page >= mask.shape[0]:
-                grown = np.zeros(max(mask.shape[0] * 2, page + 1), dtype=bool)
+            entries[page] = CacheEntry(page, data, tick, prefetched)
+            line = page // pages_per_line
+            counts[line] = counts_get(line, 0) + 1
+            if heap is not None:
+                heappush(heap,
+                         (tick if first is None else (first, tick), page))
+            append(page)
+        self._tick = tick
+        n = len(pages)
+        if n:
+            # One vectorized residency-bitmap update for the whole batch.
+            mask = self._resident_mask
+            top = max(pages)
+            if top >= mask.shape[0]:
+                grown = np.zeros(max(mask.shape[0] * 2, top + 1), dtype=bool)
                 grown[:mask.shape[0]] = mask
                 self._resident_mask = mask = grown
-            mask[page] = True
-            line = page // pages_per_line
-            counts[line] = counts.get(line, 0) + 1
-            if heap is not None:
-                heappush(heap, (victim_key(entry), page))
-            n += 1
-        self._tick = tick
+            mask[pages] = True
         if len(entries) > self.capacity_pages:
             raise MemoryError_(f"{self.name}: install over capacity")
         counters = self.stats.counters
@@ -349,23 +374,44 @@ class SoftwareCache:
         counters["evictions_clean"] += 1
         return None
 
+    def begin_fetch(self, pages: Iterable[int]) -> int:
+        """Register a fetch's pages as in flight; returns a token for
+        :meth:`end_fetch`. While registered, :meth:`invalidate` advances
+        the pages' invalidation counters, so the fetcher's snapshot/check
+        pair sees any invalidation that lands mid-flight."""
+        self._inflight_token += 1
+        self._inflight_sets[self._inflight_token] = set(pages)
+        return self._inflight_token
+
+    def end_fetch(self, token: int) -> None:
+        self._inflight_sets.pop(token, None)
+
     def invalidate(self, pages: Iterable[int]) -> list[int]:
         """Drop clean copies of the given pages; returns the pages dropped.
 
-        Every listed page's invalidation counter advances even when no copy
-        is resident: an in-flight fetch of that page carries
-        pre-invalidation data and must be discarded on arrival.
+        An in-flight fetch of a listed page carries pre-invalidation data
+        and must be discarded on arrival: the invalidation counter of
+        every listed page some fetcher has registered (:meth:`begin_fetch`)
+        advances, resident copy or not. Unregistered pages' counters are
+        left alone -- no snapshot exists that could observe the bump, and
+        barrier directives routinely list thousands of non-resident,
+        un-fetched pages.
 
         Invalidating a dirty page is a protocol error -- the consistency
         layer must flush (multi-writer) diffs before invalidating.
         """
-        if not isinstance(pages, (list, tuple, set, frozenset)):
-            pages = list(pages)
-        # Barrier directives list every page anyone else wrote -- usually
-        # thousands, nearly all non-resident. One Counter.update advances
-        # every epoch counter, one set intersection finds the residents.
-        self.inval_epoch.update(pages)
+        if not isinstance(pages, (set, frozenset)):
+            pages = set(pages)
+        if self._inflight_sets:
+            bump: set[int] = set()
+            for inflight in self._inflight_sets.values():
+                bump |= inflight & pages
+            if bump:
+                self.inval_epoch.update(bump)
         entries = self.entries
+        # Barrier directives list every page anyone else wrote -- usually
+        # thousands, nearly all non-resident. One set intersection (over
+        # the smaller side) finds the residents.
         hits = entries.keys() & pages
         if not hits:
             return []
@@ -435,24 +481,25 @@ class SoftwareCache:
         tick = self._tick
         prefetch_hits = 0
         pieces = [] if self.functional else None
-        for page in range(first, last + 1):
-            entry = entries.get(page)
-            if entry is None:
-                self._tick = tick
-                raise ProtectionError(
-                    f"{self.name}: access to non-resident page {page}")
-            tick += 1
-            entry.last_access = tick
-            if entry.prefetched:
-                entry.prefetched = False
-                prefetch_hits += 1
-            if pieces is not None:
-                page_start = page * page_bytes
-                start = addr if addr > page_start else page_start
-                page_end = page_start + page_bytes
-                end = end_addr if end_addr < page_end else page_end
-                off = start - page_start
-                pieces.append(entry.data[off:off + (end - start)])
+        try:
+            for page in range(first, last + 1):
+                entry = entries[page]
+                tick += 1
+                entry.last_access = tick
+                if entry.prefetched:
+                    entry.prefetched = False
+                    prefetch_hits += 1
+                if pieces is not None:
+                    page_start = page * page_bytes
+                    start = addr if addr > page_start else page_start
+                    page_end = page_start + page_bytes
+                    end = end_addr if end_addr < page_end else page_end
+                    off = start - page_start
+                    pieces.append(entry.data[off:off + (end - start)])
+        except KeyError:
+            self._tick = tick
+            raise ProtectionError(
+                f"{self.name}: access to non-resident page {page}") from None
         self._tick = tick
         counters = self.stats.counters
         counters["page_touches"] += last - first + 1
@@ -490,61 +537,84 @@ class SoftwareCache:
         prefetch_hits = 0
         use_twins = self.use_twins
         heap = self._heap
-        victim_key = self._victim_key
+        dirty_first = self._dirty_key_first
         consumed = 0
         twins = 0
-        for page in range(first, last + 1):
-            entry = entries.get(page)
-            if entry is None:
-                self._tick = tick
-                raise ProtectionError(
-                    f"{self.name}: access to non-resident page {page}")
-            tick += 1
-            entry.last_access = tick
-            if entry.prefetched:
-                entry.prefetched = False
-                prefetch_hits += 1
-            page_start = page * page_bytes
-            start = addr if addr > page_start else page_start
-            page_end = page_start + page_bytes
-            end = end_addr if end_addr < page_end else page_end
-            off = start - page_start
-            chunk = end - start
-            if ordinary:
-                newly_dirty = entry.dirty.empty
-                if use_twins and functional:
-                    twin = entry.twin
-                    if twin is None and newly_dirty:
-                        # Zero-copy twin: uninitialized scratch now, actual
-                        # pre-image bytes captured span by span below.
-                        twin = entry.twin = SpanTwin(page_bytes)
-                        twins += 1
-                    if type(twin) is SpanTwin:
-                        # Snapshot the about-to-be-dirtied bytes this write
-                        # adds; bytes already dirty were captured by the
-                        # write that dirtied them. (A raw-ndarray twin is a
-                        # full page copy and needs no upkeep.)
-                        twin.snapshot(entry.data, entry.dirty, off, off + chunk)
-                entry.dirty.add(off, off + chunk)
-                if newly_dirty and heap is not None:
-                    # Clean->dirty is the one key-DECREASING transition of
-                    # the dirty-biased order; file the live key eagerly so
-                    # the lazy heap's min stays exact.
-                    heappush(heap, (victim_key(entry), page))
-            if functional and data is not None:
-                chunk_data = data[consumed:consumed + chunk]
-                entry.data[off:off + chunk] = chunk_data
-                if not ordinary and entry.twin is not None:
-                    # Consistency-region stores propagate via the store log;
-                    # mirroring them into the twin keeps them out of this
-                    # thread's ordinary-region diff (shipping them there
-                    # could overwrite other threads' CR updates at the home).
-                    twin = entry.twin
-                    if type(twin) is SpanTwin:
-                        twin.mirror(chunk_data, entry.dirty, off, off + chunk)
+        try:
+            for page in range(first, last + 1):
+                entry = entries[page]
+                tick += 1
+                entry.last_access = tick
+                if entry.prefetched:
+                    entry.prefetched = False
+                    prefetch_hits += 1
+                page_start = page * page_bytes
+                start = addr if addr > page_start else page_start
+                page_end = page_start + page_bytes
+                end = end_addr if end_addr < page_end else page_end
+                off = start - page_start
+                chunk = end - start
+                if ordinary:
+                    dirty = entry.dirty
+                    ranges = dirty._ranges
+                    newly_dirty = not ranges
+                    if use_twins and functional:
+                        twin = entry.twin
+                        if twin is None and newly_dirty:
+                            # Zero-copy twin: uninitialized scratch now,
+                            # actual pre-image bytes captured span by span
+                            # below.
+                            twin = entry.twin = SpanTwin(page_bytes)
+                            twins += 1
+                        if type(twin) is SpanTwin:
+                            # Snapshot the about-to-be-dirtied bytes this
+                            # write adds; bytes already dirty were captured
+                            # by the write that dirtied them. (A raw-ndarray
+                            # twin is a full page copy and needs no upkeep.)
+                            twin.snapshot(entry.data, dirty, off, off + chunk)
+                    # ByteRanges.add's sequential branch, inlined (this loop
+                    # dominates every kernel; the general splice is rare).
+                    end_off = off + chunk
+                    if newly_dirty:
+                        ranges.append((off, end_off))
                     else:
-                        twin[off:off + chunk] = chunk_data
-            consumed += chunk
+                        last_s, last_e = ranges[-1]
+                        if off >= last_s:
+                            if off > last_e:
+                                ranges.append((off, end_off))
+                            elif end_off > last_e:
+                                ranges[-1] = (last_s, end_off)
+                        else:
+                            dirty.add(off, end_off)
+                    if newly_dirty and heap is not None:
+                        # Clean->dirty is the one key-DECREASING transition
+                        # of the dirty-biased order; file the live key
+                        # eagerly so the lazy heap's min stays exact. The
+                        # entry was just written, so its key is (dirty
+                        # prefix, tick) without probing it.
+                        heappush(heap,
+                                 (tick if dirty_first is None
+                                  else (dirty_first, tick), page))
+                if functional and data is not None:
+                    chunk_data = data[consumed:consumed + chunk]
+                    entry.data[off:off + chunk] = chunk_data
+                    if not ordinary and entry.twin is not None:
+                        # Consistency-region stores propagate via the store
+                        # log; mirroring them into the twin keeps them out
+                        # of this thread's ordinary-region diff (shipping
+                        # them there could overwrite other threads' CR
+                        # updates at the home).
+                        twin = entry.twin
+                        if type(twin) is SpanTwin:
+                            twin.mirror(chunk_data, entry.dirty,
+                                        off, off + chunk)
+                        else:
+                            twin[off:off + chunk] = chunk_data
+                consumed += chunk
+        except KeyError:
+            self._tick = tick
+            raise ProtectionError(
+                f"{self.name}: access to non-resident page {page}") from None
         self._tick = tick
         if ordinary:
             # One C-level bulk update instead of a per-page set.add.
@@ -601,6 +671,47 @@ class SoftwareCache:
         counters["diffs_taken"] += 1
         counters["diff_bytes"] += diff.payload_bytes
         return diff
+
+    def take_diff_sizes(self, pages):
+        """Timing-mode bulk variant of :meth:`take_diff` for a recall batch
+        (``config.batched_round_trips``).
+
+        Returns ``(dirty_pages, payload_bytes, wire_bytes)`` summed over
+        the dirty members of ``pages``, with take_diff's exact side
+        effects (twin dropped, dirty ranges cleared, heap re-filed,
+        counters) but none of the PageDiff objects: with no data to diff
+        a span diff is pure sizes -- payload = dirty bytes, wire =
+        payload + one span header per dirty range. Only valid with
+        ``use_twins`` in timing mode (the caller gates on both).
+        """
+        entries = self.entries
+        heap = self._heap
+        clean_first = self._clean_key_first
+        header = PageDiff.SPAN_HEADER_BYTES
+        dirty_pages: list[int] = []
+        payload = 0
+        wire = 0
+        for page in pages:
+            entry = entries.get(page)
+            if entry is None or not entry.dirty._ranges:
+                continue
+            ranges = entry.dirty
+            nbytes = ranges.nbytes
+            payload += nbytes
+            wire += nbytes + header * len(ranges)
+            entry.twin = None
+            ranges.clear()
+            if heap is not None:
+                # Just cleaned: the key is (clean prefix, last_access).
+                heappush(heap,
+                         (entry.last_access if clean_first is None
+                          else (clean_first, entry.last_access), page))
+            dirty_pages.append(page)
+        if dirty_pages:
+            counters = self.stats.counters
+            counters["diffs_taken"] += len(dirty_pages)
+            counters["diff_bytes"] += payload
+        return dirty_pages, payload, wire
 
     def dirty_page_ids(self) -> list[int]:
         return sorted(p for p, e in self.entries.items() if e.is_dirty)

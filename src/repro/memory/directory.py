@@ -64,6 +64,17 @@ class PageDirectory:
         else:
             sharers.add(thread_id)
 
+    def add_sharers(self, pages, thread_id: int) -> None:
+        """Bulk :meth:`add_sharer` for a batch-served fetch: one call for
+        the whole page list instead of one per page."""
+        sharers = self._sharers
+        for page in pages:
+            s = sharers.get(page)
+            if s is None:
+                sharers[page] = {thread_id}
+            else:
+                s.add(thread_id)
+
     def remove_sharer(self, page: int, thread_id: int) -> None:
         sharers = self._sharers.get(page)
         if sharers is not None:

@@ -1,0 +1,106 @@
+"""Chaos: the batched round-trip layer under fault schedules.
+
+The per-home batch daemon changes the protocol's message shape (one
+modeled round trip carries many lines), so its retry/dedup path is a new
+surface the generic chaos cells don't pin down explicitly. These cells
+run the canonical drop/latency schedules with ``batched_round_trips``
+explicitly on and assert:
+
+* final data is bit-identical to the fault-free run (both shapes);
+* the faulty batched run still aggregates (a live ``round_trips``
+  ledger with multi-line trips), i.e. faults didn't silently degrade
+  the daemon to per-page trips;
+* the retry counters prove the loss-bearing schedules actually hit the
+  batched protocol;
+* a pure duplicate storm is fully deduplicated with batching on.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.params import SamhitaConfig
+from repro.experiments.harness import run_workload_direct
+from repro.kernels.jacobi import JacobiParams, spawn_jacobi
+
+from tests.chaos.conftest import chaos_profiles, chaos_seeds
+
+pytestmark = pytest.mark.chaos
+
+N_THREADS = 4
+PARAMS = JacobiParams(rows=64, cols=256, iterations=3, collect_result=True)
+
+
+def _run(batched: bool, plan=None):
+    config = SamhitaConfig(batched_round_trips=batched, faults=plan)
+    result = run_workload_direct("samhita", N_THREADS, spawn_jacobi, PARAMS,
+                                 functional=True, config=config)
+    gdiff, grid = result.threads[0].value
+    return gdiff, hashlib.sha256(grid.tobytes()).hexdigest(), result
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free batched run: the data every faulty cell must reproduce."""
+    gdiff, digest, result = _run(batched=True)
+    return gdiff, digest, result
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+@pytest.mark.parametrize("profile", ["drop_storm", "latency_storm"])
+def test_batched_data_survives_faults(baseline, profile, seed):
+    plan = chaos_profiles(seed)[profile]
+    gdiff, digest, result = _run(batched=True, plan=plan)
+    assert (gdiff, digest) == baseline[:2]
+
+    faults = result.stats["faults"]
+    if profile == "drop_storm":
+        # Lost batch requests/replies must go through the retry protocol.
+        assert faults.get("retries", 0) > 0
+        assert faults.get("timeouts", 0) > 0
+        assert faults.get("retransmits", 0) > 0
+    else:
+        assert faults.get("delay_spikes", 0) > 0
+
+    # Faults may shrink batches (retried lines re-fetch) but must not
+    # silently disable aggregation: trips still carry >1 line on average.
+    rt = result.stats["round_trips"]
+    assert rt["trips"] > 0
+    assert rt["lines"] > rt["trips"]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+@pytest.mark.parametrize("profile", ["drop_storm", "latency_storm"])
+def test_batched_matches_unbatched_under_faults(profile, seed):
+    """Same fault schedule, both protocol shapes: identical final bytes.
+    (Timing diverges -- the schedules perturb different message streams.)"""
+    plan = chaos_profiles(seed)[profile]
+    on = _run(batched=True, plan=plan)
+    off = _run(batched=False, plan=plan)
+    assert on[:2] == off[:2]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_batched_chaos_replays_bit_identically(seed):
+    """Determinism under faults survives batching: the whole faulty
+    trajectory (data, modeled time, fault counters) replays exactly."""
+    plan = chaos_profiles(seed)["drop_storm"]
+    first = _run(batched=True, plan=plan)
+    second = _run(batched=True, plan=plan)
+    assert first[:2] == second[:2]
+    assert first[2].elapsed == second[2].elapsed
+    assert first[2].stats["faults"] == second[2].stats["faults"]
+    assert first[2].stats["round_trips"] == second[2].stats["round_trips"]
+
+
+def test_batched_duplicate_storm_deduplicated(baseline):
+    """Replayed batch messages must be dropped by the sequence check --
+    a double-applied batch would install pages or merge diffs twice."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=5, duplicate_rate=0.05)
+    gdiff, digest, result = _run(batched=True, plan=plan)
+    assert (gdiff, digest) == baseline[:2]
+    faults = result.stats["faults"]
+    assert faults.get("dup_rpcs_dropped", 0) + \
+        faults.get("dup_msgs_discarded", 0) > 0

@@ -50,7 +50,11 @@ class TestFunctionalIdentity:
     def test_compat_mode_is_bit_identical_to_default_timing(self, compat):
         # The heap eviction default must not move a single timestamp
         # relative to the legacy sort (compat pins impl="sorted").
-        default = _run(SamhitaConfig(functional=True))
+        # batched_round_trips is held at compat's value: the batched
+        # protocol model changes timing by design (its own off-gate is
+        # pinned by --check-batched-rt and the rtbatch property tests).
+        default = _run(SamhitaConfig(functional=True,
+                                     batched_round_trips=False))
         assert default.elapsed == compat.elapsed
         assert ({t: r.clock.total for t, r in default.threads.items()}
                 == {t: r.clock.total for t, r in compat.threads.items()})

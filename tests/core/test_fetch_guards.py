@@ -16,18 +16,32 @@ from repro.runtime import Runtime
 
 class TestInvalEpochs:
     def test_invalidate_bumps_counter_even_without_copy(self):
+        # The counter guards in-flight fetches: while a fetch of the page
+        # is registered, invalidation advances its epoch even though no
+        # copy is resident.
         cache = SoftwareCache(MemoryLayout(), capacity_pages=8)
+        token = cache.begin_fetch([5, 6])
         assert cache.inval_epoch_of(5) == 0
         cache.invalidate([5])          # page was never resident
         assert cache.inval_epoch_of(5) == 1
         cache.invalidate([5, 6])
         assert cache.inval_epoch_of(5) == 2
         assert cache.inval_epoch_of(6) == 1
+        cache.end_fetch(token)
+
+    def test_unfetched_pages_are_not_tracked(self):
+        # No fetch in flight -> no observer for the bump: the directive is
+        # absorbed without growing per-page state.
+        cache = SoftwareCache(MemoryLayout(), capacity_pages=8)
+        cache.invalidate([5])
+        assert cache.inval_epoch_of(5) == 0
 
     def test_counters_independent_per_page(self):
         cache = SoftwareCache(MemoryLayout(), capacity_pages=8)
+        token = cache.begin_fetch([1, 2])
         cache.invalidate([1])
         assert cache.inval_epoch_of(2) == 0
+        cache.end_fetch(token)
 
 
 class TestIvyContention:

@@ -129,7 +129,11 @@ class TestPrefetch:
 
         run_threads(system, [body()])
         cs = system.compute_server_of(t0)
-        assert cs.stats.get("prefetches_issued") >= 1
+        # The batched protocol carries the prediction as speculative
+        # riders on the demand trip; the per-operation path spawns an
+        # async prefetch daemon. Either way the adjacent line was pulled.
+        assert (cs.stats.get("prefetches_issued")
+                + cs.stats.get("speculative_riders")) >= 1
 
     def test_sequential_scan_hits_prefetched_lines(self, cluster2):
         system, (t0, _) = cluster2

@@ -8,12 +8,15 @@ Two separate promises are pinned here:
    executor collects ``pool.map`` results in submission order and cells
    share no state, so this must hold bit-for-bit.
 
-2. *Pre == post optimization*: the hot-path rework (engine event tuples,
-   bisect ByteRanges, batched cache counters, vectorized diffs, GC deferral)
-   must not move a single simulated timestamp. ``golden_metrics.json``
-   holds every series point of fig03/fig11/fig12 (--quick scale) captured
-   from the unoptimized seed commit; the current code must reproduce them
-   exactly (JSON round-trip on both sides kills float-repr ambiguity).
+2. *Pre == post optimization*: wall-clock rework must not move a single
+   simulated timestamp. ``golden_metrics.json`` holds every series point
+   of fig03/fig11/fig12 (--quick scale) plus a functional Jacobi data
+   capture under the CURRENT default machine (batched round trips on);
+   the current code must reproduce them exactly (JSON round-trip on both
+   sides kills float-repr ambiguity). ``golden_metrics_pr8.json`` is the
+   same capture from the PR 8 tree, before the batched protocol existed:
+   ``batched_round_trips=False`` must still reproduce *it* bit for bit,
+   so the off gate keeps pinning every pre-batching optimization too.
 """
 
 import hashlib
@@ -29,6 +32,7 @@ from repro.experiments.parallel import (
 from repro.kernels.jacobi import JacobiParams, spawn_jacobi
 
 GOLDEN = pathlib.Path(__file__).parent / "golden_metrics.json"
+GOLDEN_PR8 = pathlib.Path(__file__).parent / "golden_metrics_pr8.json"
 
 #: Reduced axes: small enough for the test suite, wide enough to cover
 #: both backends and a multi-node Samhita point.
@@ -83,7 +87,7 @@ class TestCellKey:
         assert cell_key(a) == cell_key(b)
 
 
-def jacobi_functional_snapshot() -> dict:
+def jacobi_functional_snapshot(config=None) -> dict:
     """Canonical JSON-safe capture of one functional-mode Jacobi cell.
 
     Unlike the figure snapshots (timing-only), this pins the *data plane*:
@@ -94,7 +98,7 @@ def jacobi_functional_snapshot() -> dict:
     """
     params = JacobiParams(rows=64, cols=256, iterations=3, collect_result=True)
     result = run_workload_direct("samhita", 4, spawn_jacobi, params,
-                                 functional=True)
+                                 functional=True, config=config)
     threads = {}
     for tid, tr in sorted(result.threads.items()):
         value = tr.value
@@ -133,3 +137,23 @@ class TestGoldenMetrics:
 
     def test_jacobi_functional_matches_seed_capture(self):
         assert jacobi_functional_snapshot() == self.golden["jacobi_functional"]
+
+
+class TestGoldenMetricsBatchedOff:
+    """``batched_round_trips=False`` must reproduce the PR 8 captures --
+    the gate keeps every pre-batching timestamp pinned bit for bit."""
+
+    golden = json.loads(GOLDEN_PR8.read_text())
+
+    @pytest.mark.parametrize("name", sorted(set(golden) & set(QUICK)))
+    def test_matches_pr8_capture(self, name):
+        from repro.core import SamhitaConfig
+        config = SamhitaConfig(batched_round_trips=False)
+        got = points_of(figures.FIGURES[name](**QUICK[name], config=config))
+        assert got == self.golden[name]
+
+    def test_jacobi_functional_matches_pr8_capture(self):
+        from repro.core import SamhitaConfig
+        snap = jacobi_functional_snapshot(
+            SamhitaConfig(batched_round_trips=False))
+        assert snap == self.golden["jacobi_functional"]

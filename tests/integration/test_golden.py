@@ -28,11 +28,11 @@ from repro.kernels import (
 from repro.runtime import Runtime
 
 GOLDEN = {
-    "microbench-strided-smh-4": 0.00029749660000000005,
+    "microbench-strided-smh-4": 0.0003067625500000003,
     "microbench-local-pth-4": 1.0563199999999992e-05,
-    "jacobi-smh-4": 0.000990909949999998,
-    "md-smh-8": 0.0006517063499999995,
-    "ivy-strided-smh-4": 0.0014574856999999982,
+    "jacobi-smh-4": 0.0007109730499999996,
+    "md-smh-8": 0.0006645963499999995,
+    "ivy-strided-smh-4": 0.001185940999999996,
 }
 
 CASES = {
