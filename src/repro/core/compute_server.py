@@ -30,10 +30,9 @@ from typing import TYPE_CHECKING
 from repro.core import rtbatch
 from repro.core.prefetcher import StridePrefetcher
 from repro.errors import (
+    CommunicationError,
     MemoryError_,
     ReplicationError,
-    RetryExhaustedError,
-    StaleEpochError,
 )
 from repro.memory.backing import payload_crc_ok
 from repro.sim.engine import Timeout
@@ -349,15 +348,23 @@ class ComputeServer:
         try_advance = self.engine.try_advance
         counters = self.stats.counters
         resolve_home = system.directory.resolve_home
+        armed = system.injector is not None
         for server_index, server_pages in grouped:
+            backoffs = 0
             while True:
                 server = system.memory_servers[resolve_home(server_index)]
                 snapshots = {p: epoch_get(p, 0) for p in server_pages}
                 # Request message out, server service (+ recalls), data back.
                 counters["fetch_requests"] += 1
+                # Retransmit-timer floor: the reply to a k-page request is
+                # legitimately alpha + beta*k away (ignored when fault-free).
+                floor = (rtbatch.trip_timeout_floor(
+                    system, self.component, server.component,
+                    len(server_pages)) if armed else 0.0)
                 try:
                     t = system.scl.send(self.component, server.component,
-                                        category="fetch_req")
+                                        category="fetch_req",
+                                        timeout_floor=floor)
                     if t is not None:
                         yield from t
                     data = yield from server.serve_fetch(tid, server_pages)
@@ -381,11 +388,13 @@ class ComputeServer:
                             data[page] = yield from self._repair_page(
                                 server, page)
                             counters["integrity_repairs"] += 1
-                except RetryExhaustedError as err:
-                    # Home unreachable mid-exchange: wait out the failover
-                    # and refetch the whole group from the promoted server.
-                    yield from system.await_failover(server.index, err,
-                                                     comp=self.component)
+                except CommunicationError as err:
+                    # Home unreachable mid-exchange (failover), fenced
+                    # (epoch refresh) or shed (backoff): dispatch on the
+                    # error's recovery classification and refetch the whole
+                    # group from whichever server then resolves.
+                    backoffs = yield from rtbatch.recover(self, server, err,
+                                                          backoffs)
                     continue
                 break
             # Bulk-install fast path: when every install's inline advance
@@ -468,19 +477,25 @@ class ComputeServer:
             while cache.free_pages < len(server_pages):
                 yield from self._evict(tid, 1, protect | set(server_pages))
             counters["fetch_requests"] += 1
+            backoffs = 0
             while True:
                 server = self.system.memory_servers[
                     self.system.directory.resolve_home(server_index)]
+                floor = (rtbatch.trip_timeout_floor(
+                    self.system, self.component, server.component,
+                    len(server_pages))
+                    if self.system.injector is not None else 0.0)
                 try:
                     t = self.system.scl.send(self.component, server.component,
-                                             category="fetch_req")
+                                             category="fetch_req",
+                                             timeout_floor=floor)
                     if t is not None:
                         yield from t
                     data = yield from server.serve_fetch_pinned(
                         tid, self.component, server_pages)
-                except RetryExhaustedError as err:
-                    yield from self.system.await_failover(server.index, err,
-                                                          comp=self.component)
+                except CommunicationError as err:
+                    backoffs = yield from rtbatch.recover(self, server, err,
+                                                          backoffs)
                     continue
                 break
             for page in server_pages:
@@ -665,6 +680,7 @@ class ComputeServer:
         and re-ships)."""
         config = self.system.config
         fencing = self.system.membership is not None
+        backoffs = 0
         while True:
             server = self.system.server_of_page(diff.page)
             try:
@@ -676,12 +692,8 @@ class ComputeServer:
                     yield from t
                 yield from server.apply_diffs(
                     [diff], epoch=self.known_epoch if fencing else None)
-            except RetryExhaustedError as err:
-                yield from self.system.await_failover(server.index, err,
-                                                      comp=self.component)
-                continue
-            except StaleEpochError:
-                self.known_epoch = self.system.membership.epoch
-                self.stats.incr("epoch_refreshes")
+            except CommunicationError as err:
+                backoffs = yield from rtbatch.recover(self, server, err,
+                                                      backoffs)
                 continue
             break

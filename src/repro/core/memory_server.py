@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ReplicationError, RetryExhaustedError, StaleEpochError
+from repro.errors import (
+    OverloadShedError,
+    ReplicationError,
+    RetryExhaustedError,
+    StaleEpochError,
+)
 from repro.faults.recovery import RpcDedup
 from repro.memory.backing import BackingStore, PageFrame
 from repro.memory.directory import PageDirectory
@@ -92,6 +97,37 @@ class MemoryServer:
         if dedup is not None:
             dedup.admit(peer, dedup.next_seq(peer))
 
+    def _service_time(self) -> float:
+        """Per-request service charge, inflated by any active slow-server
+        window (the gray-failure fault model). Pure window arithmetic --
+        with no injector or no active window this returns the configured
+        constant, bit-identically."""
+        base = self.config.memserver_service_time
+        system = self._system
+        if system is None:
+            return base
+        inj = system.injector
+        if inj is None or not inj.has_slow_servers:
+            return base
+        return base * inj.slow_factor(self.component, self.engine.now)
+
+    def _admission_check(self, category: str) -> None:
+        """Shed the request if the modeled service queue is full.
+
+        Admission control (``config.admission_queue_limit``): a fetch
+        arriving while the queue already holds ``limit`` waiters is NACKed
+        instead of queued, bounding the head-of-line damage one slow server
+        can do. Applies to demand/bulk/hedged fetches only -- escalated
+        pinned fetches and write-side applies are never shed, so forward
+        progress and the consistency protocol cannot starve.
+        """
+        limit = self.config.admission_queue_limit
+        if limit and self.resource.queue_length >= limit:
+            self.stats.counters["sheds"] += 1
+            raise OverloadShedError(self.component, self.component, category,
+                                    self.resource.queue_length, limit,
+                                    self.engine.now)
+
     # ------------------------------------------------------------------
     # request handlers (generators run inside the requester's process)
     # ------------------------------------------------------------------
@@ -108,9 +144,9 @@ class MemoryServer:
         owner-held page race -- the second would see ownership already
         cleared and read the home copy before the in-flight recall merges.
         """
+        self._admission_check("fetch_req")
         self._admit(requester_tid)
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             counters = self.stats.counters
             counters["fetches"] += 1
@@ -163,9 +199,9 @@ class MemoryServer:
         round trip per owner. The resource is held for the whole request,
         exactly as in the per-page path.
         """
+        self._admission_check("fetch_req")
         self._admit(requester_tid)
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             counters = self.stats.counters
             counters["fetches"] += 1
@@ -208,6 +244,79 @@ class MemoryServer:
                 # the read counters matter, paid in bulk. The returned
                 # mapping stays empty -- timing-mode callers only ``.get``
                 # per-page data, which is None either way.
+                self.directory.add_sharers(pages, requester_tid)
+                backing.serve_pages_timing(pages)
+            self.last_serve_crcs = crcs
+            return result
+        finally:
+            self.resource.release()
+
+    def serve_fetch_hedged(self, requester_tid: int, pages: list[int],
+                           primary: "MemoryServer"):
+        """Generator: bulk fetch served by a BACKUP on behalf of a slow
+        primary (``config.hedged_fetches``).
+
+        The hedger only targets owner-free pages, so no recall is needed;
+        staleness is closed with the :meth:`serve_repair` invariant run in
+        the other direction: this backup's copy lags ``primary`` by exactly
+        the WAL entries it has not acked, so replaying the primary's
+        durable unshipped tail for the requested pages (idempotent
+        byte-range patches -- a later regular ship re-applying them is
+        harmless) reproduces the primary's current bytes without touching
+        the primary's service queue. If an owner appeared between the
+        hedge decision and this serve, the hedge declines (retryable shed)
+        and the primary's in-flight serve stands alone.
+        """
+        self._admission_check("hedge_fetch")
+        self._admit(requester_tid)
+        yield from self.resource.request_service(self._service_time())
+        try:
+            owner_of = self.directory.owner_of
+            for page in pages:
+                owner = owner_of(page)
+                if owner is not None and owner != requester_tid:
+                    self.stats.counters["hedge_declines"] += 1
+                    raise OverloadShedError(
+                        self.component, self.component, "hedge_fetch",
+                        0, 0, self.engine.now)
+            counters = self.stats.counters
+            counters["hedge_serves"] += 1
+            counters["pages_served"] += len(pages)
+            backing = self.backing
+            wal = primary.wal
+            if wal is not None:
+                replayed = 0
+                for page in pages:
+                    for entry in wal.unshipped_for_page(page, self.index):
+                        backing.apply_diff(entry.diff)
+                        replayed += entry.diff.payload_bytes
+                if replayed:
+                    counters["hedge_catchup_bytes"] += replayed
+                    delay = self.config.apply_time_per_byte * replayed
+                    if not self.engine.try_advance(delay):
+                        yield Timeout(delay)
+            add_sharer = self.directory.add_sharer
+            functional = backing.functional
+            integrity = backing.integrity
+            crcs: dict[int, int] | None = {} if integrity else None
+            result = {}
+            if functional or integrity:
+                read_page = backing.read_page
+                frames = backing.frames
+                backing_counters = backing.stats.counters
+                for page in pages:
+                    add_sharer(page, requester_tid)
+                    if integrity:
+                        crcs[page] = backing.page_crc(page)
+                    if functional:
+                        result[page] = read_page(page)
+                    else:
+                        backing_counters["page_reads"] += 1
+                        if page not in frames:
+                            frames[page] = PageFrame(None)
+                            backing_counters["frames_created"] += 1
+                        result[page] = None
+            else:
                 self.directory.add_sharers(pages, requester_tid)
                 backing.serve_pages_timing(pages)
             self.last_serve_crcs = crcs
@@ -418,8 +527,7 @@ class MemoryServer:
         assert self._system is not None, "memory server not bound to a system"
         system = self._system
         self._admit(writer_comp)
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             owner = self.directory.owner_of(page)
             if owner is not None and owner != writer_tid:
@@ -479,8 +587,7 @@ class MemoryServer:
         so no invalidating operation (upgrade, recall) can slip between the
         read and the requester's install."""
         self._admit(requester_comp)
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             self.stats.incr("pinned_fetches")
             self.stats.incr("pages_served", len(pages))
@@ -533,8 +640,7 @@ class MemoryServer:
         rejected before any byte is merged.
         """
         self._fence(epoch, "diff")
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             if self._system.is_server_dead(self.index):
                 # The request landed just before the crash cut the wire: a
@@ -642,8 +748,7 @@ class MemoryServer:
         is a deposed primary whose tail the failover already replayed.
         """
         self._fence(epoch, "repl")
-        yield from self.resource.request_service(
-            self.config.memserver_service_time)
+        yield from self.resource.request_service(self._service_time())
         try:
             total = sum(d.payload_bytes for d in diffs)
             if total:
@@ -672,7 +777,7 @@ class MemoryServer:
         round trip is itself WAL-logged and therefore in the replay.
         """
         system = self._system
-        yield from self.resource.use(self.config.memserver_service_time)
+        yield from self.resource.use(self._service_time())
         target = system.live_backup_of(page, self.index)
         if target is None:
             raise ReplicationError(
@@ -682,7 +787,7 @@ class MemoryServer:
                             category="repair_pull")
         if t is not None:
             yield from t
-        yield from replica.resource.use(self.config.memserver_service_time)
+        yield from replica.resource.use(replica._service_time())
         data = replica.backing.read_page(page)
         t = system.fabric.transfer_inline(
             replica.component, self.component, self.config.layout.page_bytes,

@@ -7,7 +7,36 @@ and friends propagate untouched).
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    Every error carries a retryability classification: ``retryable`` says
+    whether the reliable-transport recovery loop may retry the operation at
+    all, and ``recovery`` names the action the loop dispatches on
+    (``"backoff"``, ``"failover"``, ``"refresh_epoch"``) -- ``None`` for
+    fatal errors. Recovery code branches on these attributes, never on
+    isinstance chains, so adding a new retryable error is a one-line
+    classification, not a grep for every handler.
+    """
+
+    retryable = False
+    recovery = None
+
+
+class RetryableError:
+    """Mixin marking an exception the recovery loop may retry.
+
+    ``recovery`` defaults to ``"backoff"`` (wait, then re-issue the same
+    operation); subclasses override it with the specific action their
+    failure mode needs.
+    """
+
+    retryable = True
+    recovery = "backoff"
+
+
+def recovery_action(exc) -> str | None:
+    """The recovery action for ``exc``: ``None`` means fatal (re-raise)."""
+    return getattr(exc, "recovery", None) if getattr(exc, "retryable", False) else None
 
 
 class SimulationError(ReproError):
@@ -44,7 +73,7 @@ class CommunicationError(ReproError):
     """A fabric-level communication failure (loss, corruption, dead link)."""
 
 
-class RpcTimeoutError(CommunicationError):
+class RpcTimeoutError(RetryableError, CommunicationError):
     """An RPC exchange exceeded its timeout before a reply arrived."""
 
     def __init__(self, src, dst, category, timeout, now=None):
@@ -55,8 +84,13 @@ class RpcTimeoutError(CommunicationError):
             f"rpc {src}->{dst} ({category}) timed out after {timeout:g}s{at}")
 
 
-class RetryExhaustedError(CommunicationError):
+class RetryExhaustedError(RetryableError, CommunicationError):
     """A retransmitted operation gave up after its full retry budget.
+
+    Retryable with ``recovery = "failover"``: the transport itself is out
+    of budget, so the only useful retry is against a *different* primary --
+    the caller waits for the failure detector / membership to promote a
+    backup and re-resolves the home.
 
     ``timeline`` carries one entry per failed attempt --
     ``{"attempt", "t", "fault", "timeout", "backoff"}`` with the simulated
@@ -65,6 +99,8 @@ class RetryExhaustedError(CommunicationError):
     next retransmit (None on the final, exhausted attempt) -- so a chaos
     failure is debuggable from the exception alone.
     """
+
+    recovery = "failover"
 
     def __init__(self, src, dst, category, attempts, now=None, timeline=()):
         self.src, self.dst, self.category = src, dst, category
@@ -92,8 +128,11 @@ class ReplicationError(CommunicationError):
     replica to promote or repair from)."""
 
 
-class StaleEpochError(CommunicationError):
+class StaleEpochError(RetryableError, CommunicationError):
     """A write-side RPC carried a fencing epoch older than the receiver's.
+
+    Retryable with ``recovery = "refresh_epoch"``: the sender refreshes its
+    membership view and re-issues against the current primary.
 
     Raised by memory servers and manager shards (``config.fencing``) when a
     sender that has not yet observed a failover presents traffic stamped
@@ -101,6 +140,8 @@ class StaleEpochError(CommunicationError):
     sender refreshes its epoch from the membership view and retries against
     the current primary.
     """
+
+    recovery = "refresh_epoch"
 
     def __init__(self, src, dst, category, sent_epoch, fence_epoch, now=None):
         self.src, self.dst, self.category = src, dst, category
@@ -110,6 +151,26 @@ class StaleEpochError(CommunicationError):
         super().__init__(
             f"{category} {src}->{dst} fenced: epoch {sent_epoch} < "
             f"{fence_epoch}{at}")
+
+
+class OverloadShedError(RetryableError, CommunicationError):
+    """A memory server's admission controller NACKed a request.
+
+    Raised when the modeled service queue is already at
+    ``config.admission_queue_limit`` when a fetch arrives: the server sheds
+    the request instead of letting the queue grow unbounded. Retryable with
+    ``recovery = "backoff"`` -- the sender treats the NACK as an explicit
+    backpressure signal (wait, spend a retry-budget token, re-issue), not
+    as a failure of the server.
+    """
+
+    def __init__(self, src, dst, category, depth, limit, now=None):
+        self.src, self.dst, self.category = src, dst, category
+        self.depth, self.limit, self.now = depth, limit, now
+        at = f" at t={now:.9f}s" if now is not None else ""
+        super().__init__(
+            f"{category} {src}->{dst} shed: service queue {depth} >= "
+            f"limit {limit}{at}")
 
 
 class MemoryError_(ReproError):

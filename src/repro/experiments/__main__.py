@@ -47,7 +47,8 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
     from repro.core.params import SamhitaConfig
     from repro.experiments.harness import run_workload_direct
     from repro.experiments.report import format_chaos
-    from repro.faults import drop_storm, latency_storm, partition, server_outage
+    from repro.faults import (drop_storm, jitter_storm, latency_storm,
+                              partition, server_outage, slow_server)
     from repro.kernels.jacobi import JacobiParams, spawn_jacobi
 
     params = JacobiParams(rows=64, cols=256, iterations=3,
@@ -63,6 +64,7 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
     fenced_kwargs = dict(manager_shards=3, n_memory_servers=2,
                          replication_factor=2, fencing=True)
     fenced_baseline, fenced_clean = run(SamhitaConfig(**fenced_kwargs))
+    grayfail_baseline, grayfail_clean = run(SamhitaConfig.grayfail())
     rows = []
     for seed in seeds:
         profiles = {
@@ -97,6 +99,26 @@ def _run_chaos(seeds=(11, 23, 47)) -> int:
                         * clean.elapsed),
             "counters": counters,
         })
+        # The gray-failure profiles need the grayfail machine (replicated
+        # memory servers + hedging/breakers/admission control): a 10x
+        # slow server and a heavy-tailed jitter storm change timing only,
+        # with the resilience counters surfaced next to the verdicts.
+        gray = {
+            "slow_server": slow_server(seed, "node1", factor=10.0,
+                                       start=2e-4, duration=1.0),
+            "jitter_storm": jitter_storm(seed),
+        }
+        for profile, plan in gray.items():
+            data, result = run(SamhitaConfig.grayfail(faults=plan))
+            counters = dict(result.stats.get("faults", {}))
+            counters.update(result.stats.get("hedges", {}))
+            rows.append({
+                "profile": profile, "seed": seed,
+                "data_identical": data == baseline == grayfail_baseline,
+                "elapsed": (result.elapsed / grayfail_clean.elapsed
+                            * clean.elapsed),
+                "counters": counters,
+            })
     print(format_chaos(rows, clean.elapsed))
     return 0 if all(r["data_identical"] for r in rows) else 1
 

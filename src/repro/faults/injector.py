@@ -64,6 +64,13 @@ class FaultInjector:
         #: perturb the message-verdict sequence (and vice versa), or two
         #: plans differing only in bitrot_rate would diverge in timing.
         self._bitrot_rng = random.Random(plan.seed ^ 0x6B17507)
+        #: Slow-server windows ``(component, factor, start, end)``: pure
+        #: arithmetic consulted by memory-server service charges, no RNG.
+        self._slow = tuple(plan.slow_servers)
+        self.has_slow_servers = bool(self._slow)
+        #: Jitter draws come from a dedicated stream for the same reason as
+        #: bitrot: arming jitter must not shift the main verdict sequence.
+        self._jitter_rng = random.Random(plan.seed ^ 0x9E3779B9)
         #: Failure detector hook, wired by the system when replication is
         #: on. Notified (never consulted) from the crash-verdict branches,
         #: so attaching it cannot change any verdict or RNG draw.
@@ -119,7 +126,31 @@ class FaultInjector:
             return (_DELAY, plan.latency_spike_time * (0.5 + rng.random()))
         if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
             return (_DUP, None)
+        if plan.jitter_rate:
+            # Dedicated stream; both draws (fire? how big?) stay off the
+            # main sequence, so a jitter-only plan leaves every other
+            # fault process's verdicts untouched.
+            jrng = self._jitter_rng
+            if jrng.random() < plan.jitter_rate:
+                u = 1.0 - jrng.random()  # (0, 1]
+                stall = plan.jitter_time * min(
+                    u ** (-1.0 / plan.jitter_alpha), 256.0)
+                self.stats.counters["jitter_stalls"] += 1
+                return (_DELAY, stall)
         return None
+
+    def slow_factor(self, component: str, now: float) -> float:
+        """Service-time inflation for ``component`` at ``now`` (1.0 = clean).
+
+        Pure window arithmetic like :meth:`server_down` -- consulting it
+        draws no RNG, so a memory server asking on every service charge
+        perturbs nothing when no window is active.
+        """
+        factor = 1.0
+        for comp, mult, start, end in self._slow:
+            if comp == component and start <= now < end:
+                factor *= mult
+        return factor
 
     def server_down(self, component: str, now: float) -> bool:
         """Is ``component`` unreachable at ``now``? (The failure detector's

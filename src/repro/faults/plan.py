@@ -47,10 +47,20 @@ class RetryPolicy:
         if self.max_retries < 1:
             raise ReproError("need at least one retry")
 
-    def delay(self, attempt: int) -> float:
-        """Backed-off wait before retransmit number ``attempt`` (1-based)."""
-        return min(self.timeout * (self.backoff ** (attempt - 1)),
-                   self.max_backoff)
+    def delay(self, attempt: int, floor: float = 0.0) -> float:
+        """Backed-off wait before retransmit number ``attempt`` (1-based).
+
+        ``floor`` raises the base timeout (and, when it exceeds
+        ``max_backoff``, the cap) for operations whose *legitimate* reply
+        time exceeds the single-message sizing -- a batched bulk fetch
+        carrying k lines costs alpha + beta*k on a clean fabric, and a
+        retransmit timer shorter than that would fire spuriously. The
+        default floor of 0 reproduces the historical single-message law
+        bit-for-bit.
+        """
+        base = self.timeout if floor <= self.timeout else floor
+        cap = self.max_backoff if floor <= self.max_backoff else floor
+        return min(base * (self.backoff ** (attempt - 1)), cap)
 
 
 @dataclass(frozen=True)
@@ -112,12 +122,30 @@ class FaultPlan:
     #: draws it when a live replica exists. Drawn from a dedicated RNG so
     #: arming bitrot never perturbs the message-verdict stream.
     bitrot_rate: float = 0.0
+    #: Gray failure: slow-server windows ``(component, factor, start, end)``
+    #: -- during the window every service-time charge at the component is
+    #: multiplied by ``factor`` (>= 1.0). The server stays up, answers
+    #: everything, drops nothing; it is merely slow, which is exactly the
+    #: failure mode heartbeat-based detection cannot see. Pure window
+    #: arithmetic, no RNG draw, so arming it never perturbs the
+    #: message-verdict stream.
+    slow_servers: tuple = ()
+    #: Gray failure: per-message probability of a heavy-tailed latency
+    #: stall (GC pause, queue buildup behind an elephant flow...). The
+    #: stall adds ``jitter_time * u^(-1/jitter_alpha)`` seconds with
+    #: u ~ Uniform(0, 1] -- a Pareto tail with index ``jitter_alpha``
+    #: (smaller = heavier), capped at 256x the scale. Drawn from a
+    #: dedicated RNG stream so arming jitter never perturbs the main
+    #: verdict stream.
+    jitter_rate: float = 0.0
+    jitter_time: float = 20e-6
+    jitter_alpha: float = 1.5
     #: Recovery budget used by the reliable-transfer layer.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         for name in ("drop_rate", "corrupt_rate", "latency_spike_rate",
-                     "duplicate_rate", "bitrot_rate"):
+                     "duplicate_rate", "bitrot_rate", "jitter_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ReproError(f"{name} must be in [0, 1], got {value!r}")
@@ -140,6 +168,14 @@ class FaultPlan:
                     or not window[0] or window[1] > window[2]):
                 raise ReproError(f"malformed partition {window!r}; "
                                  "want ((comp, ...), start, end)")
+        for window in self.slow_servers:
+            if len(window) != 4 or window[1] < 1.0 or window[2] > window[3]:
+                raise ReproError(f"malformed slow-server window {window!r}; "
+                                 "want (component, factor >= 1, start, end)")
+        if self.jitter_time < 0:
+            raise ReproError("jitter_time must be >= 0")
+        if self.jitter_alpha <= 0:
+            raise ReproError("jitter_alpha must be > 0")
 
     @property
     def silent(self) -> bool:
@@ -148,8 +184,10 @@ class FaultPlan:
                 and self.latency_spike_rate == 0.0
                 and self.duplicate_rate == 0.0
                 and self.bitrot_rate == 0.0
+                and self.jitter_rate == 0.0
                 and not self.link_flaps and not self.server_crash_windows
-                and not self.permanent_crashes and not self.partitions)
+                and not self.permanent_crashes and not self.partitions
+                and not self.slow_servers)
 
 
 #: Canonical chaos profiles for the test harness and CI: each maps a name to
@@ -206,5 +244,33 @@ def partition(seed: int, group, start: float, duration: float,
                      retry=retry)
 
 
+def slow_server(seed: int, component: str, factor: float, start: float,
+                duration: float) -> FaultPlan:
+    """One gray-failing memory server: ``factor``x service-time inflation
+    during ``[start, start + duration)``, no drops, no crash.
+
+    The server answers everything -- heartbeats included -- so the
+    FailureDetector never suspects it; surviving this profile requires the
+    gray-failure layer (adaptive timeouts, hedged fetches, breakers,
+    admission control), not the failover machinery.
+    """
+    return FaultPlan(seed=seed,
+                     slow_servers=((component, factor, start, start + duration),))
+
+
+def jitter_storm(seed: int, rate: float = 0.15,
+                 jitter_time: float = 20e-6,
+                 jitter_alpha: float = 1.5) -> FaultPlan:
+    """Heavy-tailed per-message latency stalls on a dedicated RNG stream.
+
+    Unlike :func:`latency_storm` (bounded uniform spikes on the main
+    verdict stream), jitter draws a Pareto-tailed multiplier from its own
+    stream: most stalls are small, a few are enormous -- the shape that
+    makes fixed timeouts and unhedged trips pathological.
+    """
+    return FaultPlan(seed=seed, jitter_rate=rate, jitter_time=jitter_time,
+                     jitter_alpha=jitter_alpha)
+
+
 CHAOS_PROFILES = ("drop_storm", "latency_storm", "server_outage",
-                  "partition")
+                  "partition", "slow_server", "jitter_storm")

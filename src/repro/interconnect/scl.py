@@ -66,11 +66,19 @@ class SCL:
                                            category=category,
                                            lead=lead, tail=tail)
 
-    def send(self, src: str, dst: str, nbytes: int = CONTROL_BYTES, category: str = "control"):
+    def send(self, src: str, dst: str, nbytes: int = CONTROL_BYTES, category: str = "control",
+             timeout_floor: float = 0.0):
         """Small eager message (work request / notification); returns
-        ``None`` or a generator -- see :meth:`rdma_put`."""
+        ``None`` or a generator -- see :meth:`rdma_put`.
+
+        ``timeout_floor`` sizes the sender's retransmit timer for requests
+        whose legitimate reply exceeds the single-message law (bulk fetch
+        requests awaiting alpha + beta*lines replies); ignored on the clean
+        fault-free path, which has no retransmit timer.
+        """
         self._counters["send"] += 1
-        return self.fabric.transfer_inline(src, dst, nbytes, category=category)
+        return self.fabric.transfer_inline(src, dst, nbytes, category=category,
+                                           timeout_floor=timeout_floor)
 
     def request_response(self, src: str, dst: str,
                          request_bytes: int = CONTROL_BYTES,

@@ -1,0 +1,96 @@
+"""The retryable-vs-fatal error taxonomy the recovery loops dispatch on.
+
+Recovery code branches on ``err.retryable`` / ``err.recovery`` (via
+:func:`repro.errors.recovery_action`), never on isinstance chains --
+these tests pin the classification of every error class so a taxonomy
+change is a conscious decision, not an accident."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    CommunicationError,
+    ConsistencyError,
+    MemoryError_,
+    OverloadShedError,
+    ProtectionError,
+    ReplicationError,
+    ReproError,
+    RetryableError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+    SimulationError,
+    StaleEpochError,
+    TopologyError,
+    recovery_action,
+)
+
+
+def _timeout():
+    return RpcTimeoutError("node0", "node1", "fetch_req", 25e-6, now=1e-3)
+
+
+def _exhausted():
+    return RetryExhaustedError("node0", "node1", "page", 64, now=1e-3)
+
+
+def _stale():
+    return StaleEpochError("node0", "node1", "diff", 1, 2, now=1e-3)
+
+
+def _shed():
+    return OverloadShedError("node0", "node1", "fetch_req", 2, 2, now=1e-3)
+
+
+class TestClassification:
+    def test_base_is_fatal(self):
+        assert ReproError.retryable is False
+        assert ReproError.recovery is None
+
+    @pytest.mark.parametrize("make,action", [
+        (_timeout, "backoff"),
+        (_exhausted, "failover"),
+        (_stale, "refresh_epoch"),
+        (_shed, "backoff"),
+    ])
+    def test_retryable_errors_carry_their_action(self, make, action):
+        err = make()
+        assert err.retryable is True
+        assert err.recovery == action
+        assert recovery_action(err) == action
+
+    @pytest.mark.parametrize("cls", [
+        ReproError, SimulationError, TopologyError, CommunicationError,
+        ReplicationError, MemoryError_, AllocationError, ProtectionError,
+        ConsistencyError,
+    ])
+    def test_fatal_errors_have_no_action(self, cls):
+        err = cls("boom")
+        assert err.retryable is False
+        assert recovery_action(err) is None
+
+    def test_non_repro_exceptions_are_fatal(self):
+        # Programming errors must never be swallowed by a recovery loop.
+        assert recovery_action(TypeError("bug")) is None
+        assert recovery_action(ValueError("bug")) is None
+
+    def test_retryable_mixin_defaults_to_backoff(self):
+        class Transient(RetryableError, CommunicationError):
+            pass
+
+        err = Transient("hiccup")
+        assert err.retryable is True
+        assert recovery_action(err) == "backoff"
+
+
+class TestShedError:
+    def test_carries_queue_depth_and_limit(self):
+        err = _shed()
+        assert err.depth == 2 and err.limit == 2
+        assert "shed" in str(err)
+        assert "node0" in str(err) and "node1" in str(err)
+
+    def test_is_a_communication_error(self):
+        # The recovery loops catch CommunicationError; a shed NACK must
+        # land in the same net (then classify as backoff).
+        assert isinstance(_shed(), CommunicationError)

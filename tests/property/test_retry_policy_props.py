@@ -1,0 +1,81 @@
+"""Property tests: RetryPolicy.delay backoff-law invariants.
+
+The reliable-transport retransmit timer and the shed-backoff loop both
+take their waits from :meth:`RetryPolicy.delay`. Three things must hold
+for every legal policy, attempt number and timeout floor:
+
+* the wait is monotone non-decreasing in the attempt number (backoff
+  never *shrinks* under pressure),
+* the wait never exceeds the cap -- ``max_backoff``, or the floor when a
+  bulk trip's legitimate reply time exceeds it,
+* the law is a pure function: same inputs, same wait, bit for bit (the
+  simulator's determinism contract runs through this).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    timeout=st.floats(1e-7, 1e-3, allow_nan=False, allow_infinity=False),
+    backoff=st.floats(1.0, 8.0, allow_nan=False, allow_infinity=False),
+    max_backoff=st.floats(1e-3, 1e-1, allow_nan=False,
+                          allow_infinity=False),
+    max_retries=st.integers(1, 128),
+)
+
+attempts = st.integers(1, 64)
+floors = st.floats(0.0, 1e-2, allow_nan=False, allow_infinity=False)
+
+
+@given(policies, attempts, floors)
+@settings(max_examples=200, deadline=None)
+def test_delay_is_monotone_in_attempt(policy, attempt, floor):
+    assert policy.delay(attempt + 1, floor) >= policy.delay(attempt, floor)
+
+
+@given(policies, attempts, floors)
+@settings(max_examples=200, deadline=None)
+def test_delay_is_capped(policy, attempt, floor):
+    cap = max(policy.max_backoff, floor)
+    assert policy.delay(attempt, floor) <= cap
+
+
+@given(policies, attempts, floors)
+@settings(max_examples=200, deadline=None)
+def test_delay_is_at_least_the_base_timeout(policy, attempt, floor):
+    """The first wait is the (floored) timeout itself; later waits only
+    grow from there, so no wait undercuts the base."""
+    base = min(max(policy.timeout, floor), max(policy.max_backoff, floor))
+    assert policy.delay(attempt, floor) >= base
+
+
+@given(policies, attempts, floors)
+@settings(max_examples=200, deadline=None)
+def test_delay_is_deterministic(policy, attempt, floor):
+    assert policy.delay(attempt, floor) == policy.delay(attempt, floor)
+
+
+@given(policies, attempts)
+@settings(max_examples=200, deadline=None)
+def test_zero_floor_reproduces_the_historical_law(policy, attempt):
+    """floor=0 must be the exact pre-floor backoff law: base timeout,
+    exponential growth, max_backoff cap."""
+    expected = min(policy.timeout * policy.backoff ** (attempt - 1),
+                   policy.max_backoff)
+    assert policy.delay(attempt) == expected
+    assert policy.delay(attempt, 0.0) == expected
+
+
+@given(policies, attempts, floors)
+@settings(max_examples=200, deadline=None)
+def test_floor_raises_the_first_wait_to_the_floor(policy, attempt, floor):
+    """A floor above the static timeout must lift every wait to at least
+    the floor (a retransmit timer shorter than the legitimate bulk reply
+    time would fire spuriously)."""
+    if floor > policy.timeout:
+        assert policy.delay(attempt, floor) >= min(
+            floor, max(policy.max_backoff, floor))
+        assert policy.delay(1, floor) == floor
